@@ -1,0 +1,23 @@
+/** Regenerates thesis Fig 3.1: micro-operations per instruction. */
+#include "bench_util.hh"
+
+using namespace mipp;
+using namespace mipp::bench;
+
+int
+main()
+{
+    banner("Fig 3.1", "micro-operations per instruction per benchmark");
+    auto b = suiteBundle();
+    std::printf("%-16s %12s\n", "benchmark", "uops/inst");
+    double lo = 10, hi = 0;
+    for (size_t i = 0; i < b.size(); ++i) {
+        double upi = b.traces[i].uopsPerInstruction();
+        std::printf("%-16s %12.3f\n", b.specs[i].name.c_str(), upi);
+        lo = std::min(lo, upi);
+        hi = std::max(hi, upi);
+    }
+    std::printf("\nrange: %.3f .. %.3f  (paper: ~1.07 for lbm to ~1.38 "
+                "for GemsFDTD)\n", lo, hi);
+    return 0;
+}

@@ -1,0 +1,26 @@
+/** Regenerates thesis Fig 3.4: AP / ABP / CP chain lengths at ROB 128. */
+#include "bench_util.hh"
+
+using namespace mipp;
+using namespace mipp::bench;
+
+int
+main()
+{
+    banner("Fig 3.4",
+           "average path, average branch path, critical path (ROB=128)");
+    auto b = suiteBundle();
+    std::printf("%-16s %8s %8s %8s\n", "benchmark", "AP", "ABP", "CP");
+    double apSum = 0, cpSum = 0;
+    for (size_t i = 0; i < b.size(); ++i) {
+        const auto &c = b.profiles[i].chains;
+        std::printf("%-16s %8.2f %8.2f %8.2f\n",
+                    b.specs[i].name.c_str(), c.ap(128), c.abp(128),
+                    c.cp(128));
+        apSum += c.ap(128);
+        cpSum += c.cp(128);
+    }
+    std::printf("\nCP / AP ratio (suite mean): %.2f  (paper: ~2.9x)\n",
+                cpSum / apSum);
+    return 0;
+}

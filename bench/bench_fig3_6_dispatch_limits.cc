@@ -1,0 +1,24 @@
+/** Regenerates thesis Fig 3.6: the four effective-dispatch-rate limits. */
+#include "bench_util.hh"
+#include "model/interval_model.hh"
+
+using namespace mipp;
+using namespace mipp::bench;
+
+int
+main()
+{
+    banner("Fig 3.6", "factors limiting the effective dispatch rate");
+    auto b = suiteBundle();
+    CoreConfig cfg = CoreConfig::nehalemReference();
+    std::printf("%-16s %9s %9s %9s %9s %9s  %s\n", "benchmark",
+                "dispatch", "depend", "port", "fu", "Deff", "binding");
+    for (size_t i = 0; i < b.size(); ++i) {
+        auto res = evaluateModel(b.profiles[i], cfg);
+        const auto &l = res.limits;
+        std::printf("%-16s %9.2f %9.2f %9.2f %9.2f %9.2f  %s\n",
+                    b.specs[i].name.c_str(), l.width, l.dependences,
+                    l.ports, l.fus, l.effective(), l.binding());
+    }
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * Regenerates thesis Fig 4.4: breakdown of cold vs capacity LLC misses
+ * for a short trace and for a doubled trace with the first half as
+ * warm-up.
+ */
+#include "bench_util.hh"
+#include "sim/ooo_core.hh"
+
+using namespace mipp;
+using namespace mipp::bench;
+
+int
+main()
+{
+    banner("Fig 4.4", "cold vs capacity LLC miss breakdown (load/store)");
+    CoreConfig cfg = CoreConfig::nehalemReference();
+    std::printf("%-16s | %22s | %22s\n", "", "150k uops",
+                "300k uops (150k warm)");
+    std::printf("%-16s | %10s %11s | %10s %11s\n", "benchmark",
+                "cold frac", "misses", "cold frac", "misses");
+    for (const auto &spec : workloadSuite()) {
+        Trace shortT = generateWorkload(spec, 150000);
+        Trace longT = generateWorkload(spec, 300000);
+        auto sShort = simulate(shortT, cfg).mem;
+        auto sLong = simulate(longT, cfg).mem;
+
+        auto coldFrac = [](const MemoryStats &m) {
+            uint64_t cold = m.coldLoadMisses + m.coldStoreMisses;
+            uint64_t total = cold + m.capacityLoadMisses +
+                             m.capacityStoreMisses;
+            return total ? static_cast<double>(cold) / total : 0.0;
+        };
+        uint64_t mShort = sShort.coldLoadMisses + sShort.coldStoreMisses +
+                          sShort.capacityLoadMisses +
+                          sShort.capacityStoreMisses;
+        // Second half of the long run approximates the warmed-up state.
+        uint64_t mLong = sLong.coldLoadMisses + sLong.coldStoreMisses +
+                         sLong.capacityLoadMisses +
+                         sLong.capacityStoreMisses;
+        std::printf("%-16s | %9.0f%% %11lu | %9.0f%% %11lu\n",
+                    spec.name.c_str(), 100 * coldFrac(sShort),
+                    static_cast<unsigned long>(mShort),
+                    100 * coldFrac(sLong),
+                    static_cast<unsigned long>(mLong));
+    }
+    std::printf("\n(paper: warm-up shrinks the cold fraction for most "
+                "benchmarks but not all — large-footprint ones keep "
+                "touching new lines)\n");
+    return 0;
+}

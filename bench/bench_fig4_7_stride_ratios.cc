@@ -1,0 +1,34 @@
+/** Regenerates thesis Fig 4.7: stride-category ratios per benchmark. */
+#include "bench_util.hh"
+
+using namespace mipp;
+using namespace mipp::bench;
+
+int
+main()
+{
+    banner("Fig 4.7", "per-static-load stride-class ratios");
+    auto b = suiteBundle();
+    std::printf("%-16s %8s %8s %8s %8s %8s %8s\n", "benchmark", "str-1",
+                "str-2", "str-3", "str-4", "random", "unique");
+    for (size_t i = 0; i < b.size(); ++i) {
+        double counts[6] = {};
+        double total = 0;
+        for (const auto &op : b.profiles[i].memOps) {
+            if (op.isStore)
+                continue;
+            counts[static_cast<int>(op.strideClass())] +=
+                static_cast<double>(op.count);
+            total += static_cast<double>(op.count);
+        }
+        if (total == 0)
+            total = 1;
+        std::printf("%-16s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% "
+                    "%7.1f%%\n",
+                    b.specs[i].name.c_str(), 100 * counts[0] / total,
+                    100 * counts[1] / total, 100 * counts[2] / total,
+                    100 * counts[3] / total, 100 * counts[4] / total,
+                    100 * counts[5] / total);
+    }
+    return 0;
+}

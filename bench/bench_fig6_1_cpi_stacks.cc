@@ -1,0 +1,43 @@
+/**
+ * Regenerates thesis Fig 6.1: CPI stacks from the model and from the
+ * simulator on the reference architecture — the paper's headline
+ * absolute-accuracy result (ISPASS'15: ~13 % average CPI error).
+ */
+#include "bench_util.hh"
+#include "dse/explorer.hh"
+
+using namespace mipp;
+using namespace mipp::bench;
+
+int
+main()
+{
+    banner("Fig 6.1 / §6.2.1",
+           "CPI stacks, model vs simulator, reference architecture");
+    auto b = suiteBundle();
+    CoreConfig cfg = CoreConfig::nehalemReference();
+
+    std::printf("%-16s %-5s %7s %7s %7s %7s %7s %7s | %7s\n", "benchmark",
+                "side", "base", "branch", "icache", "l2hit", "llc",
+                "dram", "CPI");
+    std::vector<double> errs;
+    for (size_t i = 0; i < b.size(); ++i) {
+        auto e = evaluatePair(b.traces[i], b.profiles[i], cfg);
+        double n = static_cast<double>(b.traces[i].size());
+        auto row = [&](const char *side, const CpiStack &s, double cpi) {
+            std::printf("%-16s %-5s %7.3f %7.3f %7.3f %7.3f %7.3f %7.3f "
+                        "| %7.3f\n",
+                        side == std::string("sim") ?
+                            b.specs[i].name.c_str() : "",
+                        side, s.base / n, s.branch / n, s.icache / n,
+                        s.l2hit / n, s.llcHit / n, s.dram / n, cpi);
+        };
+        row("sim", e.sim.stack, e.simCpi());
+        row("model", e.model.stack, e.modelCpi());
+        errs.push_back(100 * e.cpiError());
+    }
+    std::printf("\nreference-architecture CPI error: avg |err| %.1f%%, "
+                "max %.1f%%  (ISPASS'15 paper: ~13%% avg)\n",
+                meanAbs(errs), maxAbs(errs));
+    return 0;
+}

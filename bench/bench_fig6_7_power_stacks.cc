@@ -1,0 +1,40 @@
+/**
+ * Regenerates thesis Fig 6.7/6.8: power stacks from the model and the
+ * simulator on the reference machine (ISPASS'15: ~7 % average power
+ * error).
+ */
+#include "bench_util.hh"
+#include "dse/explorer.hh"
+
+using namespace mipp;
+using namespace mipp::bench;
+
+int
+main()
+{
+    banner("Fig 6.7", "power stacks, model vs simulator");
+    auto b = suiteBundle();
+    CoreConfig cfg = CoreConfig::nehalemReference();
+    std::printf("%-16s %-5s %7s %7s %7s %7s %8s | %7s\n", "benchmark",
+                "side", "core", "caches", "dram", "static", "dynamic",
+                "total W");
+    std::vector<double> errs;
+    for (size_t i = 0; i < b.size(); ++i) {
+        auto e = evaluatePair(b.traces[i], b.profiles[i], cfg);
+        auto row = [&](const char *side, const PowerBreakdown &p) {
+            std::printf("%-16s %-5s %7.2f %7.2f %7.2f %7.2f %8.2f | "
+                        "%7.2f\n",
+                        side == std::string("sim") ?
+                            b.specs[i].name.c_str() : "",
+                        side, p.corePower(), p.cachePower(), p.dram,
+                        p.staticPower, p.dynamicPower(), p.total());
+        };
+        row("sim", e.simPower);
+        row("model", e.modelPower);
+        errs.push_back(100 * e.powerError());
+    }
+    std::printf("\nreference-architecture power error: avg |err| %.1f%%, "
+                "max %.1f%%  (ISPASS'15 paper: ~7%% avg)\n",
+                meanAbs(errs), maxAbs(errs));
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * Regenerates thesis Fig 7.1/7.2: selecting an application-specific core
+ * from the design space versus one general-purpose core for all.
+ */
+#include "bench_util.hh"
+#include "model/interval_model.hh"
+#include "uarch/design_space.hh"
+
+using namespace mipp;
+using namespace mipp::bench;
+
+int
+main()
+{
+    banner("Fig 7.2", "application-specific vs general-purpose core");
+    auto b = suiteBundle(120000);
+    DesignSpace space = DesignSpace::small();
+
+    // Model-predicted CPI for every (workload, config).
+    std::vector<std::vector<double>> cpi(b.size());
+    for (size_t wi = 0; wi < b.size(); ++wi)
+        for (const auto &cfg : space.configs())
+            cpi[wi].push_back(
+                evaluateModel(b.profiles[wi], cfg).cpiPerUop());
+
+    // General-purpose core: minimizes the suite-average CPI.
+    size_t bestGeneral = 0;
+    double bestAvg = 1e30;
+    for (size_t ci = 0; ci < space.size(); ++ci) {
+        double avg = 0;
+        for (size_t wi = 0; wi < b.size(); ++wi)
+            avg += cpi[wi][ci];
+        if (avg < bestAvg) {
+            bestAvg = avg;
+            bestGeneral = ci;
+        }
+    }
+
+    std::printf("general-purpose core: %s\n\n",
+                space[bestGeneral].name.c_str());
+    std::printf("%-16s %10s %10s %8s  %s\n", "benchmark", "general",
+                "specific", "gain", "chosen core");
+    double gainSum = 0;
+    for (size_t wi = 0; wi < b.size(); ++wi) {
+        size_t best = 0;
+        for (size_t ci = 1; ci < space.size(); ++ci)
+            if (cpi[wi][ci] < cpi[wi][best])
+                best = ci;
+        double gain = 100 * (cpi[wi][bestGeneral] - cpi[wi][best]) /
+                      cpi[wi][bestGeneral];
+        gainSum += gain;
+        std::printf("%-16s %10.3f %10.3f %7.1f%%  %s\n",
+                    b.specs[wi].name.c_str(), cpi[wi][bestGeneral],
+                    cpi[wi][best], gain, space[best].name.c_str());
+    }
+    std::printf("\naverage CPI gain from specialization: %.1f%%\n",
+                gainSum / b.size());
+    return 0;
+}

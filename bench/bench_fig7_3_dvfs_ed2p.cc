@@ -1,0 +1,55 @@
+/**
+ * Regenerates thesis Table 7.2 / Fig 7.3: ED2P across the DVFS ladder,
+ * computed by the simulator and the model; both should identify the same
+ * (or a neighbouring) optimal operating point.
+ */
+#include "bench_util.hh"
+#include "dse/explorer.hh"
+#include "uarch/design_space.hh"
+
+using namespace mipp;
+using namespace mipp::bench;
+
+int
+main()
+{
+    banner("Fig 7.3", "ED2P over DVFS settings, sim vs model");
+    auto b = makeBundle({suiteWorkload("mix_mid"),
+                         suiteWorkload("dense_compute"),
+                         suiteWorkload("stream_add")},
+                        120000);
+
+    for (size_t wi = 0; wi < b.size(); ++wi) {
+        std::printf("\n%s\n", b.specs[wi].name.c_str());
+        std::printf("%8s %6s | %12s %12s\n", "GHz", "Vdd", "sim ED2P",
+                    "model ED2P");
+        double bestSim = 1e300, bestMod = 1e300;
+        double bestSimF = 0, bestModF = 0;
+        for (const auto &pt : dvfsLadder()) {
+            CoreConfig cfg = CoreConfig::nehalemReference();
+            cfg.freqGHz = pt.freqGHz;
+            cfg.vdd = pt.vdd;
+            // Memory latency in cycles scales with frequency (DRAM time
+            // is constant in nanoseconds).
+            cfg.memLatency = static_cast<uint32_t>(
+                200.0 * pt.freqGHz / 2.66);
+            auto e = evaluatePair(b.traces[wi], b.profiles[wi], cfg);
+            auto simM = energyMetrics(
+                static_cast<double>(e.sim.cycles), e.simPower, cfg);
+            auto modM = energyMetrics(e.model.cycles, e.modelPower, cfg);
+            std::printf("%8.2f %6.2f | %12.4e %12.4e\n", pt.freqGHz,
+                        pt.vdd, simM.ed2p, modM.ed2p);
+            if (simM.ed2p < bestSim) {
+                bestSim = simM.ed2p;
+                bestSimF = pt.freqGHz;
+            }
+            if (modM.ed2p < bestMod) {
+                bestMod = modM.ed2p;
+                bestModF = pt.freqGHz;
+            }
+        }
+        std::printf("optimal ED2P point: sim %.2f GHz, model %.2f GHz\n",
+                    bestSimF, bestModF);
+    }
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * Regenerates the thesis §6.2 speed claim with google-benchmark: the
+ * per-design-point cost of detailed simulation vs profiling (one-time)
+ * vs evaluating the analytical model. The paper reports 315x vs
+ * simulation and 18x vs the simulation-driven interval model for a
+ * 243-config x 29-benchmark space.
+ */
+#include <benchmark/benchmark.h>
+
+#include "model/interval_model.hh"
+#include "profiler/profiler.hh"
+#include "sim/ooo_core.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace mipp;
+
+const Trace &
+sharedTrace()
+{
+    static Trace t =
+        generateWorkload(suiteWorkload("balanced_mix"), 200000);
+    return t;
+}
+
+const Profile &
+sharedProfile()
+{
+    static Profile p = profileTrace(sharedTrace(), {});
+    return p;
+}
+
+void
+BM_DetailedSimulation(benchmark::State &state)
+{
+    CoreConfig cfg = CoreConfig::nehalemReference();
+    for (auto _ : state) {
+        auto res = simulate(sharedTrace(), cfg);
+        benchmark::DoNotOptimize(res.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * sharedTrace().size());
+}
+BENCHMARK(BM_DetailedSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_ProfileOnce(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Profile p = profileTrace(sharedTrace(), {});
+        benchmark::DoNotOptimize(p.profiledUops);
+    }
+    state.SetItemsProcessed(state.iterations() * sharedTrace().size());
+}
+BENCHMARK(BM_ProfileOnce)->Unit(benchmark::kMillisecond);
+
+void
+BM_ModelEvaluation(benchmark::State &state)
+{
+    CoreConfig cfg = CoreConfig::nehalemReference();
+    for (auto _ : state) {
+        auto res = evaluateModel(sharedProfile(), cfg);
+        benchmark::DoNotOptimize(res.cycles);
+    }
+}
+BENCHMARK(BM_ModelEvaluation)->Unit(benchmark::kMillisecond);
+
+void
+BM_ModelEvaluationGlobal(benchmark::State &state)
+{
+    CoreConfig cfg = CoreConfig::nehalemReference();
+    ModelOptions o;
+    o.perWindow = false;
+    for (auto _ : state) {
+        auto res = evaluateModel(sharedProfile(), cfg, o);
+        benchmark::DoNotOptimize(res.cycles);
+    }
+}
+BENCHMARK(BM_ModelEvaluationGlobal)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+/**
+ * Regenerates thesis Table 6.2: average and maximum CPI error as the
+ * micro-architecture independent components are enabled one by one.
+ */
+#include "bench_util.hh"
+#include "model/interval_model.hh"
+#include "sim/ooo_core.hh"
+
+using namespace mipp;
+using namespace mipp::bench;
+
+int
+main()
+{
+    banner("Tab 6.2", "error when adding each model component");
+    auto b = suiteBundle();
+    CoreConfig cfg = CoreConfig::nehalemReference();
+
+    std::vector<double> simCycles;
+    for (const auto &t : b.traces)
+        simCycles.push_back(static_cast<double>(simulate(t, cfg).cycles));
+
+    struct Step {
+        const char *name;
+        ModelOptions opts;
+    };
+    std::vector<Step> steps;
+    {
+        ModelOptions o;
+        o.mlpMode = ModelOptions::MlpMode::None;
+        o.modelLlcChaining = false;
+        o.modelBus = false;
+        o.modelMshrs = false;
+        steps.push_back({"base + branch + caches (serial memory)", o});
+        o.mlpMode = ModelOptions::MlpMode::ColdMiss;
+        steps.push_back({"+ cold-miss MLP", o});
+        o.mlpMode = ModelOptions::MlpMode::Stride;
+        steps.push_back({"+ stride MLP", o});
+        o.modelMshrs = true;
+        steps.push_back({"+ MSHR cap", o});
+        o.modelBus = true;
+        steps.push_back({"+ memory bus queuing", o});
+        o.modelLlcChaining = true;
+        steps.push_back({"+ LLC-hit chaining (full model)", o});
+    }
+
+    std::printf("%-42s %10s %10s\n", "configuration", "avg |err|",
+                "max |err|");
+    for (const auto &step : steps) {
+        std::vector<double> errs;
+        for (size_t i = 0; i < b.size(); ++i) {
+            auto res = evaluateModel(b.profiles[i], cfg, step.opts);
+            errs.push_back(pctErr(res.cycles, simCycles[i]));
+        }
+        std::printf("%-42s %9.1f%% %9.1f%%\n", step.name, meanAbs(errs),
+                    maxAbs(errs));
+    }
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * Regenerates thesis Table 7.1: the fastest predicted design under a
+ * power budget, per workload.
+ */
+#include "bench_util.hh"
+#include "dse/explorer.hh"
+#include "uarch/design_space.hh"
+
+using namespace mipp;
+using namespace mipp::bench;
+
+int
+main()
+{
+    banner("Tab 7.1", "optimizing performance under power constraints");
+    auto b = makeBundle({suiteWorkload("dense_compute"),
+                         suiteWorkload("stream_add"),
+                         suiteWorkload("mix_mid"),
+                         suiteWorkload("branchy")},
+                        120000);
+    DesignSpace space = DesignSpace::small();
+
+    const double budgets[] = {6.0, 8.0, 12.0, 1e9};
+    std::printf("%-16s %10s %12s %10s  %s\n", "benchmark", "budget W",
+                "pred CPI", "pred W", "chosen core");
+    for (size_t wi = 0; wi < b.size(); ++wi) {
+        // Model-predicted CPI and power per config.
+        std::vector<double> cpi, watts;
+        for (const auto &cfg : space.configs()) {
+            auto res = evaluateModel(b.profiles[wi], cfg);
+            cpi.push_back(res.cpiPerUop());
+            watts.push_back(computePower(res.activity, cfg).total());
+        }
+        for (double budget : budgets) {
+            int best = -1;
+            for (size_t ci = 0; ci < space.size(); ++ci) {
+                if (watts[ci] > budget)
+                    continue;
+                if (best < 0 || cpi[ci] < cpi[best])
+                    best = static_cast<int>(ci);
+            }
+            if (best < 0) {
+                std::printf("%-16s %10.1f %12s\n",
+                            b.specs[wi].name.c_str(), budget,
+                            "infeasible");
+                continue;
+            }
+            std::printf("%-16s %10.1f %12.3f %10.2f  %s\n",
+                        b.specs[wi].name.c_str(),
+                        budget >= 1e8 ? 999.0 : budget, cpi[best],
+                        watts[best], space[best].name.c_str());
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table bench binaries.
+ *
+ * Every bench regenerates one table or figure of the paper's evaluation
+ * (thesis Ch. 3-7) and prints the same rows/series. bench_util provides
+ * the standard workload bundle (traces + profiles) and small formatting
+ * utilities so each bench stays focused on its experiment.
+ */
+
+#ifndef MIPP_BENCH_BENCH_UTIL_HH
+#define MIPP_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "profiler/profiler.hh"
+#include "workloads/workload.hh"
+
+namespace mipp::bench {
+
+/** Traces and profiles for a workload set, generated once per binary. */
+struct Bundle {
+    std::vector<WorkloadSpec> specs;
+    std::vector<Trace> traces;
+    std::vector<Profile> profiles;
+
+    size_t size() const { return specs.size(); }
+};
+
+/** Build the bundle for @p specs at @p uops per trace. */
+inline Bundle
+makeBundle(std::vector<WorkloadSpec> specs, size_t uops = 150000)
+{
+    Bundle b;
+    b.specs = std::move(specs);
+    for (const auto &spec : b.specs) {
+        b.traces.push_back(generateWorkload(spec, uops));
+        ProfilerConfig pc;
+        pc.name = spec.name;
+        b.profiles.push_back(profileTrace(b.traces.back(), pc));
+    }
+    return b;
+}
+
+/** The full 20-workload suite. */
+inline Bundle
+suiteBundle(size_t uops = 150000)
+{
+    return makeBundle(workloadSuite(), uops);
+}
+
+/** Banner naming the regenerated figure/table. */
+inline void
+banner(const char *id, const char *description)
+{
+    std::printf("==============================================================================\n");
+    std::printf("%s — %s\n", id, description);
+    std::printf("==============================================================================\n");
+}
+
+/** Signed relative error in percent. */
+inline double
+pctErr(double predicted, double reference)
+{
+    return reference != 0 ? 100.0 * (predicted - reference) / reference
+                          : 0.0;
+}
+
+/** Mean of absolute values. */
+inline double
+meanAbs(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0;
+    double s = 0;
+    for (double x : v)
+        s += std::fabs(x);
+    return s / v.size();
+}
+
+/** Maximum of absolute values. */
+inline double
+maxAbs(const std::vector<double> &v)
+{
+    double m = 0;
+    for (double x : v)
+        m = std::max(m, std::fabs(x));
+    return m;
+}
+
+} // namespace mipp::bench
+
+#endif // MIPP_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Design-space exploration: the paper's motivating use case.
+ *
+ * One profiling run per workload, then the analytical model sweeps a
+ * 27-point design space in milliseconds and extracts the predicted
+ * performance/power Pareto frontier.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "dse/pareto.hh"
+#include "model/interval_model.hh"
+#include "power/power_model.hh"
+#include "profiler/profiler.hh"
+#include "uarch/design_space.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace mipp;
+
+    WorkloadSpec spec = suiteWorkload("matrix_tile");
+    Trace trace = generateWorkload(spec, 200000);
+    Profile profile = profileTrace(trace, {.name = spec.name});
+    std::printf("profiled %s once (%zu uops)\n\n", spec.name.c_str(),
+                trace.size());
+
+    DesignSpace space = DesignSpace::small();
+    std::vector<Objective> objectives;
+
+    auto t0 = std::chrono::steady_clock::now();
+    for (const auto &cfg : space.configs()) {
+        ModelResult m = evaluateModel(profile, cfg);
+        PowerBreakdown p = computePower(m.activity, cfg);
+        objectives.push_back({m.cpiPerUop(), p.total()});
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    std::printf("evaluated %zu design points in %.1f ms "
+                "(%.2f ms per design)\n\n",
+                space.size(), ms, ms / space.size());
+
+    std::printf("%-30s %9s %8s %7s\n", "design", "CPI", "watts",
+                "Pareto");
+    auto front = paretoFront(objectives);
+    std::vector<bool> optimal(space.size(), false);
+    for (size_t i : front)
+        optimal[i] = true;
+    for (size_t i = 0; i < space.size(); ++i) {
+        std::printf("%-30s %9.3f %8.2f %7s\n", space[i].name.c_str(),
+                    objectives[i].first, objectives[i].second,
+                    optimal[i] ? "*" : "");
+    }
+    std::printf("\n%zu of %zu designs are predicted Pareto-optimal\n",
+                front.size(), space.size());
+    return 0;
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * mipp_cli — command-line front end mirroring the paper's released
+ * AIP (profiler) + PMT (modeling tool) pair:
+ *
+ *   mipp_cli profile <workload> <out.profile> [uops]
+ *       Generate the named suite workload and profile it once.
+ *
+ *   mipp_cli evaluate <in.profile> [--width N] [--rob N] [--l1d KB]
+ *                     [--l2 KB] [--l3 MB] [--freq GHZ] [--prefetcher]
+ *       Evaluate the analytical model for one design point.
+ *
+ *   mipp_cli sweep <in.profile>
+ *       Evaluate the 27-point subspace and print the Pareto frontier.
+ *
+ *   mipp_cli list
+ *       List the available suite workloads.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "dse/pareto.hh"
+#include "model/interval_model.hh"
+#include "power/power_model.hh"
+#include "profiler/profile_io.hh"
+#include "profiler/profiler.hh"
+#include "uarch/design_space.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace mipp;
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: mipp_cli profile <workload> <out> [uops]\n"
+                 "       mipp_cli evaluate <profile> [options]\n"
+                 "       mipp_cli sweep <profile>\n"
+                 "       mipp_cli list\n");
+    return 2;
+}
+
+int
+cmdList()
+{
+    for (const auto &s : workloadSuite())
+        std::printf("%s\n", s.name.c_str());
+    return 0;
+}
+
+int
+cmdProfile(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    size_t uops = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200000;
+    WorkloadSpec spec = suiteWorkload(argv[0]);
+    Trace t = generateWorkload(spec, uops);
+    Profile p = profileTrace(t, {.name = spec.name});
+    if (!saveProfile(p, argv[1])) {
+        std::fprintf(stderr, "cannot write %s\n", argv[1]);
+        return 1;
+    }
+    std::printf("profiled %s (%zu uops) -> %s\n", spec.name.c_str(),
+                t.size(), argv[1]);
+    return 0;
+}
+
+CoreConfig
+parseConfig(int argc, char **argv)
+{
+    CoreConfig cfg = CoreConfig::nehalemReference();
+    for (int i = 0; i < argc; ++i) {
+        auto next = [&]() -> double {
+            return i + 1 < argc ? std::atof(argv[++i]) : 0;
+        };
+        if (!std::strcmp(argv[i], "--width"))
+            cfg.setWidth(static_cast<uint32_t>(next()));
+        else if (!std::strcmp(argv[i], "--rob"))
+            scaleBackEnd(cfg, static_cast<uint32_t>(next()));
+        else if (!std::strcmp(argv[i], "--l1d"))
+            cfg.l1d.sizeBytes = static_cast<uint32_t>(next()) * 1024;
+        else if (!std::strcmp(argv[i], "--l2"))
+            cfg.l2.sizeBytes = static_cast<uint32_t>(next()) * 1024;
+        else if (!std::strcmp(argv[i], "--l3"))
+            cfg.l3.sizeBytes =
+                static_cast<uint32_t>(next()) * 1024 * 1024;
+        else if (!std::strcmp(argv[i], "--freq"))
+            cfg.freqGHz = next();
+        else if (!std::strcmp(argv[i], "--prefetcher"))
+            cfg.prefetcherEnabled = true;
+    }
+    return cfg;
+}
+
+int
+cmdEvaluate(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    Profile p = loadProfile(argv[0]);
+    CoreConfig cfg = parseConfig(argc - 1, argv + 1);
+
+    ModelResult m = evaluateModel(p, cfg);
+    PowerBreakdown pw = computePower(m.activity, cfg);
+    EnergyMetrics em = energyMetrics(m.cycles, pw, cfg);
+
+    std::printf("profile   %s (%lu uops)\n", p.name.c_str(),
+                static_cast<unsigned long>(p.totalUops));
+    std::printf("design    width %u, ROB %u, L1D %u KB, L2 %u KB, "
+                "L3 %u MB, %.2f GHz\n",
+                cfg.dispatchWidth, cfg.robSize,
+                cfg.l1d.sizeBytes / 1024, cfg.l2.sizeBytes / 1024,
+                cfg.l3.sizeBytes / 1024 / 1024, cfg.freqGHz);
+    std::printf("CPI       %.3f   (Deff %.2f limited by %s, MLP %.2f)\n",
+                m.cpiPerUop(), m.deff, m.limits.binding(), m.mlp);
+    double n = m.uops;
+    std::printf("stack     base %.3f | branch %.3f | icache %.3f | "
+                "LLC %.3f | DRAM %.3f\n",
+                m.stack.base / n, m.stack.branch / n, m.stack.icache / n,
+                m.stack.llcHit / n, m.stack.dram / n);
+    std::printf("power     %.2f W (dynamic %.2f, static %.2f)\n",
+                pw.total(), pw.dynamicPower(), pw.staticPower);
+    std::printf("runtime   %.3f ms, energy %.3f mJ\n", em.seconds * 1e3,
+                em.energy * 1e3);
+    return 0;
+}
+
+int
+cmdSweep(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    Profile p = loadProfile(argv[0]);
+    DesignSpace space = DesignSpace::small();
+
+    std::vector<Objective> obj;
+    for (const auto &cfg : space.configs()) {
+        ModelResult m = evaluateModel(p, cfg);
+        obj.push_back(
+            {m.cpiPerUop(), computePower(m.activity, cfg).total()});
+    }
+    auto front = paretoFront(obj);
+    std::printf("predicted Pareto frontier for %s (%zu of %zu designs):"
+                "\n", p.name.c_str(), front.size(), space.size());
+    for (size_t i : front)
+        std::printf("  %-30s CPI %7.3f  W %6.2f\n",
+                    space[i].name.c_str(), obj[i].first, obj[i].second);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    try {
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "profile")
+            return cmdProfile(argc - 2, argv + 2);
+        if (cmd == "evaluate")
+            return cmdEvaluate(argc - 2, argv + 2);
+        if (cmd == "sweep")
+            return cmdSweep(argc - 2, argv + 2);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Quickstart: the complete profile-once / predict-instantly flow.
+ *
+ *   1. Generate (or otherwise obtain) a micro-op trace.
+ *   2. Profile it once — micro-architecture independent.
+ *   3. Evaluate the analytical model for any core configuration.
+ *   4. (Optional) cross-check against the cycle-level simulator.
+ */
+
+#include <cstdio>
+
+#include "model/interval_model.hh"
+#include "power/power_model.hh"
+#include "profiler/profiler.hh"
+#include "sim/ooo_core.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace mipp;
+
+    // 1. A synthetic "compiler-like" workload of 200k micro-ops.
+    WorkloadSpec spec = suiteWorkload("mix_mid");
+    Trace trace = generateWorkload(spec, 200000);
+    std::printf("workload: %s, %zu uops (%.2f uops/instruction)\n",
+                spec.name.c_str(), trace.size(),
+                trace.uopsPerInstruction());
+
+    // 2. Profile once. The profile contains only micro-architecture
+    //    independent statistics (instruction mix, dependence chains,
+    //    branch entropy, reuse distances, stride distributions).
+    Profile profile = profileTrace(trace, {.name = spec.name});
+    std::printf("profiled %lu uops, branch entropy %.3f\n",
+                static_cast<unsigned long>(profile.profiledUops),
+                profile.branch.entropy());
+
+    // 3. Predict performance and power for a Nehalem-like machine.
+    CoreConfig cfg = CoreConfig::nehalemReference();
+    ModelResult model = evaluateModel(profile, cfg);
+    PowerBreakdown power = computePower(model.activity, cfg);
+
+    std::printf("\nanalytical model on '%s':\n", cfg.name.c_str());
+    std::printf("  predicted CPI   %.3f (Deff %.2f, MLP %.2f)\n",
+                model.cpiPerUop(), model.deff, model.mlp);
+    std::printf("  CPI stack: base %.3f | branch %.3f | icache %.3f | "
+                "LLC %.3f | DRAM %.3f\n",
+                model.stack.base / model.uops,
+                model.stack.branch / model.uops,
+                model.stack.icache / model.uops,
+                model.stack.llcHit / model.uops,
+                model.stack.dram / model.uops);
+    std::printf("  predicted power %.2f W (%.2f W static)\n",
+                power.total(), power.staticPower);
+
+    // 4. Cross-check against the cycle-level reference simulator.
+    SimResult sim = simulate(trace, cfg);
+    std::printf("\ncycle-level simulator: CPI %.3f  ->  model error "
+                "%+.1f%%\n",
+                sim.cpiPerUop(),
+                100.0 * (model.cpiPerUop() - sim.cpiPerUop()) /
+                    sim.cpiPerUop());
+    return 0;
+}

@@ -1,0 +1,110 @@
+#include "dse/empirical.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mipp {
+
+std::vector<double>
+empiricalFeatures(const CoreConfig &cfg, const Profile &p)
+{
+    std::vector<double> f;
+    f.push_back(1.0); // bias
+    // Configuration features (log-scaled sizes).
+    f.push_back(std::log2(static_cast<double>(cfg.dispatchWidth)));
+    f.push_back(std::log2(static_cast<double>(cfg.robSize)));
+    f.push_back(std::log2(static_cast<double>(cfg.l1d.sizeBytes)));
+    f.push_back(std::log2(static_cast<double>(cfg.l2.sizeBytes)));
+    f.push_back(std::log2(static_cast<double>(cfg.l3.sizeBytes)));
+    f.push_back(cfg.freqGHz);
+    // Workload features.
+    f.push_back(p.uopFraction(UopType::Load));
+    f.push_back(p.uopFraction(UopType::Store));
+    f.push_back(p.uopFraction(UopType::Branch));
+    f.push_back(p.uopFraction(UopType::FpAlu) +
+                p.uopFraction(UopType::FpMul) +
+                p.uopFraction(UopType::FpDiv));
+    f.push_back(p.branch.entropy());
+    f.push_back(p.uopsPerInst());
+    f.push_back(p.chains.cp(128));
+    // Memory intensity: fraction of loads reusing beyond 4K / 128K lines.
+    double loads = static_cast<double>(p.reuseLoads.total());
+    double far4k = loads ? p.reuseLoads.countAtLeast(4096) / loads : 0;
+    double far128k = loads ? p.reuseLoads.countAtLeast(131072) / loads : 0;
+    f.push_back(far4k);
+    f.push_back(far128k);
+    return f;
+}
+
+void
+RidgeRegression::addSample(const std::vector<double> &features,
+                           double target)
+{
+    if (target <= 0)
+        throw std::invalid_argument("ridge target must be positive");
+    rows_.push_back(features);
+    targets_.push_back(std::log(target));
+}
+
+bool
+RidgeRegression::train()
+{
+    if (rows_.empty())
+        return false;
+    const size_t d = rows_[0].size();
+    // Normal equations A = X'X + lambda I, b = X'y.
+    std::vector<std::vector<double>> a(d, std::vector<double>(d, 0.0));
+    std::vector<double> b(d, 0.0);
+    for (size_t i = 0; i < rows_.size(); ++i) {
+        const auto &x = rows_[i];
+        for (size_t j = 0; j < d; ++j) {
+            b[j] += x[j] * targets_[i];
+            for (size_t k = 0; k < d; ++k)
+                a[j][k] += x[j] * x[k];
+        }
+    }
+    for (size_t j = 0; j < d; ++j)
+        a[j][j] += lambda_;
+
+    // Gaussian elimination with partial pivoting.
+    std::vector<size_t> perm(d);
+    for (size_t i = 0; i < d; ++i)
+        perm[i] = i;
+    for (size_t col = 0; col < d; ++col) {
+        size_t pivot = col;
+        for (size_t r = col + 1; r < d; ++r)
+            if (std::abs(a[r][col]) > std::abs(a[pivot][col]))
+                pivot = r;
+        if (std::abs(a[pivot][col]) < 1e-12)
+            return false;
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        for (size_t r = col + 1; r < d; ++r) {
+            double m = a[r][col] / a[col][col];
+            for (size_t k = col; k < d; ++k)
+                a[r][k] -= m * a[col][k];
+            b[r] -= m * b[col];
+        }
+    }
+    weights_.assign(d, 0.0);
+    for (size_t i = d; i-- > 0;) {
+        double v = b[i];
+        for (size_t k = i + 1; k < d; ++k)
+            v -= a[i][k] * weights_[k];
+        weights_[i] = v / a[i][i];
+    }
+    return true;
+}
+
+double
+RidgeRegression::predict(const std::vector<double> &features) const
+{
+    if (weights_.empty())
+        return 1.0;
+    double v = 0;
+    for (size_t i = 0; i < features.size() && i < weights_.size(); ++i)
+        v += features[i] * weights_[i];
+    return std::exp(v);
+}
+
+} // namespace mipp

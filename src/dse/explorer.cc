@@ -1,0 +1,63 @@
+#include "dse/explorer.hh"
+
+#include <atomic>
+#include <thread>
+
+namespace mipp {
+
+PairEval
+evaluatePair(const Trace &trace, const Profile &profile,
+             const CoreConfig &cfg, const ModelOptions &mopts,
+             const SimOptions &sopts)
+{
+    PairEval e;
+    e.sim = simulate(trace, cfg, sopts);
+    e.model = evaluateModel(profile, cfg, mopts);
+    e.simPower = computePower(e.sim.activity, cfg);
+    e.modelPower = computePower(e.model.activity, cfg);
+    return e;
+}
+
+std::vector<SweepPoint>
+sweep(const std::vector<Trace> &traces,
+      const std::vector<Profile> &profiles,
+      const std::vector<CoreConfig> &configs, const ModelOptions &mopts,
+      unsigned threads)
+{
+    const size_t nw = traces.size();
+    const size_t nc = configs.size();
+    std::vector<SweepPoint> points(nw * nc);
+
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min<unsigned>(threads, nw * nc);
+
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            size_t i = next.fetch_add(1);
+            if (i >= nw * nc)
+                return;
+            size_t wi = i % nw;
+            size_t ci = i / nw;
+            PairEval e = evaluatePair(traces[wi], profiles[wi],
+                                      configs[ci], mopts);
+            SweepPoint &pt = points[i];
+            pt.configIdx = ci;
+            pt.workloadIdx = wi;
+            pt.simCpi = e.simCpi();
+            pt.modelCpi = e.modelCpi();
+            pt.simWatts = e.simPower.total();
+            pt.modelWatts = e.modelPower.total();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    return points;
+}
+
+} // namespace mipp

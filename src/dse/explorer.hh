@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Design-space sweep driver (thesis Ch. 6-7 experimental harness).
+ *
+ * Pairs every workload with every core configuration and produces both the
+ * ground truth (cycle-level simulation + power from simulated activity) and
+ * the prediction (analytical model from the workload's single profile +
+ * power from modeled activity). Sweeps parallelize across points.
+ */
+
+#ifndef MIPP_DSE_EXPLORER_HH
+#define MIPP_DSE_EXPLORER_HH
+
+#include <vector>
+
+#include "model/interval_model.hh"
+#include "power/power_model.hh"
+#include "profiler/profile.hh"
+#include "sim/ooo_core.hh"
+#include "trace/trace.hh"
+#include "uarch/core_config.hh"
+
+namespace mipp {
+
+/** Full detail for one (workload, configuration) evaluation. */
+struct PairEval {
+    SimResult sim;
+    ModelResult model;
+    PowerBreakdown simPower;
+    PowerBreakdown modelPower;
+
+    double simCpi() const { return sim.cpiPerUop(); }
+    double modelCpi() const { return model.cpiPerUop(); }
+    /** Relative CPI prediction error (signed). */
+    double
+    cpiError() const
+    {
+        return simCpi() > 0 ? (modelCpi() - simCpi()) / simCpi() : 0;
+    }
+    double
+    powerError() const
+    {
+        double s = simPower.total();
+        return s > 0 ? (modelPower.total() - s) / s : 0;
+    }
+};
+
+/** Simulate and model one pair. */
+PairEval evaluatePair(const Trace &trace, const Profile &profile,
+                      const CoreConfig &cfg, const ModelOptions &mopts = {},
+                      const SimOptions &sopts = {});
+
+/** One record of a design-space sweep. */
+struct SweepPoint {
+    size_t configIdx = 0;
+    size_t workloadIdx = 0;
+    double simCpi = 0;
+    double modelCpi = 0;
+    double simWatts = 0;
+    double modelWatts = 0;
+
+    double
+    cpiError() const
+    {
+        return simCpi > 0 ? (modelCpi - simCpi) / simCpi : 0;
+    }
+    double
+    powerError() const
+    {
+        return simWatts > 0 ? (modelWatts - simWatts) / simWatts : 0;
+    }
+};
+
+/**
+ * Evaluate all (config, workload) pairs; parallel across points.
+ *
+ * @param threads 0 = hardware concurrency.
+ */
+std::vector<SweepPoint>
+sweep(const std::vector<Trace> &traces,
+      const std::vector<Profile> &profiles,
+      const std::vector<CoreConfig> &configs,
+      const ModelOptions &mopts = {}, unsigned threads = 0);
+
+} // namespace mipp
+
+#endif // MIPP_DSE_EXPLORER_HH

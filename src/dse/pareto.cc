@@ -1,0 +1,92 @@
+#include "dse/pareto.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace mipp {
+
+bool
+dominates(const Objective &a, const Objective &b)
+{
+    return a.first <= b.first && a.second <= b.second &&
+           (a.first < b.first || a.second < b.second);
+}
+
+std::vector<size_t>
+paretoFront(const std::vector<Objective> &points)
+{
+    std::vector<size_t> front;
+    for (size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (size_t j = 0; j < points.size() && !dominated; ++j)
+            dominated = j != i && dominates(points[j], points[i]);
+        if (!dominated)
+            front.push_back(i);
+    }
+    return front;
+}
+
+double
+hypervolume(const std::vector<Objective> &points,
+            const std::vector<size_t> &front, const Objective &ref)
+{
+    // 2-D hypervolume: sweep the non-dominated subset of `front` by
+    // ascending delay and sum the rectangles up to the reference point.
+    std::vector<Objective> sel;
+    for (size_t i : front)
+        sel.push_back(points[i]);
+    std::sort(sel.begin(), sel.end());
+
+    double hv = 0;
+    double prevPower = ref.second;
+    for (const auto &[delay, power] : sel) {
+        if (delay >= ref.first || power >= prevPower)
+            continue; // dominated by an earlier point or outside ref
+        hv += (ref.first - delay) * (prevPower - power);
+        prevPower = power;
+    }
+    return hv;
+}
+
+ParetoMetrics
+compareFronts(const std::vector<Objective> &trueObj,
+              const std::vector<Objective> &predObj)
+{
+    ParetoMetrics m;
+    const size_t n = trueObj.size();
+    if (n == 0 || predObj.size() != n)
+        return m;
+
+    auto trueFront = paretoFront(trueObj);
+    auto predFront = paretoFront(predObj);
+    std::set<size_t> tf(trueFront.begin(), trueFront.end());
+    std::set<size_t> pf(predFront.begin(), predFront.end());
+
+    size_t tp = 0, tn = 0, fp = 0, fn = 0;
+    for (size_t i = 0; i < n; ++i) {
+        bool t = tf.count(i), p = pf.count(i);
+        tp += t && p;
+        tn += !t && !p;
+        fp += !t && p;
+        fn += t && !p;
+    }
+    m.sensitivity = tp + fn ? static_cast<double>(tp) / (tp + fn) : 1.0;
+    m.specificity = tn + fp ? static_cast<double>(tn) / (tn + fp) : 1.0;
+    m.accuracy = static_cast<double>(tp + tn) / n;
+
+    // HVR: volume covered by the *true* coordinates of the predicted-front
+    // designs, relative to the true front's volume (thesis Fig 7.8).
+    Objective ref{0, 0};
+    for (const auto &[d, p] : trueObj) {
+        ref.first = std::max(ref.first, d);
+        ref.second = std::max(ref.second, p);
+    }
+    ref.first *= 1.05;
+    ref.second *= 1.05;
+    double hvTrue = hypervolume(trueObj, trueFront, ref);
+    double hvPred = hypervolume(trueObj, predFront, ref);
+    m.hvr = hvTrue > 0 ? hvPred / hvTrue : 1.0;
+    return m;
+}
+
+} // namespace mipp

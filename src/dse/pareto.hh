@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Pareto-front construction and pruning-quality metrics (thesis §7.4).
+ *
+ * Design points are (delay, power) pairs, both minimized. The quality of a
+ * predicted front relative to the true (simulated) front is summarized by
+ * sensitivity, specificity, accuracy and the hypervolume ratio (HVR,
+ * thesis Fig 7.8): the volume dominated by the predicted-front designs
+ * (evaluated at their *true* coordinates) over the volume dominated by the
+ * true front.
+ */
+
+#ifndef MIPP_DSE_PARETO_HH
+#define MIPP_DSE_PARETO_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mipp {
+
+/** A (delay, power) point; both objectives are minimized. */
+using Objective = std::pair<double, double>;
+
+/** Indices of the Pareto-optimal points in @p points. */
+std::vector<size_t> paretoFront(const std::vector<Objective> &points);
+
+/** @return true if a dominates b (<= in both, < in one). */
+bool dominates(const Objective &a, const Objective &b);
+
+/** Pruning-quality summary (thesis §7.4). */
+struct ParetoMetrics {
+    double sensitivity = 0;  ///< true Pareto points found
+    double specificity = 0;  ///< non-Pareto points excluded
+    double accuracy = 0;     ///< overall classification accuracy
+    double hvr = 0;          ///< hypervolume ratio
+};
+
+/**
+ * Hypervolume dominated by @p front (as point indices into @p points)
+ * w.r.t. reference point @p ref (worse than all points in both axes).
+ */
+double hypervolume(const std::vector<Objective> &points,
+                   const std::vector<size_t> &front, const Objective &ref);
+
+/**
+ * Compare the front predicted from model objectives against the true
+ * front of simulated objectives over the same design points.
+ *
+ * @param trueObj  simulated (delay, power) per design point
+ * @param predObj  model-predicted (delay, power) per design point
+ */
+ParetoMetrics compareFronts(const std::vector<Objective> &trueObj,
+                            const std::vector<Objective> &predObj);
+
+} // namespace mipp
+
+#endif // MIPP_DSE_PARETO_HH

@@ -1,0 +1,108 @@
+#include "model/branch_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mipp {
+
+BranchMissModel
+BranchMissModel::pretrained(BranchPredictorKind kind)
+{
+    // Coefficients from training the five 4 KB predictors against the
+    // synthetic suite (two seeds per workload, 200k-uop traces; regenerate
+    // with bench_fig3_9_entropy_fit). The fits have r^2 of 0.88-0.93,
+    // matching the strongly linear relation of thesis Fig 3.9.
+    switch (kind) {
+      case BranchPredictorKind::GAg:
+        return {kind, 0.7570, -0.0223};
+      case BranchPredictorKind::GAp:
+        return {kind, 0.6186, 0.0015};
+      case BranchPredictorKind::PAp:
+        return {kind, 0.6559, -0.0985};
+      case BranchPredictorKind::GShare:
+        return {kind, 0.7669, -0.0309};
+      case BranchPredictorKind::Tournament:
+        return {kind, 0.7355, -0.1104};
+      default:
+        return {kind, 0.70, 0.0};
+    }
+}
+
+BranchMissModel
+EntropyFitTrainer::fit(BranchPredictorKind kind) const
+{
+    BranchMissModel m;
+    m.kind = kind;
+    size_t n = xs_.size();
+    if (n < 2)
+        return m;
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (size_t i = 0; i < n; ++i) {
+        sx += xs_[i];
+        sy += ys_[i];
+        sxx += xs_[i] * xs_[i];
+        sxy += xs_[i] * ys_[i];
+    }
+    double denom = n * sxx - sx * sx;
+    if (std::abs(denom) < 1e-12) {
+        m.slope = 0;
+        m.intercept = sy / n;
+        return m;
+    }
+    m.slope = (n * sxy - sx * sy) / denom;
+    m.intercept = (sy - m.slope * sx) / n;
+    return m;
+}
+
+double
+EntropyFitTrainer::r2() const
+{
+    size_t n = xs_.size();
+    if (n < 2)
+        return 0;
+    BranchMissModel m = fit(BranchPredictorKind::GShare);
+    double mean = 0;
+    for (double y : ys_)
+        mean += y;
+    mean /= n;
+    double ssTot = 0, ssRes = 0;
+    for (size_t i = 0; i < n; ++i) {
+        double pred = m.slope * xs_[i] + m.intercept;
+        ssRes += (ys_[i] - pred) * (ys_[i] - pred);
+        ssTot += (ys_[i] - mean) * (ys_[i] - mean);
+    }
+    return ssTot > 0 ? 1.0 - ssRes / ssTot : 0;
+}
+
+double
+branchResolutionTime(const DependenceChains &chains, const CoreConfig &cfg,
+                     double avgLat, double uopsBetweenMispredicts)
+{
+    // Thesis Alg 3.2: fill the window ("bucket") at dispatch width while
+    // draining at the independent-instruction rate; the resolution time is
+    // the average-branch-path latency at the resulting occupancy.
+    const double d = cfg.dispatchWidth;
+    const double rob = cfg.robSize;
+    double ni = std::max(uopsBetweenMispredicts, 1.0);
+    double occupancy = 0;
+
+    // Independent instructions per cycle at occupancy r (Eq 3.6).
+    auto drainRate = [&](double r) {
+        double cp = std::max(chains.cp(std::max(r, 2.0)), 1.0);
+        return r / (avgLat * cp);
+    };
+
+    int guard = 0;
+    while (ni > d && guard++ < 100000) {
+        double enter = std::min(d, rob - occupancy);
+        ni -= enter;
+        occupancy += enter;
+        double leave = std::min(drainRate(occupancy), d);
+        occupancy = std::max(occupancy - leave, 0.0);
+    }
+    occupancy = std::min(occupancy + ni, rob);
+    double abp = std::max(chains.abp(std::max(occupancy, 2.0)), 1.0);
+    return avgLat * abp;
+}
+
+} // namespace mipp

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Branch misprediction modeling without predictor simulation (thesis §3.5).
+ *
+ * Linear branch entropy E (profiled once, micro-architecture independent)
+ * maps to a per-predictor miss rate through a linear fit trained offline
+ * (thesis Fig 3.8/3.9): missRate = a * E + b. The branch *resolution time*
+ * is computed with Michaud's leaky-bucket algorithm (thesis Alg 3.2) using
+ * the average-branch-path chain length.
+ */
+
+#ifndef MIPP_MODEL_BRANCH_MODEL_HH
+#define MIPP_MODEL_BRANCH_MODEL_HH
+
+#include <vector>
+
+#include "profiler/profile.hh"
+#include "uarch/core_config.hh"
+
+namespace mipp {
+
+/** Linear entropy -> miss-rate model for one predictor organization. */
+struct BranchMissModel {
+    BranchPredictorKind kind = BranchPredictorKind::GShare;
+    double slope = 0.44;
+    double intercept = 0.005;
+
+    /** Predicted miss rate for average entropy @p e, clamped to [0, 1]. */
+    double
+    missRate(double e) const
+    {
+        double m = slope * e + intercept;
+        return m < 0 ? 0 : (m > 1 ? 1 : m);
+    }
+
+    /**
+     * Pre-trained coefficients per predictor kind. These were produced by
+     * the training harness in bench_fig3_9_entropy_fit over the synthetic
+     * workload suite; re-run that bench to regenerate them.
+     */
+    static BranchMissModel pretrained(BranchPredictorKind kind);
+};
+
+/** Least-squares trainer for (entropy, missRate) pairs (thesis Fig 3.9). */
+class EntropyFitTrainer
+{
+  public:
+    void
+    add(double entropy, double missRate)
+    {
+        xs_.push_back(entropy);
+        ys_.push_back(missRate);
+    }
+
+    /** Fit y = a x + b; returns the model for @p kind. */
+    BranchMissModel fit(BranchPredictorKind kind) const;
+
+    /** Coefficient of determination of the fit. */
+    double r2() const;
+
+    size_t size() const { return xs_.size(); }
+
+  private:
+    std::vector<double> xs_, ys_;
+};
+
+/**
+ * Branch resolution time c_res via the leaky-bucket algorithm
+ * (thesis Alg 3.2).
+ *
+ * @param chains   profiled dependence chains (ABP/CP interpolation)
+ * @param cfg      core configuration (D, ROB)
+ * @param avgLat   average uop execution latency
+ * @param uopsBetweenMispredicts  interval length N_i in uops
+ */
+double branchResolutionTime(const DependenceChains &chains,
+                            const CoreConfig &cfg, double avgLat,
+                            double uopsBetweenMispredicts);
+
+} // namespace mipp
+
+#endif // MIPP_MODEL_BRANCH_MODEL_HH

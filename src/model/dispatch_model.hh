@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Effective dispatch rate modeling (thesis §3.3-3.4, Eq 3.10).
+ *
+ * The base component of the interval model divides uops by the *effective*
+ * dispatch rate, which is the physical width further limited by (1) the
+ * critical dependence path through the ROB (Little's law, Eq 3.7), (2) the
+ * busiest issue port after greedily scheduling the instruction mix over the
+ * ports (thesis Fig 3.5/3.6), and (3) pipelined and non-pipelined
+ * functional-unit throughput.
+ */
+
+#ifndef MIPP_MODEL_DISPATCH_MODEL_HH
+#define MIPP_MODEL_DISPATCH_MODEL_HH
+
+#include <array>
+
+#include "profiler/profile.hh"
+#include "uarch/core_config.hh"
+
+namespace mipp {
+
+/** The individual limiters of Eq 3.10, for Fig 3.6-style breakdowns. */
+struct DispatchLimits {
+    double width = 0;        ///< physical dispatch width D
+    double dependences = 0;  ///< ROB / (lat * CP(ROB))
+    double ports = 0;        ///< N / max port activity
+    double fus = 0;          ///< pipelined + non-pipelined FU throughput
+
+    double
+    effective() const
+    {
+        double d = width;
+        if (dependences > 0)
+            d = std::min(d, dependences);
+        if (ports > 0)
+            d = std::min(d, ports);
+        if (fus > 0)
+            d = std::min(d, fus);
+        return std::max(d, 1e-3);
+    }
+
+    /** Name of the binding constraint. */
+    const char *binding() const;
+};
+
+/**
+ * Greedy issue-port schedule: distribute per-type uop counts over the
+ * configured ports, single-port types first, multi-port types water-filled
+ * over their eligible ports (thesis §3.4). @return per-port activity.
+ */
+std::vector<double>
+schedulePorts(const std::array<double, kNumUopTypes> &typeCounts,
+              const CoreConfig &cfg);
+
+/**
+ * All Eq 3.10 terms for a mix of @p typeCounts uops (summing to n) with
+ * critical path length @p cp at the configured ROB and average latency
+ * @p avgLat.
+ */
+DispatchLimits
+dispatchLimits(const std::array<double, kNumUopTypes> &typeCounts,
+               double cp, double avgLat, const CoreConfig &cfg);
+
+} // namespace mipp
+
+#endif // MIPP_MODEL_DISPATCH_MODEL_HH

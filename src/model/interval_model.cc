@@ -1,0 +1,442 @@
+#include "model/interval_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "statstack/statstack.hh"
+
+namespace mipp {
+
+namespace {
+
+/** Log-fit interpolation over per-window chain samples (thesis Eq 5.2). */
+double
+interpChain(const std::vector<float> &vals,
+            const std::vector<uint32_t> &sizes, double rob)
+{
+    if (vals.empty())
+        return 1.0;
+    if (vals.size() == 1)
+        return vals[0];
+    size_t hi = 1;
+    while (hi + 1 < sizes.size() && sizes[hi] < rob)
+        ++hi;
+    size_t lo = hi - 1;
+    double x0 = std::log(static_cast<double>(sizes[lo]));
+    double x1 = std::log(static_cast<double>(sizes[hi]));
+    double y0 = vals[lo], y1 = vals[hi];
+    double a = (y1 - y0) / (x1 - x0);
+    double v = a * (std::log(std::max(rob, 2.0)) - x0) + y0;
+    return std::max(v, 1.0);
+}
+
+/** Everything shared between global and per-window evaluation. */
+struct Context {
+    const Profile &p;
+    const CoreConfig &cfg;
+    const ModelOptions &opts;
+    StatStack ss;
+    StatStack ssI;
+
+    double mrL1 = 0, mrL2 = 0, mrL3 = 0;       // load miss ratios
+    double mrS1 = 0, mrS2 = 0, mrS3 = 0;       // store miss ratios
+    double mrI1 = 0, mrI2 = 0, mrI3 = 0;       // ifetch miss ratios
+
+    double loads = 0, stores = 0, iAccesses = 0;
+    double totalUops = 0, totalInsts = 0;
+
+    BranchMissModel bm;
+    double cres = 0;
+    double cbus = 0;
+    double mlp = 1.0;
+    double prefetchFactor = 1.0;
+    MlpEstimate mlpEst;
+    size_t ri = 0;
+
+    Context(const Profile &prof, const CoreConfig &config,
+            const ModelOptions &options)
+        : p(prof), cfg(config), opts(options),
+          ss(prof.reuseAll), ssI(prof.reuseInsts),
+          bm(options.branchModel.value_or(
+              BranchMissModel::pretrained(config.predictor)))
+    {
+    }
+
+    /** Average uop latency for a given type-fraction mix (short misses
+     *  included, thesis §3.3). */
+    double
+    avgLatency(const std::array<double, kNumUopTypes> &frac) const
+    {
+        double lat = 0;
+        for (int t = 0; t < kNumUopTypes; ++t) {
+            auto type = static_cast<UopType>(t);
+            double l = cfg.lat.of(type);
+            if (type == UopType::Load)
+                l = (1.0 - mrL1) * cfg.l1d.latency + mrL1 * cfg.l2.latency;
+            lat += frac[t] * l;
+        }
+        return std::max(lat, 0.5);
+    }
+
+    /**
+     * Visible per-miss branch penalty. When the back end is contention
+     * limited (Deff < D), the front end runs ahead and buffers work that
+     * keeps draining during branch resolution, hiding part of the
+     * penalty: the slack is the extra time the buffered half-ROB takes to
+     * drain at Deff compared to D.
+     */
+    double
+    visibleBranchPenalty(double deff) const
+    {
+        double full = cres + cfg.frontendDepth;
+        double d = cfg.dispatchWidth;
+        if (deff >= d)
+            return full;
+        double slack = (cfg.robSize / 2.0) * (1.0 / deff - 1.0 / d);
+        return std::max(0.0, full - slack);
+    }
+
+    /**
+     * Effective DRAM latency per miss: under a long-latency miss the
+     * window keeps executing; when execution is contention limited
+     * (Deff < D) that shadow hides more of the miss than the balanced
+     * interval assumption, so subtract the extra drain time.
+     */
+    double
+    dramLatencyPerMiss(const DispatchLimits &lim) const
+    {
+        double full = cfg.memLatency + cbus;
+        // Only *structural* contention (ports, functional units) keeps
+        // producing useful work in the shadow of a miss; a dependence
+        // limited window has nothing extra to run.
+        double deffC = std::min({lim.width, lim.ports, lim.fus});
+        double d = cfg.dispatchWidth;
+        if (deffC >= d)
+            return full;
+        double slack = cfg.robSize * (1.0 / deffC - 1.0 / d);
+        return std::max(full - slack, 0.2 * full);
+    }
+
+    /** Per-op weight for serialized LLC-hit chains: the op's LLC-hit
+     *  probability times how deep it sits on load dependence paths. */
+    std::vector<double> opChainWeight;
+
+    /**
+     * Chained-LLC-hit penalty per ROB window (thesis Eq 4.7-4.11),
+     * extended with a lower bound from dependent (pointer-chasing) loads
+     * whose LLC hits serialize outright: @p serialHits is the expected
+     * number of chained LLC hits in the window.
+     */
+    double
+    chainPenalty(double loadsPerRob, double deff, double serialHits) const
+    {
+        double hitRatio = std::max(0.0, mrL2 - mrL3);
+        double h = hitRatio * loadsPerRob;
+        double lhcExp = 0;
+        if (h > 0) {
+            double paths = std::max(p.loadDeps.pathsPerWindow(ri), 0.25);
+            double lop =
+                std::max(p.loadDeps.loadsPerWindow(ri), paths) / paths;
+            double lhcAvg = h / paths;
+            double lhcMax = std::min(h, lop);
+            lhcExp = lhcAvg + std::max(lhcMax - lhcAvg, 0.0) / paths;
+        }
+        double chained = std::max(lhcExp, serialHits);
+        if (chained <= 0)
+            return 0;
+        double pPrime = cfg.l3.latency * chained;
+        return std::max(0.0, pPrime - cfg.robSize / deff);
+    }
+};
+
+/** Dispatch limits honoring the base-component ablation level. */
+DispatchLimits
+limitsFor(const Context &ctx,
+          const std::array<double, kNumUopTypes> &typeCounts, double cp,
+          double avgLat)
+{
+    using Level = ModelOptions::BaseLevel;
+    DispatchLimits lim =
+        dispatchLimits(typeCounts, cp, avgLat, ctx.cfg);
+    switch (ctx.opts.baseLevel) {
+      case Level::Instructions:
+      case Level::MicroOps:
+        lim.dependences = lim.width;
+        lim.ports = lim.width;
+        lim.fus = lim.width;
+        break;
+      case Level::CriticalPath:
+        lim.ports = lim.width;
+        lim.fus = lim.width;
+        break;
+      case Level::Functional:
+        break;
+    }
+    return lim;
+}
+
+} // namespace
+
+ModelResult
+evaluateModel(const Profile &p, const CoreConfig &cfg,
+              const ModelOptions &opts)
+{
+    ModelResult res;
+    Context ctx(p, cfg, opts);
+    ctx.ri = p.robIndex(cfg.robSize);
+
+    // --- Cache miss rates from StatStack (thesis §4.2) -------------------
+    const double l1L = cfg.l1d.numLines();
+    const double l2L = cfg.l2.numLines();
+    const double l3L = cfg.l3.numLines();
+    ctx.mrL1 = ctx.ss.missRatio(p.reuseLoads, l1L);
+    ctx.mrL2 = ctx.ss.missRatio(p.reuseLoads, l2L);
+    ctx.mrL3 = ctx.ss.missRatio(p.reuseLoads, l3L);
+    ctx.mrS1 = ctx.ss.missRatio(p.reuseStores, l1L);
+    ctx.mrS2 = ctx.ss.missRatio(p.reuseStores, l2L);
+    ctx.mrS3 = ctx.ss.missRatio(p.reuseStores, l3L);
+    ctx.mrI1 = ctx.ssI.missRatio(p.reuseInsts, cfg.l1i.numLines());
+    ctx.mrI2 = ctx.ssI.missRatio(p.reuseInsts, l2L);
+    ctx.mrI3 = ctx.ssI.missRatio(p.reuseInsts, l3L);
+
+    ctx.loads = static_cast<double>(p.reuseLoads.total());
+    ctx.stores = static_cast<double>(p.reuseStores.total());
+    ctx.iAccesses = static_cast<double>(p.reuseInsts.total());
+    ctx.totalUops = static_cast<double>(p.totalUops);
+    ctx.totalInsts = ctx.totalUops / std::max(p.uopsPerInst(), 1.0);
+
+    res.loadMissesL1 = ctx.mrL1 * ctx.loads;
+    res.loadMissesL2 = ctx.mrL2 * ctx.loads;
+    res.loadMissesL3 = ctx.mrL3 * ctx.loads;
+    res.storeMissesL1 = ctx.mrS1 * ctx.stores;
+    res.storeMissesL2 = ctx.mrS2 * ctx.stores;
+    res.storeMissesL3 = ctx.mrS3 * ctx.stores;
+    res.ifetchMissesL1 = ctx.mrI1 * ctx.iAccesses;
+    res.ifetchMissesL2 = ctx.mrI2 * ctx.iAccesses;
+    res.ifetchMissesL3 = ctx.mrI3 * ctx.iAccesses;
+    res.uops = ctx.totalUops;
+    res.instructions = ctx.totalInsts;
+
+    // --- Global mix / latency / dispatch limits ----------------------------
+    std::array<double, kNumUopTypes> globalFrac{};
+    std::array<double, kNumUopTypes> globalCounts{};
+    for (int t = 0; t < kNumUopTypes; ++t) {
+        globalFrac[t] = p.uopFraction(static_cast<UopType>(t));
+        globalCounts[t] = globalFrac[t] * ctx.totalUops;
+    }
+    const double avgLat = ctx.avgLatency(globalFrac);
+    res.avgLatency = avgLat;
+    const double cpGlobal = p.chains.cp(cfg.robSize);
+    res.limits = limitsFor(ctx, globalCounts, cpGlobal, avgLat);
+    res.deff = res.limits.effective();
+
+    // --- Branch component (thesis §3.5) ------------------------------------
+    res.branchMissRate = ctx.bm.missRate(p.branch.entropy());
+    const double branches = static_cast<double>(p.branch.branches);
+    res.branchMisses = res.branchMissRate * branches;
+    if (res.branchMisses > 0.5) {
+        ctx.cres = branchResolutionTime(
+            p.chains, cfg, avgLat, ctx.totalUops / res.branchMisses);
+    }
+    res.branchResolution = ctx.cres;
+
+    // --- MLP (thesis Ch. 4) -------------------------------------------------
+    MlpOptions mo{opts.modelMshrs, opts.modelPrefetcher};
+    switch (opts.mlpMode) {
+      case ModelOptions::MlpMode::ColdMiss:
+        ctx.mlpEst = coldMissMlp(p, cfg, ctx.ss, mo);
+        break;
+      case ModelOptions::MlpMode::Stride:
+        ctx.mlpEst = strideMlp(p, cfg, ctx.ss, mo);
+        break;
+      case ModelOptions::MlpMode::None:
+        ctx.mlpEst.mlp = 1.0;
+        break;
+    }
+    ctx.mlp = ctx.mlpEst.mlp;
+    ctx.prefetchFactor = ctx.mlpEst.dramMisses > 0 ?
+        ctx.mlpEst.latWeighted / ctx.mlpEst.dramMisses : 1.0;
+    res.mlp = ctx.mlp;
+
+    // Per-op serial-chain weights for the chained-LLC-hit bound: an LLC
+    // hit on a load that depends on other loads cannot be overlapped.
+    ctx.opChainWeight.assign(p.memOps.size(), 0.0);
+    double globalSerialHits = 0; // expected chained LLC hits per load
+    {
+        double loadsSeen = 0;
+        for (size_t i = 0; i < p.memOps.size(); ++i) {
+            const StaticMemProfile &sp = p.memOps[i];
+            if (sp.isStore)
+                continue;
+            double hit3 = std::max(
+                0.0, ctx.ss.missRatio(sp.reuse, l2L) -
+                         ctx.ss.missRatio(sp.reuse, l3L));
+            double dep = std::clamp(sp.avgLoadDepth() - 1.0, 0.0, 1.0);
+            ctx.opChainWeight[i] = hit3 * dep;
+            globalSerialHits += ctx.opChainWeight[i] * sp.count;
+            loadsSeen += sp.count;
+        }
+        if (loadsSeen > 0)
+            globalSerialHits /= loadsSeen; // per load
+    }
+
+    const double llcLoadMisses = res.loadMissesL3;
+    const double llcStoreMisses = res.storeMissesL3;
+    ctx.cbus = opts.modelBus ?
+        busCycles(busMlp(ctx.mlp, llcLoadMisses, llcStoreMisses),
+                  cfg.busTransferCycles) :
+        cfg.busTransferCycles;
+    res.busCyclesPerMiss = ctx.cbus;
+
+    // --- I-cache component ---------------------------------------------------
+    const double icacheCycles =
+        res.ifetchMissesL1 * cfg.l2.latency +
+        res.ifetchMissesL2 * cfg.l3.latency +
+        res.ifetchMissesL3 * (cfg.memLatency + cfg.busTransferCycles);
+
+    const bool useInsts =
+        opts.baseLevel == ModelOptions::BaseLevel::Instructions;
+
+    // =========================================================================
+    // Per-window evaluation (TC'16): evaluate each micro-trace separately
+    // and scale the profiled total to the whole program.
+    // =========================================================================
+    const bool perWindow = opts.perWindow && !p.windows.empty();
+    if (perWindow) {
+        // Normalize window entropies so their branch-weighted mean matches
+        // the (longer-history) global entropy.
+        double eSum = 0, bSum = 0;
+        for (const auto &w : p.windows) {
+            eSum += static_cast<double>(w.branches) * w.branchEntropy;
+            bSum += w.branches;
+        }
+        double eMean = bSum > 0 ? eSum / bSum : 0;
+        double eNorm = eMean > 1e-9 ? p.branch.entropy() / eMean : 1.0;
+
+        CpiStack stack;
+        double profiledCycles = 0, profiledUops = 0;
+        for (size_t wi = 0; wi < p.windows.size(); ++wi) {
+            const WindowProfile &w = p.windows[wi];
+            double uopsW = w.uops();
+            if (uopsW <= 0)
+                continue;
+
+            std::array<double, kNumUopTypes> fracW{}, countsW{};
+            for (int t = 0; t < kNumUopTypes; ++t) {
+                countsW[t] = w.uopCounts[t];
+                fracW[t] = w.uopCounts[t] / uopsW;
+            }
+            double latW = ctx.avgLatency(fracW);
+            double cpW = interpChain(w.cp, p.robSizes, cfg.robSize);
+            DispatchLimits limW = limitsFor(ctx, countsW, cpW, latW);
+            double deffW = limW.effective();
+            double nW = useInsts ? static_cast<double>(w.insts) : uopsW;
+            double baseW = nW / deffW;
+
+            // Branch component with window-local entropy.
+            double eW = std::min(1.0, w.branchEntropy * eNorm);
+            double missesW = ctx.bm.missRate(eW) * w.branches;
+            double branchW = missesW * ctx.visibleBranchPenalty(deffW);
+
+            // I-cache cycles distributed by uop share.
+            double icacheW = p.profiledUops ?
+                icacheCycles / p.scale() * (uopsW / p.profiledUops) : 0;
+
+            // DRAM component.
+            double dramLat = ctx.dramLatencyPerMiss(limW);
+            double dramW = 0;
+            if (opts.mlpMode == ModelOptions::MlpMode::Stride &&
+                wi < ctx.mlpEst.windows.size()) {
+                const WindowMlp &wm = ctx.mlpEst.windows[wi];
+                double mlpW = std::max(wm.mlp, 1.0);
+                dramW = wm.latWeighted * dramLat / mlpW;
+            } else {
+                double loadsW =
+                    countsW[static_cast<int>(UopType::Load)];
+                dramW = loadsW * ctx.mrL3 * ctx.prefetchFactor * dramLat /
+                        ctx.mlp;
+            }
+
+            // Chained LLC hits, with the per-window serialized-hit count
+            // from this window's static-load population.
+            double chainW = 0;
+            if (opts.modelLlcChaining) {
+                double serialW = 0;
+                for (const auto &[opIdx, cnt] : w.memCounts)
+                    serialW += ctx.opChainWeight[opIdx] * cnt;
+                serialW *= static_cast<double>(cfg.robSize) /
+                           std::max(uopsW, 1.0);
+                double loadFracW = fracW[static_cast<int>(UopType::Load)];
+                chainW = ctx.chainPenalty(loadFracW * cfg.robSize, deffW,
+                                          serialW) *
+                         (uopsW / cfg.robSize);
+            }
+
+            double cyclesW = baseW + branchW + icacheW + dramW + chainW;
+            stack.base += baseW;
+            stack.branch += branchW;
+            stack.icache += icacheW;
+            stack.dram += dramW;
+            stack.llcHit += chainW;
+            profiledCycles += cyclesW;
+            profiledUops += uopsW;
+            res.windowCpi.push_back(cyclesW / uopsW);
+        }
+
+        double s = p.scale();
+        res.cycles = profiledCycles * s;
+        res.stack = stack.scaled(s);
+        res.llcChainPenalty = res.stack.llcHit;
+    } else {
+        // =====================================================================
+        // Global evaluation (ISPASS'15): averaged whole-program profile.
+        // =====================================================================
+        double n = useInsts ? ctx.totalInsts : ctx.totalUops;
+        double base = n / res.deff;
+        double branch =
+            res.branchMisses * ctx.visibleBranchPenalty(res.deff);
+        double dram = llcLoadMisses * ctx.prefetchFactor *
+                      ctx.dramLatencyPerMiss(res.limits) / ctx.mlp;
+        double chain = 0;
+        if (opts.modelLlcChaining) {
+            double loadFrac = globalFrac[static_cast<int>(UopType::Load)];
+            double serial = globalSerialHits * loadFrac * cfg.robSize;
+            chain = ctx.chainPenalty(loadFrac * cfg.robSize, res.deff,
+                                     serial) *
+                    (ctx.totalUops / cfg.robSize);
+        }
+        res.stack = {base, branch, icacheCycles, 0, chain, dram};
+        res.cycles = res.stack.total();
+        res.llcChainPenalty = chain;
+    }
+
+    // --- Activity factors for the power model (thesis §3.6, §4.10) ---------
+    ActivityCounts &a = res.activity;
+    a.cycles = static_cast<uint64_t>(res.cycles);
+    a.uops = static_cast<uint64_t>(ctx.totalUops);
+    a.instructions = static_cast<uint64_t>(ctx.totalInsts);
+    for (int t = 0; t < kNumUopTypes; ++t)
+        a.fuOps[t] = static_cast<uint64_t>(globalCounts[t]);
+    a.robWrites = a.uops;
+    a.robReads = a.uops;
+    a.iqWrites = a.uops;
+    a.iqWakeups = a.uops;
+    double srcPerUop = p.profiledUops ?
+        static_cast<double>(p.srcOperands) / p.profiledUops : 1.5;
+    double dstPerUop = p.profiledUops ?
+        static_cast<double>(p.dstOperands) / p.profiledUops : 0.7;
+    a.rfReads = static_cast<uint64_t>(srcPerUop * ctx.totalUops);
+    a.rfWrites = static_cast<uint64_t>(dstPerUop * ctx.totalUops);
+    a.bpLookups = p.branch.branches;
+    a.l1iAccesses = static_cast<uint64_t>(ctx.iAccesses);
+    a.l1dAccesses = static_cast<uint64_t>(ctx.loads + ctx.stores);
+    a.l2Accesses = static_cast<uint64_t>(
+        res.loadMissesL1 + res.storeMissesL1 + res.ifetchMissesL1);
+    a.l3Accesses = static_cast<uint64_t>(
+        res.loadMissesL2 + res.storeMissesL2 + res.ifetchMissesL2);
+    a.dramAccesses = static_cast<uint64_t>(
+        res.loadMissesL3 + res.storeMissesL3 + res.ifetchMissesL3);
+    return res;
+}
+
+} // namespace mipp

@@ -1,0 +1,309 @@
+#include "model/mlp_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mipp {
+
+double
+mshrCappedMlp(double rawMlp, double misses, uint32_t mshrs)
+{
+    rawMlp = std::max(rawMlp, 1.0);
+    if (mshrs == 0 || rawMlp <= mshrs)
+        return rawMlp;
+    // Thesis Eq 4.4, batch form: misses beyond the MSHR count wait for a
+    // full access of the bursty batch ahead of them, so m misses drain in
+    // ceil(m / mshrs) serialized batches. The effective overlap is the
+    // miss count divided by the batch count, hard-capped by the MSHRs.
+    double batches = std::ceil(std::max(misses, rawMlp) / mshrs);
+    double eff = std::max(misses, rawMlp) / std::max(batches, 1.0);
+    return std::clamp(eff, 1.0, std::min(rawMlp, double(mshrs)));
+}
+
+double
+busCycles(double mlpPrime, uint32_t transferCycles)
+{
+    mlpPrime = std::max(mlpPrime, 1.0);
+    return (mlpPrime + 1.0) / 2.0 * transferCycles;
+}
+
+double
+busMlp(double mlp, double llcLoadMisses, double llcStoreMisses)
+{
+    if (llcLoadMisses <= 0)
+        return mlp;
+    return mlp * (llcLoadMisses + llcStoreMisses) / llcLoadMisses;
+}
+
+MlpEstimate
+coldMissMlp(const Profile &p, const CoreConfig &cfg, const StatStack &ss,
+            const MlpOptions &opt)
+{
+    MlpEstimate est;
+    const size_t ri = p.robIndex(cfg.robSize);
+
+    const double llcLines = cfg.l3.numLines();
+    const double mrLlc = ss.missRatio(p.reuseLoads, llcLines);
+    const double totalLoads = static_cast<double>(p.reuseLoads.total());
+    const double misses = mrLlc * totalLoads;
+    const double coldMisses =
+        std::min<double>(p.cold.coldLoadMisses, misses);
+    const double cfMisses = std::max(misses - coldMisses, 0.0);
+    const double mrCf = totalLoads > 0 ? cfMisses / totalLoads : 0;
+    est.dramMisses = misses;
+    est.latWeighted = misses;
+    if (misses <= 0)
+        return est;
+
+    // Average loads per ROB window.
+    const double loadFrac = p.uopFraction(UopType::Load);
+    const double loadsPerRob = loadFrac * cfg.robSize;
+    const double coldPerDirtyRob = p.cold.coldPerDirtyWindow(ri);
+
+    // Independence via the inter-load dependence distribution f(l):
+    // a depth-l load miss is independent iff its l-1 predecessors hit.
+    double mlpCold = 0, mlpCf = 0;
+    for (int l = 1; l <= LoadDepProfile::kMaxDepth; ++l) {
+        double f = p.loadDeps.f(ri, l);
+        double indep = std::pow(1.0 - mrLlc, l - 1) * f;
+        mlpCold += indep * coldPerDirtyRob;
+        mlpCf += indep * mrCf * loadsPerRob;
+    }
+
+    double mlp = 1.0;
+    if (misses > 0)
+        mlp = (cfMisses * std::max(mlpCf, 1.0) +
+               coldMisses * std::max(mlpCold, 1.0)) / misses;
+
+    if (opt.modelMshrs) {
+        double missesPerRob = mrLlc * loadsPerRob;
+        mlp = mshrCappedMlp(mlp, std::max(missesPerRob, mlp), cfg.mshrs);
+    }
+    est.mlp = std::max(mlp, 1.0);
+    return est;
+}
+
+namespace {
+
+/** One event of the reconstructed virtual load stream (thesis §4.5). */
+struct VirtualLoad {
+    double pos;        ///< uop position within the micro-trace
+    uint32_t opIdx;    ///< static-load index
+    bool miss;         ///< predicted LLC miss
+    double latFactor;  ///< residual latency fraction after prefetching
+};
+
+/** Per static-op modeling state reused across windows. */
+struct OpModel {
+    double mrLlc = 0;       ///< per-access LLC miss ratio (StatStack)
+    double mrL1 = 0;        ///< per-access L1D miss ratio
+    double indepProb = 1;   ///< (1 - M_pred)^(depth-1)
+    double depth = 1;       ///< average load-dependence depth
+    bool chase = false;     ///< address recycled through a register chain
+    bool prefetchable = false;
+    double prefetchFactor = 1.0;  ///< residual latency fraction
+    double missAcc = 0;     ///< error-diffusion accumulator
+
+    /** Member of a long register-recycled chain whose misses serialize. */
+    bool serialChain() const { return chase && depth >= 3.0; }
+};
+
+} // namespace
+
+MlpEstimate
+strideMlp(const Profile &p, const CoreConfig &cfg, const StatStack &ss,
+          const MlpOptions &opt)
+{
+    MlpEstimate est;
+    const double llcLines = cfg.l3.numLines();
+    const double l1Lines = cfg.l1d.numLines();
+    const double mrLlcGlobal = ss.missRatio(p.reuseLoads, llcLines);
+    const double mtSize = static_cast<double>(p.sampling.microTraceSize);
+    const bool prefetch = opt.modelPrefetcher && cfg.prefetcherEnabled;
+
+    // Per-op derived model inputs.
+    std::vector<OpModel> ops(p.memOps.size());
+    uint32_t staticLoads = 0;
+    for (size_t i = 0; i < p.memOps.size(); ++i) {
+        const StaticMemProfile &sp = p.memOps[i];
+        if (sp.isStore)
+            continue;
+        staticLoads++;
+        OpModel &m = ops[i];
+        m.mrLlc = ss.missRatio(sp.reuse, llcLines);
+        m.mrL1 = ss.missRatio(sp.reuse, l1Lines);
+        m.chase = sp.isPointerChase();
+        m.depth = std::max(sp.avgLoadDepth(), 1.0);
+        // Independence through the load dependence chain: a miss only
+        // overlaps with others if its (depth-1) predecessor loads hit
+        // (thesis Eq 4.1). Predecessors of a register-recycled (chase)
+        // chain are instances of the chain itself, so they miss at the
+        // op's own rate; otherwise at the population rate.
+        double mrPred = m.chase ?
+            std::max(mrLlcGlobal, m.mrLlc) : mrLlcGlobal;
+        m.indepProb = std::pow(
+            std::clamp(1.0 - mrPred, 0.0, 1.0), m.depth - 1.0);
+
+        if (prefetch && !m.chase) {
+            StrideClass sc = sp.strideClass();
+            bool strided = sc == StrideClass::SingleStride ||
+                           sc == StrideClass::TwoStride ||
+                           sc == StrideClass::ThreeStride ||
+                           sc == StrideClass::FourStride;
+            if (strided) {
+                auto dom = sp.dominantStrides();
+                bool inPage = !dom.empty() &&
+                              std::llabs(dom.front()) < 4096;
+                m.prefetchable = inPage;
+                if (m.prefetchable) {
+                    // Timeliness, thesis Eq 4.13: a prefetch launched one
+                    // recurrence (avgGap uops) ahead hides gap/D cycles.
+                    double gap = std::max(sp.avgGap(), 1.0);
+                    if (gap >= cfg.robSize) {
+                        m.prefetchFactor = 0.0;
+                    } else {
+                        double hidden = gap / cfg.dispatchWidth;
+                        m.prefetchFactor = std::max(
+                            0.0, (cfg.memLatency - hidden) /
+                                     cfg.memLatency);
+                    }
+                }
+            }
+        }
+    }
+    // A prefetcher can only track a limited number of static loads
+    // (thesis Fig 4.10): with more loads than table entries, training
+    // state is evicted between recurrences and nothing is prefetched.
+    bool tableHolds = staticLoads <= cfg.prefetcherEntries;
+
+    double serialTime = 0;   // sum over windows of misses/MLP
+    double totalMisses = 0;
+    double totalWeighted = 0;
+
+    // Cold misses cluster in time (thesis §4.4): per-window profiled cold
+    // counts redistribute the StatStack-average misses towards the windows
+    // that actually saw first touches.
+    double coldAvg = 0;
+    if (!p.windows.empty()) {
+        for (const auto &w : p.windows)
+            coldAvg += w.coldMisses;
+        coldAvg /= p.windows.size();
+    }
+    // Two passes: first compute per-window expected misses and the
+    // cold-shifted estimates, then renormalize so the whole-program miss
+    // count still matches StatStack.
+    std::vector<double> expMissesW(p.windows.size(), 0.0);
+    std::vector<double> adjMissesW(p.windows.size(), 0.0);
+    double expTotal = 0, adjTotal = 0;
+    for (size_t wi = 0; wi < p.windows.size(); ++wi) {
+        const WindowProfile &w = p.windows[wi];
+        double exp = 0;
+        for (const auto &[opIdx, count] : w.memCounts) {
+            if (!p.memOps[opIdx].isStore)
+                exp += count * ops[opIdx].mrLlc;
+        }
+        expMissesW[wi] = exp;
+        adjMissesW[wi] =
+            std::max(0.0, exp + (w.coldMisses - coldAvg));
+        expTotal += exp;
+        adjTotal += adjMissesW[wi];
+    }
+    const double renorm = adjTotal > 1e-9 ? expTotal / adjTotal : 1.0;
+
+    for (size_t wi = 0; wi < p.windows.size(); ++wi) {
+        const WindowProfile &w = p.windows[wi];
+        double factor = (opt.redistributeCold && expMissesW[wi] > 1e-9) ?
+            adjMissesW[wi] * renorm / expMissesW[wi] : 1.0;
+
+        // (1) Rebuild the virtual load stream from spacing + counts.
+        std::vector<VirtualLoad> stream;
+        for (const auto &[opIdx, count] : w.memCounts) {
+            const StaticMemProfile &sp = p.memOps[opIdx];
+            if (sp.isStore)
+                continue;
+            OpModel &m = ops[opIdx];
+            double first = std::min(sp.avgFirstPos(), mtSize - 1.0);
+            double gap = std::max(sp.avgGap(), 1.0);
+            double missProb = std::min(m.mrLlc * factor, 1.0);
+            for (uint32_t k = 0; k < count; ++k) {
+                VirtualLoad v;
+                v.pos = first + k * gap;
+                v.opIdx = opIdx;
+                // (2) Deterministic error-diffusion miss marking keeps
+                // per-op totals equal to the StatStack prediction while
+                // preserving the op's periodic miss pattern.
+                m.missAcc += missProb;
+                v.miss = m.missAcc >= 1.0;
+                if (v.miss)
+                    m.missAcc -= 1.0;
+                v.latFactor =
+                    (m.prefetchable && tableHolds) ? m.prefetchFactor : 1.0;
+                stream.push_back(v);
+            }
+        }
+        if (stream.empty()) {
+            est.windows.push_back({});
+            continue;
+        }
+        std::sort(stream.begin(), stream.end(),
+                  [](const VirtualLoad &a, const VirtualLoad &b) {
+                      return a.pos < b.pos;
+                  });
+
+        // (3) Step ROB-sized windows over the stream.
+        WindowMlp wm;
+        double maxPos = stream.back().pos + 1;
+        size_t cursor = 0;
+        for (double lo = 0; lo < maxPos; lo += cfg.robSize) {
+            double hi = lo + cfg.robSize;
+            double misses = 0, weighted = 0, l1m = 0;
+            double serialMisses = 0;   // on deep dependence chains
+            double indepParallel = 0;  // parallelism of the free misses
+            while (cursor < stream.size() && stream[cursor].pos < hi) {
+                const VirtualLoad &v = stream[cursor++];
+                OpModel &m = ops[v.opIdx];
+                l1m += m.mrL1;
+                if (!v.miss)
+                    continue;
+                misses += 1;
+                weighted += v.latFactor;
+                if (m.serialChain())
+                    serialMisses += 1;
+                else
+                    indepParallel += m.indepProb;
+            }
+            if (misses <= 0)
+                continue;
+            // Serial-time view: misses on deep dependence chains occupy
+            // one latency "slot" each, back to back; the remaining misses
+            // overlap among themselves (indepParallel lanes) and with the
+            // serial span. Window drain time in units of one memory
+            // latency, and the effective MLP from it:
+            double freeMisses = misses - serialMisses;
+            double parTime = freeMisses / std::max(indepParallel, 1.0);
+            double time = std::max({serialMisses, parTime, 1.0});
+            double mlp = std::max(misses / time, 1.0);
+            if (opt.modelMshrs)
+                mlp = mshrCappedMlp(mlp, misses, cfg.mshrs);
+            wm.dramMisses += misses;
+            wm.latWeighted += weighted;
+            wm.l1Misses += l1m;
+            serialTime += weighted / mlp;
+            // Track a window-average MLP for reporting.
+            wm.mlp += mlp * misses;
+        }
+        if (wm.dramMisses > 0)
+            wm.mlp /= wm.dramMisses;
+        totalMisses += wm.dramMisses;
+        totalWeighted += wm.latWeighted;
+        est.windows.push_back(wm);
+    }
+
+    est.dramMisses = totalMisses;
+    est.latWeighted = totalWeighted;
+    est.mlp = serialTime > 0 ?
+        std::max(totalWeighted / serialTime, 1.0) : 1.0;
+    return est;
+}
+
+} // namespace mipp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Memory-level parallelism models (thesis Ch. 4).
+ *
+ * Two alternatives estimate how many long-latency loads overlap:
+ *
+ *  - The *cold-miss* MLP model (§4.4, Eq 4.1-4.3) assumes miss bursts are
+ *    driven by cold misses, whose per-ROB burstiness is profiled directly,
+ *    while capacity/conflict misses spread uniformly.
+ *  - The *stride* MLP model (§4.5) rebuilds a virtual load stream per
+ *    micro-trace from load-spacing and stride distributions, marks misses
+ *    with StatStack, imposes inter-load dependences, and walks ROB-sized
+ *    windows over it. It extends to MSHR limits (§4.6, Eq 4.4) and a
+ *    per-PC stride prefetcher (§4.9, Eq 4.13).
+ *
+ * Both are pure functions of the micro-architecture independent profile
+ * plus a core configuration.
+ */
+
+#ifndef MIPP_MODEL_MLP_MODEL_HH
+#define MIPP_MODEL_MLP_MODEL_HH
+
+#include <vector>
+
+#include "profiler/profile.hh"
+#include "statstack/statstack.hh"
+#include "uarch/core_config.hh"
+
+namespace mipp {
+
+/** Per-window (micro-trace) memory-parallelism estimates. */
+struct WindowMlp {
+    double dramMisses = 0;   ///< LLC load misses in the micro-trace
+    double latWeighted = 0;  ///< misses weighted by prefetch-reduced latency
+    double mlp = 0;          ///< independent misses per dirty ROB window
+    double l1Misses = 0;     ///< L1D load misses (MSHR pressure)
+};
+
+/** Aggregated MLP-model output. */
+struct MlpEstimate {
+    /** Effective MLP >= 1 (already MSHR-capped). */
+    double mlp = 1.0;
+    /** Total LLC load misses across the modeled stream. */
+    double dramMisses = 0;
+    /** Misses weighted by residual latency after prefetching (== misses
+     *  when prefetching is off). */
+    double latWeighted = 0;
+    /** Per profile-window detail (stride model only). */
+    std::vector<WindowMlp> windows;
+};
+
+/** Knobs shared by both models. */
+struct MlpOptions {
+    bool modelMshrs = true;
+    bool modelPrefetcher = true;  ///< honored if cfg.prefetcherEnabled
+    /** Shift the StatStack-average misses towards windows with profiled
+     *  cold-miss bursts (thesis §4.4 burstiness observation). */
+    bool redistributeCold = false;
+};
+
+/**
+ * Cold-miss MLP model (thesis §4.4). Operates on whole-profile statistics;
+ * misses are scaled to profiled loads.
+ */
+MlpEstimate coldMissMlp(const Profile &p, const CoreConfig &cfg,
+                        const StatStack &ss, const MlpOptions &opt = {});
+
+/** Stride-MLP model (thesis §4.5-4.6, 4.9). Per-micro-trace evaluation. */
+MlpEstimate strideMlp(const Profile &p, const CoreConfig &cfg,
+                      const StatStack &ss, const MlpOptions &opt = {});
+
+/**
+ * MSHR cap (thesis Eq 4.4, batch form): @p misses concurrent misses with
+ * @p rawMlp dependence-limited parallelism drain in ceil(m/mshrs)
+ * serialized batches.
+ */
+double mshrCappedMlp(double rawMlp, double misses, uint32_t mshrs);
+
+/**
+ * Average memory-bus cycles per access for MLP' concurrent accesses
+ * (thesis Eq 4.5): (MLP' + 1)/2 * transfer.
+ */
+double busCycles(double mlpPrime, uint32_t transferCycles);
+
+/** Store-traffic rescaled MLP' for bus contention (thesis Eq 4.6). */
+double busMlp(double mlp, double llcLoadMisses, double llcStoreMisses);
+
+} // namespace mipp
+
+#endif // MIPP_MODEL_MLP_MODEL_HH

@@ -1,0 +1,130 @@
+#include "power/power_model.hh"
+
+#include <cmath>
+
+namespace mipp {
+
+namespace {
+
+/** Reference operating point the constants are calibrated at. */
+constexpr double kRefVdd = 1.1;
+
+/** Sub-linear capacity scaling for SRAM access energy (bitline growth). */
+double
+sizeScale(double size, double refSize, double exponent = 0.5)
+{
+    return std::pow(size / refSize, exponent);
+}
+
+/** Per-event dynamic energies in nJ at the reference voltage. */
+struct Energies {
+    double fetchPerUop;
+    double robEvent;
+    double iqEvent;
+    double rfRead;
+    double rfWrite;
+    double bpLookup;
+    double fuOp[kNumUopTypes];
+    double l1Access;
+    double l2Access;
+    double l3Access;
+    double dramAccess;
+};
+
+Energies
+energiesFor(const CoreConfig &cfg)
+{
+    Energies e;
+    double w = cfg.dispatchWidth / 4.0;
+    e.fetchPerUop = 0.15 * sizeScale(w, 1.0, 0.5);
+    e.robEvent = 0.030 * sizeScale(cfg.robSize, 128.0);
+    e.iqEvent = 0.040 * sizeScale(cfg.iqSize, 36.0);
+    e.rfRead = 0.015 * sizeScale(w, 1.0, 0.3);
+    e.rfWrite = 0.020 * sizeScale(w, 1.0, 0.3);
+    e.bpLookup = 0.010 * sizeScale(cfg.predictorBytes, 4096.0);
+
+    auto set = [&](UopType t, double v) {
+        e.fuOp[static_cast<int>(t)] = v;
+    };
+    set(UopType::IntAlu, 0.05);
+    set(UopType::IntMul, 0.12);
+    set(UopType::IntDiv, 0.40);
+    set(UopType::FpAlu, 0.20);
+    set(UopType::FpMul, 0.30);
+    set(UopType::FpDiv, 0.60);
+    set(UopType::Load, 0.05);   // AGU; the cache access is separate
+    set(UopType::Store, 0.05);
+    set(UopType::Branch, 0.03);
+    set(UopType::Move, 0.03);
+
+    e.l1Access = 0.08 * sizeScale(cfg.l1d.sizeBytes, 32.0 * 1024);
+    e.l2Access = 0.30 * sizeScale(cfg.l2.sizeBytes, 256.0 * 1024);
+    e.l3Access = 1.20 * sizeScale(cfg.l3.sizeBytes, 8.0 * 1024 * 1024);
+    e.dramAccess = 20.0;  // off-chip, per cache line
+    return e;
+}
+
+} // namespace
+
+double
+executionSeconds(double cycles, const CoreConfig &cfg)
+{
+    return cycles / (cfg.freqGHz * 1e9);
+}
+
+PowerBreakdown
+computePower(const ActivityCounts &a, const CoreConfig &cfg)
+{
+    PowerBreakdown p;
+    if (a.cycles == 0)
+        return p;
+
+    const Energies e = energiesFor(cfg);
+    const double seconds = executionSeconds(a.cycles, cfg);
+    // Dynamic energy scales with Vdd^2 (thesis Eq 2.2).
+    const double vScale = (cfg.vdd / kRefVdd) * (cfg.vdd / kRefVdd);
+    const double toWatts = 1e-9 * vScale / seconds;
+
+    p.frontend = a.uops * e.fetchPerUop * toWatts;
+    p.rob = (a.robWrites + a.robReads) * e.robEvent * toWatts;
+    p.iq = (a.iqWrites + a.iqWakeups) * e.iqEvent * toWatts;
+    p.rf = (a.rfReads * e.rfRead + a.rfWrites * e.rfWrite) * toWatts;
+    p.bp = a.bpLookups * e.bpLookup * toWatts;
+    double fu = 0;
+    for (int t = 0; t < kNumUopTypes; ++t)
+        fu += a.fuOps[t] * e.fuOp[t];
+    p.fu = fu * toWatts;
+    p.l1i = a.l1iAccesses * e.l1Access * toWatts;
+    p.l1d = a.l1dAccesses * e.l1Access * toWatts;
+    p.l2 = a.l2Accesses * e.l2Access * toWatts;
+    p.l3 = a.l3Accesses * e.l3Access * toWatts;
+    p.dram = a.dramAccesses * e.dramAccess * toWatts;
+
+    // Leakage: proportional to structure capacity, superlinear in Vdd
+    // (thesis Eq 2.1; leakage current itself grows with voltage).
+    const double lScale = std::pow(cfg.vdd / kRefVdd, 3.0);
+    double s = 0;
+    s += 1.20 * (cfg.dispatchWidth / 4.0);              // core logic
+    s += 0.50 * (cfg.robSize / 128.0);                  // ROB + IQ + RF
+    s += 0.05 * (cfg.predictorBytes / 4096.0);          // predictor
+    s += 0.15 * (cfg.l1i.sizeBytes / (32.0 * 1024));
+    s += 0.15 * (cfg.l1d.sizeBytes / (32.0 * 1024));
+    s += 0.30 * (cfg.l2.sizeBytes / (256.0 * 1024));
+    s += 2.40 * (cfg.l3.sizeBytes / (8.0 * 1024 * 1024));
+    p.staticPower = s * lScale;
+    return p;
+}
+
+EnergyMetrics
+energyMetrics(double cycles, const PowerBreakdown &power,
+              const CoreConfig &cfg)
+{
+    EnergyMetrics m;
+    m.seconds = executionSeconds(cycles, cfg);
+    m.energy = power.total() * m.seconds;
+    m.edp = m.energy * m.seconds;
+    m.ed2p = m.edp * m.seconds;
+    return m;
+}
+
+} // namespace mipp

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Log-binned histogram for reuse distances and other heavy-tailed counts.
+ *
+ * Distances up to kExactMax are kept exactly; beyond that, eight sub-bins
+ * per power of two keep relative binning error below ~9 % while bounding
+ * memory, the standard trick for reuse-distance profiles (thesis §4.2).
+ */
+
+#ifndef MIPP_PROFILER_HISTOGRAM_HH
+#define MIPP_PROFILER_HISTOGRAM_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mipp {
+
+/** Log-binned histogram over uint64 values plus an "infinite" bucket. */
+class LogHistogram
+{
+  public:
+    static constexpr uint64_t kExactMax = 128;
+    static constexpr int kSubBins = 8;
+
+    /** Map a value to its bin index. */
+    static size_t
+    binIndex(uint64_t v)
+    {
+        if (v < static_cast<uint64_t>(kExactMax))
+            return static_cast<size_t>(v);
+        // Octave = floor(log2(v / kExactMax)); position within the octave
+        // subdivided into kSubBins.
+        int octave = std::bit_width(v / kExactMax) - 1;
+        uint64_t lo = kExactMax << octave;
+        uint64_t width = lo; // octave spans [lo, 2*lo)
+        size_t sub = static_cast<size_t>((v - lo) * kSubBins / width);
+        return kExactMax + static_cast<size_t>(octave) * kSubBins + sub;
+    }
+
+    /** Smallest value mapping to bin @p b. */
+    static uint64_t
+    binLower(size_t b)
+    {
+        if (b < static_cast<size_t>(kExactMax))
+            return b;
+        size_t rel = b - kExactMax;
+        int octave = static_cast<int>(rel / kSubBins);
+        size_t sub = rel % kSubBins;
+        uint64_t lo = kExactMax << octave;
+        return lo + sub * (lo / kSubBins);
+    }
+
+    /** Representative (midpoint) value for bin @p b. */
+    static uint64_t
+    binMid(size_t b)
+    {
+        if (b < static_cast<size_t>(kExactMax))
+            return b;
+        uint64_t lo = binLower(b);
+        uint64_t next = binLower(b + 1);
+        return lo + (next - lo) / 2;
+    }
+
+    void
+    add(uint64_t v, uint64_t weight = 1)
+    {
+        size_t b = binIndex(v);
+        if (bins_.size() <= b)
+            bins_.resize(b + 1, 0);
+        bins_[b] += weight;
+        total_ += weight;
+    }
+
+    /** Record a value with no finite reuse (cold / never reused). */
+    void addInfinite(uint64_t weight = 1) { infinite_ += weight; }
+
+    uint64_t total() const { return total_ + infinite_; }
+    uint64_t finiteTotal() const { return total_; }
+    uint64_t infiniteCount() const { return infinite_; }
+    size_t numBins() const { return bins_.size(); }
+    uint64_t binCount(size_t b) const
+    {
+        return b < bins_.size() ? bins_[b] : 0;
+    }
+
+    /** Number of samples with value >= v (including the infinite bucket). */
+    uint64_t
+    countAtLeast(uint64_t v) const
+    {
+        size_t b0 = binIndex(v);
+        uint64_t n = infinite_;
+        for (size_t b = b0; b < bins_.size(); ++b)
+            n += bins_[b];
+        return n;
+    }
+
+    /** Merge another histogram into this one. */
+    void
+    merge(const LogHistogram &other)
+    {
+        if (bins_.size() < other.bins_.size())
+            bins_.resize(other.bins_.size(), 0);
+        for (size_t b = 0; b < other.bins_.size(); ++b)
+            bins_[b] += other.bins_[b];
+        total_ += other.total_;
+        infinite_ += other.infinite_;
+    }
+
+    /** Mean of the finite samples. */
+    double
+    finiteMean() const
+    {
+        if (total_ == 0)
+            return 0.0;
+        double sum = 0;
+        for (size_t b = 0; b < bins_.size(); ++b)
+            sum += static_cast<double>(bins_[b]) * binMid(b);
+        return sum / total_;
+    }
+
+  private:
+    std::vector<uint64_t> bins_;
+    uint64_t total_ = 0;
+    uint64_t infinite_ = 0;
+};
+
+} // namespace mipp
+
+#endif // MIPP_PROFILER_HISTOGRAM_HH

@@ -1,0 +1,287 @@
+#include "profiler/profile_io.hh"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mipp {
+
+namespace {
+
+constexpr const char *kMagic = "mipp-profile";
+constexpr int kVersion = 1;
+
+void
+writeHistogram(std::ostream &os, const char *tag, const LogHistogram &h)
+{
+    // Sparse: only non-empty bins.
+    size_t nonEmpty = 0;
+    for (size_t b = 0; b < h.numBins(); ++b)
+        nonEmpty += h.binCount(b) > 0;
+    os << tag << ' ' << nonEmpty << ' ' << h.infiniteCount() << '\n';
+    for (size_t b = 0; b < h.numBins(); ++b) {
+        if (h.binCount(b) > 0)
+            os << b << ' ' << h.binCount(b) << '\n';
+    }
+}
+
+LogHistogram
+readHistogram(std::istream &is, const char *tag)
+{
+    std::string t;
+    size_t nonEmpty = 0;
+    uint64_t infinite = 0;
+    is >> t >> nonEmpty >> infinite;
+    if (t != tag)
+        throw std::runtime_error("profile parse: expected '" +
+                                 std::string(tag) + "', got '" + t + "'");
+    LogHistogram h;
+    for (size_t i = 0; i < nonEmpty; ++i) {
+        size_t bin = 0;
+        uint64_t count = 0;
+        is >> bin >> count;
+        // binLower(bin) maps back into the same bin, reproducing it.
+        h.add(LogHistogram::binLower(bin), count);
+    }
+    h.addInfinite(infinite);
+    return h;
+}
+
+void
+expect(std::istream &is, const char *token)
+{
+    std::string t;
+    is >> t;
+    if (t != token)
+        throw std::runtime_error("profile parse: expected '" +
+                                 std::string(token) + "', got '" + t +
+                                 "'");
+}
+
+} // namespace
+
+void
+writeProfile(const Profile &p, std::ostream &os)
+{
+    os << kMagic << ' ' << kVersion << '\n';
+    // Names may contain spaces in principle; store length-prefixed.
+    os << "name " << p.name.size() << ' ' << p.name << '\n';
+    os << "totals " << p.totalUops << ' ' << p.profiledUops << ' '
+       << p.profiledInsts << '\n';
+    os << "sampling " << p.sampling.microTraceSize << ' '
+       << p.sampling.windowSize << '\n';
+    os << "operands " << p.srcOperands << ' ' << p.dstOperands << '\n';
+
+    os << "uopcounts";
+    for (auto c : p.uopCounts)
+        os << ' ' << c;
+    os << '\n';
+
+    os << "robsizes " << p.robSizes.size();
+    for (auto r : p.robSizes)
+        os << ' ' << r;
+    os << '\n';
+
+    os << "chains\n";
+    os.precision(17);
+    for (size_t i = 0; i < p.robSizes.size(); ++i) {
+        auto r = p.chains.exportRow(i);
+        os << r.apSum << ' ' << r.abpSum << ' ' << r.cpSum << ' '
+           << r.weight << ' ' << r.abpWeight << '\n';
+    }
+
+    os << "loaddeps\n";
+    for (size_t i = 0; i < p.robSizes.size(); ++i) {
+        for (int l = 0; l < LoadDepProfile::kMaxDepth; ++l)
+            os << p.loadDeps.histo[i][l] << ' ';
+        os << p.loadDeps.loads[i] << ' ' << p.loadDeps.windows[i] << ' '
+           << p.loadDeps.independentLoads[i] << '\n';
+    }
+
+    os << "branch " << p.branch.branches << ' ' << p.branch.entropySum
+       << ' ' << p.branch.staticBranches << ' ' << p.branch.historyBits
+       << '\n';
+
+    os << "cold " << p.cold.coldLoadMisses << '\n';
+    for (size_t i = 0; i < p.robSizes.size(); ++i)
+        os << p.cold.windowsWithCold[i] << ' ' << p.cold.coldInWindows[i]
+           << ' ' << p.cold.totalWindows[i] << '\n';
+
+    writeHistogram(os, "reuse_loads", p.reuseLoads);
+    writeHistogram(os, "reuse_stores", p.reuseStores);
+    writeHistogram(os, "reuse_all", p.reuseAll);
+    writeHistogram(os, "reuse_insts", p.reuseInsts);
+
+    os << "memops " << p.memOps.size() << '\n';
+    for (const auto &op : p.memOps) {
+        os << op.pc << ' ' << (op.isStore ? 1 : 0) << ' ' << op.count
+           << ' ' << op.firstPosSum << ' ' << op.gapSum << ' '
+           << op.gapCount << ' ' << op.microTraces << ' '
+           << op.loadDepthSum << ' ' << op.loadDepthCount << ' '
+           << op.selfDependent << '\n';
+        writeHistogram(os, "op_reuse", op.reuse);
+        os << "strides " << op.strides.size() << '\n';
+        for (const auto &[stride, n] : op.strides)
+            os << stride << ' ' << n << '\n';
+    }
+
+    os << "windows " << p.windows.size() << '\n';
+    for (const auto &w : p.windows) {
+        os << "w";
+        for (auto c : w.uopCounts)
+            os << ' ' << c;
+        os << ' ' << w.insts << ' ' << w.branches << ' '
+           << w.branchEntropy << ' ' << w.coldMisses << '\n';
+        os << "c";
+        for (size_t i = 0; i < p.robSizes.size(); ++i)
+            os << ' ' << w.ap[i] << ' ' << w.abp[i] << ' ' << w.cp[i];
+        os << '\n';
+        os << "m " << w.memCounts.size();
+        for (const auto &[idx, n] : w.memCounts)
+            os << ' ' << idx << ' ' << n;
+        os << '\n';
+    }
+    os << "end\n";
+}
+
+Profile
+readProfile(std::istream &is)
+{
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
+    if (magic != kMagic)
+        throw std::runtime_error("not a mipp profile");
+    if (version != kVersion)
+        throw std::runtime_error("unsupported profile version " +
+                                 std::to_string(version));
+
+    Profile p;
+    expect(is, "name");
+    size_t nameLen = 0;
+    is >> nameLen;
+    is.get(); // the separating space
+    p.name.resize(nameLen);
+    is.read(p.name.data(), static_cast<std::streamsize>(nameLen));
+
+    expect(is, "totals");
+    is >> p.totalUops >> p.profiledUops >> p.profiledInsts;
+    expect(is, "sampling");
+    is >> p.sampling.microTraceSize >> p.sampling.windowSize;
+    expect(is, "operands");
+    is >> p.srcOperands >> p.dstOperands;
+
+    expect(is, "uopcounts");
+    for (auto &c : p.uopCounts)
+        is >> c;
+
+    expect(is, "robsizes");
+    size_t nRob = 0;
+    is >> nRob;
+    p.robSizes.resize(nRob);
+    for (auto &r : p.robSizes)
+        is >> r;
+
+    expect(is, "chains");
+    p.chains = DependenceChains(p.robSizes);
+    for (size_t i = 0; i < nRob; ++i) {
+        DependenceChains::Row r{};
+        is >> r.apSum >> r.abpSum >> r.cpSum >> r.weight >> r.abpWeight;
+        p.chains.importRow(i, r);
+    }
+
+    expect(is, "loaddeps");
+    p.loadDeps.resize(nRob);
+    for (size_t i = 0; i < nRob; ++i) {
+        for (int l = 0; l < LoadDepProfile::kMaxDepth; ++l)
+            is >> p.loadDeps.histo[i][l];
+        is >> p.loadDeps.loads[i] >> p.loadDeps.windows[i] >>
+            p.loadDeps.independentLoads[i];
+    }
+
+    expect(is, "branch");
+    is >> p.branch.branches >> p.branch.entropySum >>
+        p.branch.staticBranches >> p.branch.historyBits;
+
+    expect(is, "cold");
+    p.cold.resize(nRob);
+    is >> p.cold.coldLoadMisses;
+    for (size_t i = 0; i < nRob; ++i)
+        is >> p.cold.windowsWithCold[i] >> p.cold.coldInWindows[i] >>
+            p.cold.totalWindows[i];
+
+    p.reuseLoads = readHistogram(is, "reuse_loads");
+    p.reuseStores = readHistogram(is, "reuse_stores");
+    p.reuseAll = readHistogram(is, "reuse_all");
+    p.reuseInsts = readHistogram(is, "reuse_insts");
+
+    expect(is, "memops");
+    size_t nOps = 0;
+    is >> nOps;
+    p.memOps.resize(nOps);
+    for (auto &op : p.memOps) {
+        int isStore = 0;
+        is >> op.pc >> isStore >> op.count >> op.firstPosSum >>
+            op.gapSum >> op.gapCount >> op.microTraces >>
+            op.loadDepthSum >> op.loadDepthCount >> op.selfDependent;
+        op.isStore = isStore != 0;
+        op.reuse = readHistogram(is, "op_reuse");
+        expect(is, "strides");
+        size_t nStrides = 0;
+        is >> nStrides;
+        for (size_t s = 0; s < nStrides; ++s) {
+            int64_t stride = 0;
+            uint64_t n = 0;
+            is >> stride >> n;
+            op.strides[stride] = n;
+        }
+    }
+
+    expect(is, "windows");
+    size_t nWin = 0;
+    is >> nWin;
+    p.windows.resize(nWin);
+    for (auto &w : p.windows) {
+        expect(is, "w");
+        for (auto &c : w.uopCounts)
+            is >> c;
+        is >> w.insts >> w.branches >> w.branchEntropy >> w.coldMisses;
+        expect(is, "c");
+        w.ap.resize(nRob);
+        w.abp.resize(nRob);
+        w.cp.resize(nRob);
+        for (size_t i = 0; i < nRob; ++i)
+            is >> w.ap[i] >> w.abp[i] >> w.cp[i];
+        expect(is, "m");
+        size_t nMem = 0;
+        is >> nMem;
+        w.memCounts.resize(nMem);
+        for (auto &[idx, n] : w.memCounts)
+            is >> idx >> n;
+    }
+    expect(is, "end");
+    if (!is)
+        throw std::runtime_error("profile parse: truncated input");
+    return p;
+}
+
+bool
+saveProfile(const Profile &profile, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeProfile(profile, os);
+    return static_cast<bool>(os);
+}
+
+Profile
+loadProfile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        throw std::runtime_error("cannot open profile: " + path);
+    return readProfile(is);
+}
+
+} // namespace mipp

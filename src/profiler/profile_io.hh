@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Profile persistence.
+ *
+ * The paper's workflow separates the (slow, one-time) profiling tool from
+ * the (fast, repeated) modeling tool and ships profiles between them as
+ * files. This module provides a versioned, human-inspectable text format
+ * for Profile with exact round-tripping of every statistic the model
+ * consumes.
+ */
+
+#ifndef MIPP_PROFILER_PROFILE_IO_HH
+#define MIPP_PROFILER_PROFILE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "profiler/profile.hh"
+
+namespace mipp {
+
+/** Serialize @p profile to @p os. */
+void writeProfile(const Profile &profile, std::ostream &os);
+
+/** Serialize to a file. @return false on I/O failure. */
+bool saveProfile(const Profile &profile, const std::string &path);
+
+/**
+ * Parse a profile previously written by writeProfile.
+ * @throws std::runtime_error on malformed input or version mismatch.
+ */
+Profile readProfile(std::istream &is);
+
+/** Load from a file. @throws std::runtime_error on failure. */
+Profile loadProfile(const std::string &path);
+
+} // namespace mipp
+
+#endif // MIPP_PROFILER_PROFILE_IO_HH

@@ -1,0 +1,461 @@
+#include "profiler/profiler.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace mipp {
+
+namespace {
+
+/** Linear branch entropy of a taken-probability (thesis Eq 3.14). */
+double
+linearEntropy(double p)
+{
+    return 2.0 * std::min(p, 1.0 - p);
+}
+
+/** Taken/not-taken counts for one (branch, history) pair. */
+struct TakenCounts {
+    uint32_t taken = 0;
+    uint32_t total = 0;
+};
+
+/** Average linear entropy over a (pc, history) count map (Eq 3.15). */
+double
+entropyOf(const std::unordered_map<uint64_t, TakenCounts> &stats,
+          uint64_t &branchesOut)
+{
+    double sum = 0;
+    uint64_t branches = 0;
+    for (const auto &[key, c] : stats) {
+        double p = static_cast<double>(c.taken) / c.total;
+        sum += c.total * linearEntropy(p);
+        branches += c.total;
+    }
+    branchesOut = branches;
+    return branches ? sum / branches : 0.0;
+}
+
+/**
+ * Dependence-depth walk over one window of uops (thesis Alg 3.1).
+ *
+ * depth[j]     = producing-chain length ending at uop j (>= 1)
+ * loadDepth[j] = loads on the longest load-dependence path reaching j
+ */
+struct WindowChainStats {
+    double ap = 0;
+    double abp = 0;
+    bool hasBranch = false;
+    double cp = 0;
+    /** Load-depth histogram (1-based, capped). */
+    std::array<uint32_t, LoadDepProfile::kMaxDepth> loadHisto{};
+    uint32_t loads = 0;
+    uint32_t independentLoads = 0;
+};
+
+WindowChainStats
+walkWindow(const MicroOp *ops, size_t n,
+           std::vector<std::pair<uint32_t, uint32_t>> *loadDepthPerOp)
+{
+    WindowChainStats out;
+    // Producer position per register within the window; -1 = outside.
+    int prod[kNumRegs];
+    std::fill(std::begin(prod), std::end(prod), -1);
+
+    std::vector<uint16_t> depth(n), loadDepth(n);
+    double depthSum = 0, branchDepthSum = 0;
+    uint32_t branches = 0;
+    uint16_t maxDepth = 0;
+
+    for (size_t j = 0; j < n; ++j) {
+        const MicroOp &op = ops[j];
+        uint16_t d = 0, ld = 0;
+        auto consider = [&](int8_t reg) {
+            if (reg == kNoReg)
+                return;
+            int p = prod[reg];
+            if (p >= 0) {
+                d = std::max(d, depth[p]);
+                ld = std::max(ld, loadDepth[p]);
+            }
+        };
+        consider(op.src1);
+        consider(op.src2);
+        depth[j] = d + 1;
+        bool is_load = op.type == UopType::Load;
+        loadDepth[j] = ld + (is_load ? 1 : 0);
+        if (op.dst != kNoReg)
+            prod[op.dst] = static_cast<int>(j);
+
+        depthSum += depth[j];
+        maxDepth = std::max(maxDepth, depth[j]);
+        if (op.type == UopType::Branch) {
+            branchDepthSum += depth[j];
+            branches++;
+        }
+        if (is_load) {
+            out.loads++;
+            int bin = std::min<int>(loadDepth[j],
+                                    LoadDepProfile::kMaxDepth);
+            out.loadHisto[bin - 1]++;
+            if (loadDepth[j] == 1)
+                out.independentLoads++;
+            if (loadDepthPerOp)
+                loadDepthPerOp->emplace_back(static_cast<uint32_t>(j),
+                                             loadDepth[j]);
+        }
+    }
+    out.ap = n ? depthSum / n : 0;
+    out.cp = maxDepth;
+    out.hasBranch = branches > 0;
+    out.abp = branches ? branchDepthSum / branches : 0;
+    return out;
+}
+
+/** Whole-trace profiling state. */
+class Profiler
+{
+  public:
+    Profiler(const ProfilerConfig &cfg) : cfg_(cfg)
+    {
+        profile_.name = cfg.name;
+        profile_.sampling = cfg.sampling;
+        profile_.robSizes = cfg.robSizes;
+        profile_.chains = DependenceChains(cfg.robSizes);
+        profile_.loadDeps.resize(cfg.robSizes.size());
+        profile_.cold.resize(cfg.robSizes.size());
+        profile_.branch.historyBits = cfg.historyBits;
+    }
+
+    Profile run(const Trace &trace);
+
+  private:
+    void observeMemory(const MicroOp &op, size_t uopIndex, bool inMt);
+    void observeBranch(const MicroOp &op, bool inMt);
+    void observeIfetch(const MicroOp &op);
+    void finishMicroTrace();
+    uint32_t memOpIndex(uint64_t pc, bool isStore);
+
+    const ProfilerConfig &cfg_;
+    Profile profile_;
+
+    // --- continuous (whole-trace) state ----------------------------------
+    std::unordered_map<uint64_t, uint64_t> lastAccess_; // line -> mem idx
+    uint64_t memIndex_ = 0;
+    std::unordered_map<uint64_t, uint64_t> lastILine_;  // iline -> idx
+    uint64_t iLineIndex_ = 0;
+    uint64_t prevILine_ = ~0ULL;
+    std::unordered_map<uint64_t, TakenCounts> branchStats_;
+    uint64_t ghist_ = 0;
+    std::unordered_map<uint64_t, uint32_t> memOpIndex_; // pc -> memOps idx
+    struct OpRunning {
+        uint64_t lastAddr = 0;
+        uint64_t lastUopIdx = 0;
+        bool seen = false;
+    };
+    std::vector<OpRunning> opRunning_;
+    std::vector<uint64_t> coldLoadUopIdx_;
+
+    // --- per-micro-trace state --------------------------------------------
+    std::vector<MicroOp> mtBuf_;
+    std::vector<size_t> mtUopIdx_;
+    std::unordered_map<uint64_t, TakenCounts> mtBranchStats_;
+    std::unordered_map<uint32_t, uint32_t> mtMemCounts_;
+    std::unordered_map<uint32_t, uint32_t> mtFirstPos_;
+    uint32_t mtColdMisses_ = 0;
+};
+
+uint32_t
+Profiler::memOpIndex(uint64_t pc, bool isStore)
+{
+    auto it = memOpIndex_.find(pc);
+    if (it != memOpIndex_.end())
+        return it->second;
+    uint32_t idx = static_cast<uint32_t>(profile_.memOps.size());
+    memOpIndex_[pc] = idx;
+    StaticMemProfile p;
+    p.pc = pc;
+    p.isStore = isStore;
+    profile_.memOps.push_back(std::move(p));
+    opRunning_.emplace_back();
+    return idx;
+}
+
+void
+Profiler::observeMemory(const MicroOp &op, size_t uopIndex, bool inMt)
+{
+    uint64_t line = op.lineAddr();
+    bool is_store = op.type == UopType::Store;
+
+    // Combined-stream reuse distance (thesis Fig 4.1).
+    auto [it, cold] = lastAccess_.try_emplace(line, memIndex_);
+    uint64_t rd = 0;
+    if (!cold) {
+        rd = memIndex_ - it->second - 1;
+        it->second = memIndex_;
+    }
+    memIndex_++;
+
+    auto addReuse = [&](LogHistogram &h) {
+        if (cold)
+            h.addInfinite();
+        else
+            h.add(rd);
+    };
+    addReuse(profile_.reuseAll);
+    addReuse(is_store ? profile_.reuseStores : profile_.reuseLoads);
+
+    if (cold && !is_store) {
+        profile_.cold.coldLoadMisses++;
+        coldLoadUopIdx_.push_back(uopIndex);
+        if (inMt)
+            mtColdMisses_++;
+    }
+
+    // Per-static-op statistics (strides tracked continuously; spacing
+    // within micro-traces).
+    uint32_t idx = memOpIndex(op.pc, is_store);
+    StaticMemProfile &sp = profile_.memOps[idx];
+    OpRunning &run = opRunning_[idx];
+    sp.count++;
+    addReuse(sp.reuse);
+    if (run.seen) {
+        int64_t stride = static_cast<int64_t>(op.addr) -
+                         static_cast<int64_t>(run.lastAddr);
+        // Bound the stride map; rare strides beyond the cap fold into the
+        // closest existing entry-free behaviour (counted as distinct-ish).
+        if (sp.strides.size() < 64 || sp.strides.count(stride))
+            sp.strides[stride]++;
+        sp.gapSum += uopIndex - run.lastUopIdx;
+        sp.gapCount++;
+        if (!is_store && op.src1 == op.dst && op.dst != kNoReg)
+            sp.selfDependent++;
+    }
+    run.lastAddr = op.addr;
+    run.lastUopIdx = uopIndex;
+    run.seen = true;
+
+    if (inMt) {
+        mtMemCounts_[idx]++;
+        size_t pos = mtBuf_.size(); // position within the micro-trace
+        mtFirstPos_.try_emplace(idx, static_cast<uint32_t>(pos));
+    }
+}
+
+void
+Profiler::observeBranch(const MicroOp &op, bool inMt)
+{
+    uint64_t mask = (1ULL << cfg_.historyBits) - 1;
+    uint64_t key = (op.pc << cfg_.historyBits) | (ghist_ & mask);
+    auto &c = branchStats_[key];
+    c.taken += op.taken ? 1 : 0;
+    c.total++;
+
+    if (inMt) {
+        uint64_t wmask = (1ULL << cfg_.windowHistoryBits) - 1;
+        uint64_t wkey = (op.pc << cfg_.windowHistoryBits) | (ghist_ & wmask);
+        auto &wc = mtBranchStats_[wkey];
+        wc.taken += op.taken ? 1 : 0;
+        wc.total++;
+    }
+    ghist_ = (ghist_ << 1) | (op.taken ? 1 : 0);
+}
+
+void
+Profiler::observeIfetch(const MicroOp &op)
+{
+    uint64_t iline = op.pc / kLineSize;
+    if (iline == prevILine_)
+        return;
+    prevILine_ = iline;
+    auto [it, cold] = lastILine_.try_emplace(iline, iLineIndex_);
+    if (cold) {
+        profile_.reuseInsts.addInfinite();
+    } else {
+        profile_.reuseInsts.add(iLineIndex_ - it->second - 1);
+        it->second = iLineIndex_;
+    }
+    iLineIndex_++;
+}
+
+void
+Profiler::finishMicroTrace()
+{
+    if (mtBuf_.empty())
+        return;
+
+    WindowProfile wp;
+    wp.ap.resize(cfg_.robSizes.size());
+    wp.abp.resize(cfg_.robSizes.size());
+    wp.cp.resize(cfg_.robSizes.size());
+
+    for (const auto &op : mtBuf_) {
+        wp.uopCounts[static_cast<int>(op.type)]++;
+        wp.insts += op.instBoundary ? 1 : 0;
+        if (op.type == UopType::Branch)
+            wp.branches++;
+        profile_.srcOperands +=
+            (op.src1 != kNoReg) + (op.src2 != kNoReg);
+        profile_.dstOperands += op.dst != kNoReg;
+    }
+    profile_.profiledUops += mtBuf_.size();
+    profile_.profiledInsts += wp.insts;
+    for (int t = 0; t < kNumUopTypes; ++t)
+        profile_.uopCounts[t] += wp.uopCounts[t];
+
+    // Dependence chains + load-dependence distributions, one pass of
+    // stepping windows per profiled ROB size (thesis Alg 3.1, sampled).
+    const size_t median = cfg_.robSizes.size() / 2;
+    for (size_t i = 0; i < cfg_.robSizes.size(); ++i) {
+        size_t b = cfg_.robSizes[i];
+        if (b > mtBuf_.size())
+            b = mtBuf_.size();
+        size_t nwin = mtBuf_.size() / b;
+        double apSum = 0, abpSum = 0, cpSum = 0;
+        double abpWindows = 0;
+        std::vector<std::pair<uint32_t, uint32_t>> perLoad;
+        for (size_t w = 0; w < nwin; ++w) {
+            auto stats = walkWindow(
+                mtBuf_.data() + w * b, b,
+                i == median ? &perLoad : nullptr);
+            apSum += stats.ap;
+            cpSum += stats.cp;
+            if (stats.hasBranch) {
+                abpSum += stats.abp;
+                abpWindows += 1;
+            }
+            auto &ld = profile_.loadDeps;
+            for (int l = 0; l < LoadDepProfile::kMaxDepth; ++l)
+                ld.histo[i][l] += stats.loadHisto[l];
+            ld.loads[i] += stats.loads;
+            ld.windows[i] += 1;
+            ld.independentLoads[i] += stats.independentLoads;
+
+            if (i == median) {
+                // Attribute load depths to their static op for the
+                // stride-MLP model's dependence imposition.
+                for (auto &[posInWin, depthv] : perLoad) {
+                    size_t pos = w * b + posInWin;
+                    const MicroOp &op = mtBuf_[pos];
+                    auto it = memOpIndex_.find(op.pc);
+                    if (it != memOpIndex_.end()) {
+                        auto &sp = profile_.memOps[it->second];
+                        sp.loadDepthSum += depthv;
+                        sp.loadDepthCount++;
+                    }
+                }
+                perLoad.clear();
+            }
+            profile_.chains.addSample(i, stats.ap, stats.abp,
+                                      stats.hasBranch, stats.cp);
+        }
+        if (nwin > 0) {
+            wp.ap[i] = static_cast<float>(apSum / nwin);
+            wp.cp[i] = static_cast<float>(cpSum / nwin);
+            wp.abp[i] = abpWindows ?
+                static_cast<float>(abpSum / abpWindows) : 0.0f;
+        }
+    }
+
+    // Per-window branch entropy.
+    uint64_t nb = 0;
+    wp.branchEntropy = static_cast<float>(entropyOf(mtBranchStats_, nb));
+
+    // Per-window memory-op occurrence counts + spacing updates.
+    wp.memCounts.assign(mtMemCounts_.begin(), mtMemCounts_.end());
+    std::sort(wp.memCounts.begin(), wp.memCounts.end());
+    for (const auto &[idx, firstPos] : mtFirstPos_) {
+        profile_.memOps[idx].firstPosSum += firstPos;
+        profile_.memOps[idx].microTraces++;
+    }
+    wp.coldMisses = mtColdMisses_;
+
+    profile_.windows.push_back(std::move(wp));
+    mtBuf_.clear();
+    mtUopIdx_.clear();
+    mtBranchStats_.clear();
+    mtMemCounts_.clear();
+    mtFirstPos_.clear();
+    mtColdMisses_ = 0;
+}
+
+Profile
+Profiler::run(const Trace &trace)
+{
+    profile_.totalUops = trace.size();
+
+    bool prevInMt = false;
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const MicroOp &op = trace[i];
+        bool in_mt = cfg_.sampling.inMicroTrace(i);
+        if (prevInMt && !in_mt)
+            finishMicroTrace();
+        prevInMt = in_mt;
+
+        // Continuously tracked statistics.
+        observeIfetch(op);
+        if (isMemory(op.type))
+            observeMemory(op, i, in_mt);
+        if (op.type == UopType::Branch)
+            observeBranch(op, in_mt);
+
+        if (in_mt) {
+            mtBuf_.push_back(op);
+            mtUopIdx_.push_back(i);
+        }
+    }
+    finishMicroTrace();
+
+    // Finalize branch entropy.
+    profile_.branch.staticBranches = 0;
+    {
+        std::unordered_map<uint64_t, bool> seen;
+        for (const auto &[key, c] : branchStats_)
+            seen[key >> cfg_.historyBits] = true;
+        profile_.branch.staticBranches = seen.size();
+    }
+    uint64_t nb = 0;
+    double e = entropyOf(branchStats_, nb);
+    profile_.branch.branches = nb;
+    profile_.branch.entropySum = e * nb;
+
+    // Cold-miss burstiness per ROB size (thesis §4.4): step ROB-sized
+    // windows over the uop stream and count cold loads per window.
+    for (size_t i = 0; i < cfg_.robSizes.size(); ++i) {
+        uint64_t b = cfg_.robSizes[i];
+        uint64_t curWindow = ~0ULL;
+        uint64_t inWindow = 0;
+        auto &cold = profile_.cold;
+        cold.totalWindows[i] = trace.size() / b;
+        for (uint64_t idx : coldLoadUopIdx_) {
+            uint64_t w = idx / b;
+            if (w != curWindow) {
+                if (curWindow != ~0ULL) {
+                    cold.windowsWithCold[i]++;
+                    cold.coldInWindows[i] += inWindow;
+                }
+                curWindow = w;
+                inWindow = 0;
+            }
+            inWindow++;
+        }
+        if (curWindow != ~0ULL) {
+            cold.windowsWithCold[i]++;
+            cold.coldInWindows[i] += inWindow;
+        }
+    }
+
+    return std::move(profile_);
+}
+
+} // namespace
+
+Profile
+profileTrace(const Trace &trace, const ProfilerConfig &cfg)
+{
+    Profiler p(cfg);
+    return p.run(trace);
+}
+
+} // namespace mipp

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The micro-architecture independent profiler (thesis Ch. 3-5).
+ *
+ * One pass over a uop trace produces a Profile: instruction mix, dependence
+ * chains for a set of ROB sizes, linear branch entropy, reuse-distance
+ * distributions, cold-miss burstiness and per-static-load stride / spacing /
+ * dependence distributions. Core statistics are collected on sampled
+ * micro-traces (thesis §5.1); memory reuse, strides and branch history are
+ * tracked continuously so that long-range reuse is observed, mirroring
+ * StatStack's whole-run burst sampling (§5.4).
+ */
+
+#ifndef MIPP_PROFILER_PROFILER_HH
+#define MIPP_PROFILER_PROFILER_HH
+
+#include <string>
+
+#include "profiler/profile.hh"
+#include "trace/trace.hh"
+
+namespace mipp {
+
+/** Profiling knobs. */
+struct ProfilerConfig {
+    std::string name = "workload";
+    /** Micro-trace / window geometry; default 1000-uop micro-traces every
+     *  20k uops (the thesis rate, scaled to this framework's trace sizes). */
+    SamplingConfig sampling{1000, 20000};
+    /** ROB sizes for which dependence chains are profiled (thesis §5.2). */
+    std::vector<uint32_t> robSizes = defaultRobSizes();
+    /** Global-history length for linear branch entropy (bits). */
+    uint32_t historyBits = 8;
+    /** History bits for the cheap per-window entropy estimate. */
+    uint32_t windowHistoryBits = 4;
+};
+
+/** Profile @p trace. Deterministic; no micro-architecture inputs. */
+Profile profileTrace(const Trace &trace, const ProfilerConfig &cfg = {});
+
+} // namespace mipp
+
+#endif // MIPP_PROFILER_PROFILER_HH

@@ -1,0 +1,179 @@
+#include "sim/branch_predictor.hh"
+
+#include <bit>
+
+namespace mipp {
+
+namespace {
+
+/** Entries affordable with 2-bit counters in @p bytes of storage. */
+size_t
+entriesFor(uint32_t bytes)
+{
+    size_t entries = static_cast<size_t>(bytes) * 4; // 4 counters per byte
+    return std::bit_floor(std::max<size_t>(entries, 16));
+}
+
+uint32_t
+log2u(size_t v)
+{
+    return static_cast<uint32_t>(std::bit_width(v) - 1);
+}
+
+} // namespace
+
+// --- GAg -------------------------------------------------------------------
+
+GAgPredictor::GAgPredictor(uint32_t bytes)
+    : table_(entriesFor(bytes)), histBits_(log2u(table_.size()))
+{
+}
+
+bool
+GAgPredictor::predict(uint64_t pc)
+{
+    (void)pc;
+    return table_.taken(hist_);
+}
+
+void
+GAgPredictor::update(uint64_t pc, bool taken)
+{
+    (void)pc;
+    table_.train(hist_, taken);
+    hist_ = ((hist_ << 1) | (taken ? 1 : 0)) & ((1u << histBits_) - 1);
+}
+
+// --- GAp -------------------------------------------------------------------
+
+GApPredictor::GApPredictor(uint32_t bytes)
+    : table_(entriesFor(bytes))
+{
+    uint32_t idx_bits = log2u(table_.size());
+    // Split index bits between pc and history; history gets the rest.
+    pcBits_ = idx_bits / 2;
+    histBits_ = idx_bits - pcBits_;
+}
+
+size_t
+GApPredictor::index(uint64_t pc) const
+{
+    uint64_t pc_part = (pc >> 3) & ((1ull << pcBits_) - 1);
+    return (pc_part << histBits_) | (hist_ & ((1u << histBits_) - 1));
+}
+
+bool
+GApPredictor::predict(uint64_t pc)
+{
+    return table_.taken(index(pc));
+}
+
+void
+GApPredictor::update(uint64_t pc, bool taken)
+{
+    table_.train(index(pc), taken);
+    hist_ = ((hist_ << 1) | (taken ? 1 : 0)) & ((1u << histBits_) - 1);
+}
+
+// --- PAp -------------------------------------------------------------------
+
+PApPredictor::PApPredictor(uint32_t bytes)
+    : table_(entriesFor(bytes) / 2),
+      localHist_(entriesFor(bytes) / 8, 0)
+{
+    uint32_t idx_bits = log2u(table_.size());
+    pcBits_ = idx_bits / 2;
+    histBits_ = idx_bits - pcBits_;
+}
+
+size_t
+PApPredictor::index(uint64_t pc) const
+{
+    uint64_t pc_part = (pc >> 3) & ((1ull << pcBits_) - 1);
+    uint16_t lh = localHist_[(pc >> 3) % localHist_.size()];
+    return (pc_part << histBits_) | (lh & ((1u << histBits_) - 1));
+}
+
+bool
+PApPredictor::predict(uint64_t pc)
+{
+    return table_.taken(index(pc));
+}
+
+void
+PApPredictor::update(uint64_t pc, bool taken)
+{
+    table_.train(index(pc), taken);
+    auto &lh = localHist_[(pc >> 3) % localHist_.size()];
+    lh = static_cast<uint16_t>((lh << 1) | (taken ? 1 : 0));
+}
+
+// --- gshare ----------------------------------------------------------------
+
+GSharePredictor::GSharePredictor(uint32_t bytes)
+    : table_(entriesFor(bytes)), histBits_(log2u(table_.size()))
+{
+}
+
+bool
+GSharePredictor::predict(uint64_t pc)
+{
+    return table_.taken((pc >> 3) ^ hist_);
+}
+
+void
+GSharePredictor::update(uint64_t pc, bool taken)
+{
+    table_.train((pc >> 3) ^ hist_, taken);
+    hist_ = ((hist_ << 1) | (taken ? 1 : 0)) & ((1u << histBits_) - 1);
+}
+
+// --- Tournament --------------------------------------------------------------
+
+TournamentPredictor::TournamentPredictor(uint32_t bytes)
+    : gap_(bytes / 2), pap_(bytes / 4), chooser_(entriesFor(bytes / 4))
+{
+}
+
+bool
+TournamentPredictor::predict(uint64_t pc)
+{
+    bool use_gap = chooser_.taken(((pc >> 3) ^ hist_) % chooser_.size());
+    return use_gap ? gap_.predict(pc) : pap_.predict(pc);
+}
+
+void
+TournamentPredictor::update(uint64_t pc, bool taken)
+{
+    bool gap_correct = gap_.predict(pc) == taken;
+    bool pap_correct = pap_.predict(pc) == taken;
+    size_t ci = ((pc >> 3) ^ hist_) % chooser_.size();
+    if (gap_correct != pap_correct)
+        chooser_.train(ci, gap_correct);
+    gap_.update(pc, taken);
+    pap_.update(pc, taken);
+    hist_ = (hist_ << 1) | (taken ? 1 : 0);
+}
+
+// --- Factory ------------------------------------------------------------------
+
+std::unique_ptr<BranchPredictor>
+BranchPredictor::create(BranchPredictorKind kind, uint32_t bytes)
+{
+    switch (kind) {
+      case BranchPredictorKind::GAg:
+        return std::make_unique<GAgPredictor>(bytes);
+      case BranchPredictorKind::GAp:
+        return std::make_unique<GApPredictor>(bytes);
+      case BranchPredictorKind::PAp:
+        return std::make_unique<PApPredictor>(bytes);
+      case BranchPredictorKind::GShare:
+        return std::make_unique<GSharePredictor>(bytes);
+      case BranchPredictorKind::Tournament:
+        return std::make_unique<TournamentPredictor>(bytes);
+      default:
+        return std::make_unique<GSharePredictor>(bytes);
+    }
+}
+
+} // namespace mipp

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Branch direction predictors (thesis §3.5, Fig 3.10).
+ *
+ * Five classic organizations, each configured to a storage budget in bytes
+ * (4 KB in the thesis): GAg, GAp, PAp, gshare and a GAp/PAp tournament.
+ * These serve two roles: (1) inside the cycle-level reference simulator, and
+ * (2) as the simulation side of the linear-branch-entropy training framework
+ * that maps entropy to per-predictor miss rates (thesis Fig 3.8/3.9).
+ */
+
+#ifndef MIPP_SIM_BRANCH_PREDICTOR_HH
+#define MIPP_SIM_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "uarch/core_config.hh"
+
+namespace mipp {
+
+/** Abstract branch direction predictor. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the branch at @p pc. */
+    virtual bool predict(uint64_t pc) = 0;
+
+    /** Train with the resolved direction. */
+    virtual void update(uint64_t pc, bool taken) = 0;
+
+    /** Convenience: predict, update, report correctness. */
+    bool
+    predictAndUpdate(uint64_t pc, bool taken)
+    {
+        bool hit = predict(pc) == taken;
+        update(pc, taken);
+        return hit;
+    }
+
+    /** Factory from a (kind, byte-budget) pair. */
+    static std::unique_ptr<BranchPredictor>
+    create(BranchPredictorKind kind, uint32_t bytes);
+};
+
+/** Saturating 2-bit counter table helper. */
+class CounterTable
+{
+  public:
+    explicit CounterTable(size_t entries)
+        : counters_(entries, 2) {}
+
+    bool taken(size_t i) const { return counters_[i % counters_.size()] >= 2; }
+
+    void
+    train(size_t i, bool taken)
+    {
+        auto &c = counters_[i % counters_.size()];
+        if (taken && c < 3)
+            ++c;
+        else if (!taken && c > 0)
+            --c;
+    }
+
+    size_t size() const { return counters_.size(); }
+
+  private:
+    std::vector<uint8_t> counters_;
+};
+
+/** GAg: one global history register indexing one global counter table. */
+class GAgPredictor : public BranchPredictor
+{
+  public:
+    explicit GAgPredictor(uint32_t bytes);
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+
+  private:
+    CounterTable table_;
+    uint32_t histBits_;
+    uint32_t hist_ = 0;
+};
+
+/** GAp: global history, per-branch counter tables (pc-concatenated index). */
+class GApPredictor : public BranchPredictor
+{
+  public:
+    explicit GApPredictor(uint32_t bytes);
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+
+  private:
+    size_t index(uint64_t pc) const;
+    CounterTable table_;
+    uint32_t histBits_;
+    uint32_t pcBits_;
+    uint32_t hist_ = 0;
+};
+
+/** PAp: per-branch local history indexing per-branch counter tables. */
+class PApPredictor : public BranchPredictor
+{
+  public:
+    explicit PApPredictor(uint32_t bytes);
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+
+  private:
+    size_t index(uint64_t pc) const;
+    CounterTable table_;
+    std::vector<uint16_t> localHist_;
+    uint32_t histBits_;
+    uint32_t pcBits_;
+};
+
+/** gshare: global history XOR pc. */
+class GSharePredictor : public BranchPredictor
+{
+  public:
+    explicit GSharePredictor(uint32_t bytes);
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+
+  private:
+    CounterTable table_;
+    uint32_t histBits_;
+    uint32_t hist_ = 0;
+};
+
+/** Tournament: GAp and PAp components with a global chooser. */
+class TournamentPredictor : public BranchPredictor
+{
+  public:
+    explicit TournamentPredictor(uint32_t bytes);
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+
+  private:
+    GApPredictor gap_;
+    PApPredictor pap_;
+    CounterTable chooser_;
+    uint32_t hist_ = 0;
+};
+
+} // namespace mipp
+
+#endif // MIPP_SIM_BRANCH_PREDICTOR_HH

@@ -1,0 +1,299 @@
+#include "sim/memory_hierarchy.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mipp {
+
+// --- Cache -------------------------------------------------------------------
+
+Cache::Cache(const CacheConfig &cfg)
+    : cfg_(cfg), numSets_(std::max<uint32_t>(cfg.numSets(), 1)),
+      ways_(cfg.associativity)
+{
+    sets_.resize(numSets_ * ways_);
+}
+
+bool
+Cache::lookup(uint64_t line)
+{
+    Way *set = &sets_[setIndex(line) * ways_];
+    for (size_t i = 0; i < ways_; ++i) {
+        if (set[i].valid && set[i].line == line) {
+            // Move to MRU position.
+            Way hit = set[i];
+            for (size_t j = i; j > 0; --j)
+                set[j] = set[j - 1];
+            set[0] = hit;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Cache::peek(uint64_t line) const
+{
+    const Way *set = &sets_[setIndex(line) * ways_];
+    for (size_t i = 0; i < ways_; ++i)
+        if (set[i].valid && set[i].line == line)
+            return true;
+    return false;
+}
+
+std::optional<Cache::Victim>
+Cache::insert(uint64_t line, bool dirty)
+{
+    Way *set = &sets_[setIndex(line) * ways_];
+    // Already resident: refresh.
+    for (size_t i = 0; i < ways_; ++i) {
+        if (set[i].valid && set[i].line == line) {
+            set[i].dirty |= dirty;
+            Way hit = set[i];
+            for (size_t j = i; j > 0; --j)
+                set[j] = set[j - 1];
+            set[0] = hit;
+            return std::nullopt;
+        }
+    }
+    std::optional<Victim> victim;
+    Way &lru = set[ways_ - 1];
+    if (lru.valid)
+        victim = Victim{lru.line, lru.dirty};
+    for (size_t j = ways_ - 1; j > 0; --j)
+        set[j] = set[j - 1];
+    set[0] = {line, true, dirty};
+    return victim;
+}
+
+void
+Cache::markDirty(uint64_t line)
+{
+    Way *set = &sets_[setIndex(line) * ways_];
+    for (size_t i = 0; i < ways_; ++i)
+        if (set[i].valid && set[i].line == line)
+            set[i].dirty = true;
+}
+
+void
+Cache::invalidate(uint64_t line)
+{
+    Way *set = &sets_[setIndex(line) * ways_];
+    for (size_t i = 0; i < ways_; ++i)
+        if (set[i].valid && set[i].line == line)
+            set[i].valid = false;
+}
+
+// --- MemoryHierarchy -----------------------------------------------------------
+
+MemoryHierarchy::MemoryHierarchy(const CoreConfig &cfg)
+    : cfg_(cfg), l1i_(cfg.l1i), l1d_(cfg.l1d), l2_(cfg.l2), l3_(cfg.l3)
+{
+}
+
+uint32_t
+MemoryHierarchy::busCycles(uint64_t now)
+{
+    uint64_t wait = busFreeAt_ > now ? busFreeAt_ - now : 0;
+    busFreeAt_ = std::max(busFreeAt_, now) + cfg_.busTransferCycles;
+    stats_.busWaitCycles += wait;
+    return static_cast<uint32_t>(wait) + cfg_.busTransferCycles;
+}
+
+void
+MemoryHierarchy::fill(uint64_t line, bool dirty, bool ifetch)
+{
+    // Inclusive fills: allocate in every level; L3 evictions
+    // back-invalidate the inner levels; dirty L3 victims write back.
+    if (auto v = l3_.insert(line, false)) {
+        l2_.invalidate(v->line);
+        l1d_.invalidate(v->line);
+        l1i_.invalidate(v->line);
+        if (v->dirty) {
+            stats_.writebacks++;
+            busFreeAt_ += cfg_.busTransferCycles;
+        }
+    }
+    if (auto v = l2_.insert(line, false)) {
+        if (v->dirty)
+            l3_.markDirty(v->line);
+    }
+    Cache &l1 = ifetch ? l1i_ : l1d_;
+    if (auto v = l1.insert(line, dirty)) {
+        if (v->dirty)
+            l2_.markDirty(v->line);
+    }
+}
+
+void
+MemoryHierarchy::train(uint64_t pc, uint64_t addr, uint64_t now)
+{
+    if (!cfg_.prefetcherEnabled)
+        return;
+
+    auto it = strideTable_.find(pc);
+    if (it == strideTable_.end()) {
+        // Limited table: evict the least recently used entry.
+        if (strideTable_.size() >= cfg_.prefetcherEntries) {
+            auto victim = strideTable_.begin();
+            for (auto jt = strideTable_.begin(); jt != strideTable_.end();
+                 ++jt) {
+                if (jt->second.lastUse < victim->second.lastUse)
+                    victim = jt;
+            }
+            strideTable_.erase(victim);
+        }
+        strideTable_[pc] = {addr, 0, 0, now};
+        return;
+    }
+
+    StrideEntry &e = it->second;
+    int64_t stride = static_cast<int64_t>(addr) -
+                     static_cast<int64_t>(e.lastAddr);
+    if (stride != 0 && stride == e.stride) {
+        e.confidence = std::min(e.confidence + 1, 3);
+    } else {
+        e.stride = stride;
+        e.confidence = 0;
+    }
+    e.lastAddr = addr;
+    e.lastUse = now;
+
+    if (e.confidence >= 1 && e.stride != 0) {
+        // Prefetchers do not cross DRAM pages (thesis §4.9): strides of a
+        // page or more always land on another page and are not prefetched.
+        if (e.stride >= 4096 || e.stride <= -4096)
+            return;
+        uint64_t next = addr + e.stride;
+        uint64_t nline = next / kLineSize;
+        // Bound the in-flight table: drop long-expired, never-used entries.
+        if (inFlight_.size() > 4096) {
+            for (auto jt = inFlight_.begin(); jt != inFlight_.end();) {
+                if (jt->second + 10000 < now)
+                    jt = inFlight_.erase(jt);
+                else
+                    ++jt;
+            }
+        }
+        if (!l2_.peek(nline) && !l3_.peek(nline) && !inFlight_.count(nline)) {
+            uint32_t lat = cfg_.memLatency + busCycles(now);
+            inFlight_[nline] = now + lat;
+            stats_.prefetchesIssued++;
+        }
+    }
+}
+
+HitLevel
+MemoryHierarchy::peekLevel(uint64_t addr) const
+{
+    uint64_t line = addr / kLineSize;
+    if (l1d_.peek(line))
+        return HitLevel::L1;
+    if (l2_.peek(line))
+        return HitLevel::L2;
+    if (l3_.peek(line))
+        return HitLevel::L3;
+    return HitLevel::Dram;
+}
+
+AccessResult
+MemoryHierarchy::access(uint64_t addr, uint64_t pc, AccessKind kind,
+                        uint64_t now)
+{
+    uint64_t line = addr / kLineSize;
+    AccessResult res;
+    const bool is_store = kind == AccessKind::Store;
+    const bool is_ifetch = kind == AccessKind::Ifetch;
+
+    Cache &l1 = is_ifetch ? l1i_ : l1d_;
+    LevelStats &l1s = is_ifetch ? stats_.l1i : stats_.l1d;
+
+    auto count = [&](LevelStats &s, bool miss) {
+        if (is_ifetch) {
+            s.ifetchAccesses++;
+            s.ifetchMisses += miss;
+        } else if (is_store) {
+            s.storeAccesses++;
+            s.storeMisses += miss;
+        } else {
+            s.loadAccesses++;
+            s.loadMisses += miss;
+        }
+    };
+
+    bool l1_hit = l1.lookup(line);
+    count(l1s, !l1_hit);
+    if (l1_hit) {
+        if (is_store)
+            l1.markDirty(line);
+        res.latency = l1.config().latency;
+        res.level = HitLevel::L1;
+        return res;
+    }
+
+    // Train the prefetcher on L1D demand misses.
+    if (!is_ifetch)
+        train(pc, addr, now);
+
+    auto fill_l1 = [&]() {
+        if (auto v = l1.insert(line, is_store && !is_ifetch)) {
+            if (v->dirty)
+                l2_.markDirty(v->line);
+        }
+    };
+
+    bool l2_hit = l2_.lookup(line);
+    count(stats_.l2, !l2_hit);
+    if (l2_hit) {
+        res.latency = l1.config().latency + l2_.config().latency;
+        res.level = HitLevel::L2;
+        fill_l1();
+        return res;
+    }
+
+    // In-flight prefetch interception: partially or fully hidden latency.
+    if (auto it = inFlight_.find(line); it != inFlight_.end()) {
+        uint64_t ready = it->second;
+        inFlight_.erase(it);
+        fill(line, is_store && !is_ifetch, is_ifetch);
+        stats_.prefetchHits++;
+        res.prefetched = true;
+        res.level = HitLevel::L2;
+        uint64_t remaining = ready > now ? ready - now : 0;
+        res.latency = l1.config().latency +
+                      std::max<uint64_t>(l2_.config().latency, remaining);
+        return res;
+    }
+
+    bool l3_hit = l3_.lookup(line);
+    count(stats_.l3, !l3_hit);
+    if (l3_hit) {
+        res.latency = l1.config().latency + l3_.config().latency;
+        res.level = HitLevel::L3;
+        if (auto v = l2_.insert(line, false)) {
+            if (v->dirty)
+                l3_.markDirty(v->line);
+        }
+        fill_l1();
+        return res;
+    }
+
+    // DRAM access.
+    stats_.dramAccesses++;
+    res.level = HitLevel::Dram;
+    res.coldMiss = touched_.insert(line).second;
+    if (!is_ifetch) {
+        if (is_store) {
+            stats_.coldStoreMisses += res.coldMiss;
+            stats_.capacityStoreMisses += !res.coldMiss;
+        } else {
+            stats_.coldLoadMisses += res.coldMiss;
+            stats_.capacityLoadMisses += !res.coldMiss;
+        }
+    }
+    res.latency = l1.config().latency + cfg_.memLatency + busCycles(now);
+    fill(line, is_store && !is_ifetch, is_ifetch);
+    return res;
+}
+
+} // namespace mipp

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Functional-with-latency cache hierarchy for the reference simulator.
+ *
+ * Three inclusive levels of set-associative LRU caches plus a DRAM model
+ * with a single shared memory bus (queuing delay, thesis §4.7) and an
+ * optional per-PC stride prefetcher (thesis §4.9). Accesses return the
+ * full latency the requesting core observes; the hierarchy keeps the
+ * detailed per-level statistics the evaluation benches report.
+ */
+
+#ifndef MIPP_SIM_MEMORY_HIERARCHY_HH
+#define MIPP_SIM_MEMORY_HIERARCHY_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "uarch/core_config.hh"
+
+namespace mipp {
+
+/** One set-associative LRU cache level. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /** Look up @p line, updating LRU state. @return hit? */
+    bool lookup(uint64_t line);
+
+    /** Check residency without disturbing LRU state. */
+    bool peek(uint64_t line) const;
+
+    /** Evicted dirty/clean line if any. */
+    struct Victim {
+        uint64_t line;
+        bool dirty;
+    };
+
+    /** Insert @p line (possibly dirty); @return the victim if one. */
+    std::optional<Victim> insert(uint64_t line, bool dirty);
+
+    /** Mark a resident line dirty (store hit). */
+    void markDirty(uint64_t line);
+
+    /** Remove @p line if resident (back-invalidation). */
+    void invalidate(uint64_t line);
+
+    const CacheConfig &config() const { return cfg_; }
+
+  private:
+    struct Way {
+        uint64_t line = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    size_t setIndex(uint64_t line) const { return line % numSets_; }
+
+    CacheConfig cfg_;
+    size_t numSets_;
+    size_t ways_;
+    /** sets_[set * ways_ + i]; index 0 is MRU. */
+    std::vector<Way> sets_;
+};
+
+/** Kind of memory request. */
+enum class AccessKind : uint8_t { Load, Store, Ifetch };
+
+/** Where in the hierarchy a request was satisfied. */
+enum class HitLevel : uint8_t { L1 = 1, L2 = 2, L3 = 3, Dram = 4 };
+
+/** Outcome of one hierarchy access. */
+struct AccessResult {
+    uint32_t latency = 0;    ///< total cycles until data available
+    HitLevel level = HitLevel::L1;
+    bool coldMiss = false;   ///< DRAM access to a never-touched line
+    bool prefetched = false; ///< satisfied (fully/partially) by a prefetch
+};
+
+/** Aggregate statistics per cache level. */
+struct LevelStats {
+    uint64_t loadAccesses = 0, loadMisses = 0;
+    uint64_t storeAccesses = 0, storeMisses = 0;
+    uint64_t ifetchAccesses = 0, ifetchMisses = 0;
+
+    uint64_t accesses() const
+    {
+        return loadAccesses + storeAccesses + ifetchAccesses;
+    }
+    uint64_t misses() const
+    {
+        return loadMisses + storeMisses + ifetchMisses;
+    }
+};
+
+/** Full memory-side statistics. */
+struct MemoryStats {
+    LevelStats l1i, l1d, l2, l3;
+    uint64_t dramAccesses = 0;
+    uint64_t coldLoadMisses = 0, capacityLoadMisses = 0;
+    uint64_t coldStoreMisses = 0, capacityStoreMisses = 0;
+    uint64_t writebacks = 0;
+    uint64_t busWaitCycles = 0;   ///< total queueing delay behind the bus
+    uint64_t prefetchesIssued = 0;
+    uint64_t prefetchHits = 0;    ///< demand hits on prefetched lines
+};
+
+/** Inclusive three-level hierarchy + DRAM + bus + stride prefetcher. */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const CoreConfig &cfg);
+
+    /**
+     * Perform an access for the line containing @p addr.
+     *
+     * @param addr byte address
+     * @param pc   static pc of the requesting uop (prefetcher training)
+     * @param kind load / store / ifetch
+     * @param now  current core cycle
+     */
+    AccessResult access(uint64_t addr, uint64_t pc, AccessKind kind,
+                        uint64_t now);
+
+    /** Hit level @p addr would see right now, without any state change. */
+    HitLevel peekLevel(uint64_t addr) const;
+
+    const MemoryStats &stats() const { return stats_; }
+
+  private:
+    uint32_t busCycles(uint64_t now);
+    void train(uint64_t pc, uint64_t line, uint64_t now);
+    void fill(uint64_t line, bool dirty, bool ifetch);
+
+    const CoreConfig &cfg_;
+    Cache l1i_, l1d_, l2_, l3_;
+    MemoryStats stats_;
+
+    /** Every line ever brought in from DRAM (cold-miss tracking). */
+    std::unordered_set<uint64_t> touched_;
+
+    /** Memory bus: next cycle the bus is free. */
+    uint64_t busFreeAt_ = 0;
+
+    /** Per-PC stride prefetcher state. */
+    struct StrideEntry {
+        uint64_t lastAddr = 0;
+        int64_t stride = 0;
+        int confidence = 0;
+        uint64_t lastUse = 0;
+    };
+    std::unordered_map<uint64_t, StrideEntry> strideTable_;
+
+    /** In-flight prefetches: line -> cycle the data arrives in L2. */
+    std::unordered_map<uint64_t, uint64_t> inFlight_;
+};
+
+} // namespace mipp
+
+#endif // MIPP_SIM_MEMORY_HIERARCHY_HH

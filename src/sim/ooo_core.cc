@@ -1,0 +1,474 @@
+#include "sim/ooo_core.hh"
+
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sim/branch_predictor.hh"
+
+namespace mipp {
+
+namespace {
+
+/** One in-flight instruction in the reorder buffer. */
+struct RobEntry {
+    MicroOp op;
+    uint64_t seq = 0;
+    bool inIq = false;        ///< occupies an issue-queue slot
+    bool issued = false;
+    bool done = false;
+    uint64_t doneCycle = 0;
+    int64_t src1Seq = -1;     ///< producing seq, -1 when already available
+    int64_t src2Seq = -1;
+    HitLevel level = HitLevel::L1;     ///< loads: where data came from
+    bool blockingMispredict = false;   ///< fetch waits on this branch
+};
+
+/** A fetched uop travelling down the front-end pipeline. */
+struct PendingUop {
+    MicroOp op;
+    uint64_t readyCycle = 0;
+    bool mispredicted = false;
+};
+
+/** Why instruction delivery is currently stalled. */
+enum class FetchStall { None, Branch, ICache };
+
+class Core
+{
+  public:
+    Core(const CoreConfig &cfg, const SimOptions &opts)
+        : cfg_(cfg), opts_(opts), mem_(cfg),
+          bp_(BranchPredictor::create(cfg.predictor, cfg.predictorBytes)),
+          feBufferCap_(cfg.fetchWidth * (cfg.frontendDepth + 2))
+    {
+        for (int t = 0; t < kNumUopTypes; ++t) {
+            if (!cfg_.fus[t].pipelined)
+                fuBusyUntil_[t].assign(cfg_.fus[t].count, 0);
+        }
+    }
+
+    SimResult run(const Trace &trace);
+
+  private:
+    // Pipeline stages, called once per cycle.
+    void complete();
+    uint32_t commit();
+    void issue();
+    void dispatch();
+    void fetch(const Trace &trace);
+    void account(uint32_t commits);
+
+    bool srcReady(int64_t seq) const;
+    bool tryIssueOne(RobEntry &e);
+    void startLoad(RobEntry &e);
+
+    const CoreConfig &cfg_;
+    const SimOptions opts_;
+    MemoryHierarchy mem_;
+    std::unique_ptr<BranchPredictor> bp_;
+
+    uint64_t now_ = 0;
+    uint64_t nextSeq_ = 0;
+    size_t fetchIndex_ = 0;
+    size_t traceSize_ = 0;
+
+    std::deque<RobEntry> rob_;
+    std::deque<PendingUop> feBuffer_;
+    const size_t feBufferCap_;
+    uint32_t iqOccupancy_ = 0;
+    uint32_t lsqOccupancy_ = 0;
+
+    /** Rename map: architectural register -> producing seq (-1 = ready). */
+    int64_t renameMap_[kNumRegs] = {};
+
+    // Front-end stall machinery.
+    uint64_t fetchStallUntil_ = 0;
+    FetchStall stallReason_ = FetchStall::None;
+    bool fetchBlocked_ = false;     ///< waiting on a mispredicted branch
+    uint64_t lastFetchLine_ = ~0ULL;
+
+    // Issue-stage per-cycle resources.
+    std::vector<bool> portUsed_;
+    uint32_t fuIssued_[kNumUopTypes] = {};
+    std::unordered_map<int, std::vector<uint64_t>> fuBusyUntil_;
+
+    // Outstanding L1D misses: line -> (data-ready cycle, from DRAM?).
+    struct Outstanding {
+        uint64_t doneCycle;
+        bool dram;
+    };
+    std::unordered_map<uint64_t, Outstanding> inFlightLines_;
+
+    SimResult res_;
+    uint64_t committedUops_ = 0;
+    uint64_t committedInsts_ = 0;
+    uint64_t lastWindowCycle_ = 0;
+    uint64_t lastWindowUops_ = 0;
+    uint64_t mlpSum_ = 0;
+};
+
+bool
+Core::srcReady(int64_t seq) const
+{
+    if (seq < 0)
+        return true;
+    if (rob_.empty() || seq < static_cast<int64_t>(rob_.front().seq))
+        return true; // producer already committed
+    const RobEntry &e = rob_[seq - rob_.front().seq];
+    return e.done && e.doneCycle <= now_;
+}
+
+void
+Core::complete()
+{
+    // Prune resolved outstanding misses.
+    for (auto it = inFlightLines_.begin(); it != inFlightLines_.end();) {
+        if (it->second.doneCycle <= now_)
+            it = inFlightLines_.erase(it);
+        else
+            ++it;
+    }
+    for (auto &e : rob_) {
+        if (e.issued && !e.done && e.doneCycle <= now_) {
+            e.done = true;
+            if (e.blockingMispredict) {
+                fetchBlocked_ = false;
+                fetchStallUntil_ = e.doneCycle + cfg_.frontendDepth;
+                stallReason_ = FetchStall::Branch;
+            }
+        }
+    }
+}
+
+uint32_t
+Core::commit()
+{
+    uint32_t commits = 0;
+    while (!rob_.empty() && commits < cfg_.commitWidth) {
+        RobEntry &head = rob_.front();
+        if (!head.done || head.doneCycle > now_)
+            break;
+        if (head.op.type == UopType::Store) {
+            // Write-back at retirement; the core does not wait for it.
+            mem_.access(head.op.addr, head.op.pc, AccessKind::Store, now_);
+            lsqOccupancy_--;
+        } else if (head.op.type == UopType::Load) {
+            lsqOccupancy_--;
+        }
+        res_.activity.robReads++;
+        if (head.op.dst != kNoReg) {
+            res_.activity.rfWrites++;
+            // Clear the rename entry if this uop is still the last writer.
+            if (renameMap_[head.op.dst] ==
+                static_cast<int64_t>(head.seq))
+                renameMap_[head.op.dst] = -1;
+        }
+        committedUops_++;
+        committedInsts_ += head.op.instBoundary ? 1 : 0;
+        rob_.pop_front();
+        commits++;
+
+        // Per-window CPI series for phase analysis.
+        if (opts_.cpiWindowUops &&
+            committedUops_ - lastWindowUops_ >= opts_.cpiWindowUops) {
+            double cycles = static_cast<double>(now_ - lastWindowCycle_);
+            double uops =
+                static_cast<double>(committedUops_ - lastWindowUops_);
+            res_.windowCpi.push_back(cycles / uops);
+            lastWindowCycle_ = now_;
+            lastWindowUops_ = committedUops_;
+        }
+    }
+    return commits;
+}
+
+void
+Core::startLoad(RobEntry &e)
+{
+    if (opts_.perfectDCache) {
+        e.level = HitLevel::L1;
+        e.doneCycle = now_ + cfg_.l1d.latency;
+        return;
+    }
+    uint64_t line = e.op.lineAddr();
+    if (auto it = inFlightLines_.find(line); it != inFlightLines_.end()) {
+        // Coalesce with an outstanding miss to the same line.
+        e.level = it->second.dram ? HitLevel::Dram : HitLevel::L2;
+        e.doneCycle = std::max<uint64_t>(it->second.doneCycle,
+                                         now_ + cfg_.l1d.latency);
+        return;
+    }
+    AccessResult r = mem_.access(e.op.addr, e.op.pc, AccessKind::Load, now_);
+    e.level = r.level;
+    e.doneCycle = now_ + r.latency;
+    if (r.level != HitLevel::L1) {
+        inFlightLines_[line] = {e.doneCycle, r.level == HitLevel::Dram};
+    }
+}
+
+bool
+Core::tryIssueOne(RobEntry &e)
+{
+    int t = static_cast<int>(e.op.type);
+
+    // Structural check: MSHRs for loads that will miss in L1D.
+    if (e.op.type == UopType::Load && !opts_.perfectDCache) {
+        HitLevel lvl = mem_.peekLevel(e.op.addr);
+        bool coalesced = inFlightLines_.count(e.op.lineAddr()) > 0;
+        if (lvl != HitLevel::L1 && !coalesced &&
+            inFlightLines_.size() >= cfg_.mshrs)
+            return false;
+    }
+
+    // A free issue port that feeds this uop type.
+    int port = -1;
+    for (size_t p = 0; p < cfg_.ports.size(); ++p) {
+        if (!portUsed_[p] && cfg_.ports[p].canIssue(e.op.type)) {
+            port = static_cast<int>(p);
+            break;
+        }
+    }
+    if (port < 0)
+        return false;
+
+    // A free functional unit.
+    const FuPool &pool = cfg_.fus[t];
+    if (pool.pipelined) {
+        if (fuIssued_[t] >= pool.count)
+            return false;
+    } else {
+        auto &busy = fuBusyUntil_[t];
+        size_t unit = busy.size();
+        for (size_t u = 0; u < busy.size(); ++u) {
+            if (busy[u] <= now_) {
+                unit = u;
+                break;
+            }
+        }
+        if (unit == busy.size())
+            return false;
+        busy[unit] = now_ + cfg_.lat.of(e.op.type);
+    }
+
+    portUsed_[port] = true;
+    fuIssued_[t]++;
+    e.issued = true;
+    e.inIq = false;
+    iqOccupancy_--;
+
+    res_.activity.iqWakeups++;
+    res_.activity.fuOps[t]++;
+    res_.activity.rfReads +=
+        (e.op.src1 != kNoReg) + (e.op.src2 != kNoReg);
+
+    if (e.op.type == UopType::Load)
+        startLoad(e);
+    else
+        e.doneCycle = now_ + cfg_.lat.of(e.op.type);
+    return true;
+}
+
+void
+Core::issue()
+{
+    portUsed_.assign(cfg_.ports.size(), false);
+    for (int t = 0; t < kNumUopTypes; ++t)
+        fuIssued_[t] = 0;
+
+    uint32_t issued = 0;
+    const uint32_t issue_width = cfg_.numPorts();
+    for (auto &e : rob_) {
+        if (issued >= issue_width)
+            break;
+        if (!e.inIq || e.issued)
+            continue;
+        if (!srcReady(e.src1Seq) || !srcReady(e.src2Seq))
+            continue;
+        if (tryIssueOne(e))
+            issued++;
+    }
+}
+
+void
+Core::dispatch()
+{
+    uint32_t dispatched = 0;
+    while (dispatched < cfg_.dispatchWidth && !feBuffer_.empty()) {
+        PendingUop &p = feBuffer_.front();
+        if (p.readyCycle > now_)
+            break;
+        if (rob_.size() >= cfg_.robSize || iqOccupancy_ >= cfg_.iqSize)
+            break;
+        if (isMemory(p.op.type) && lsqOccupancy_ >= cfg_.lsqSize)
+            break;
+
+        RobEntry e;
+        e.op = p.op;
+        e.seq = nextSeq_++;
+        e.inIq = true;
+        e.blockingMispredict = p.mispredicted;
+        e.src1Seq = p.op.src1 != kNoReg ? renameMap_[p.op.src1] : -1;
+        e.src2Seq = p.op.src2 != kNoReg ? renameMap_[p.op.src2] : -1;
+        if (p.op.dst != kNoReg)
+            renameMap_[p.op.dst] = static_cast<int64_t>(e.seq);
+        if (isMemory(p.op.type))
+            lsqOccupancy_++;
+        iqOccupancy_++;
+        rob_.push_back(e);
+        feBuffer_.pop_front();
+        dispatched++;
+
+        res_.activity.robWrites++;
+        res_.activity.iqWrites++;
+        res_.activity.uops++;
+        res_.activity.instructions += p.op.instBoundary ? 1 : 0;
+    }
+}
+
+void
+Core::fetch(const Trace &trace)
+{
+    if (fetchBlocked_ || now_ < fetchStallUntil_)
+        return;
+    stallReason_ = FetchStall::None;
+
+    uint32_t fetched = 0;
+    while (fetched < cfg_.fetchWidth && fetchIndex_ < traceSize_ &&
+           feBuffer_.size() < feBufferCap_) {
+        const MicroOp &op = trace[fetchIndex_];
+
+        // Instruction-cache lookup on line crossings.
+        uint64_t line = op.pc / kLineSize;
+        if (line != lastFetchLine_ && !opts_.perfectICache) {
+            AccessResult r =
+                mem_.access(op.pc, op.pc, AccessKind::Ifetch, now_);
+            lastFetchLine_ = line;
+            if (r.level != HitLevel::L1) {
+                fetchStallUntil_ = now_ + r.latency;
+                stallReason_ = FetchStall::ICache;
+                return;
+            }
+        }
+        lastFetchLine_ = line;
+
+        PendingUop p;
+        p.op = op;
+        p.readyCycle = now_ + cfg_.frontendDepth;
+        if (op.type == UopType::Branch) {
+            res_.branches++;
+            res_.activity.bpLookups++;
+            bool correct = bp_->predictAndUpdate(op.pc, op.taken);
+            if (!correct && !opts_.perfectBranch) {
+                res_.branchMispredicts++;
+                p.mispredicted = true;
+                fetchBlocked_ = true;
+                stallReason_ = FetchStall::Branch;
+                feBuffer_.push_back(p);
+                fetchIndex_++;
+                return;
+            }
+        }
+        feBuffer_.push_back(p);
+        fetchIndex_++;
+        fetched++;
+    }
+}
+
+void
+Core::account(uint32_t commits)
+{
+    // Memory-level parallelism bookkeeping.
+    uint32_t outstanding_dram = 0;
+    for (const auto &[line, o] : inFlightLines_)
+        outstanding_dram += o.dram ? 1 : 0;
+    if (outstanding_dram > 0) {
+        res_.dramCycles++;
+        mlpSum_ += outstanding_dram;
+    }
+
+    // CPI-stack attribution (one component per cycle).
+    CpiStack &s = res_.stack;
+    if (commits > 0) {
+        s.base += 1;
+        return;
+    }
+    if (!rob_.empty()) {
+        const RobEntry &head = rob_.front();
+        if (head.issued && !(head.done && head.doneCycle <= now_) &&
+            head.op.type == UopType::Load) {
+            switch (head.level) {
+              case HitLevel::Dram: s.dram += 1; return;
+              case HitLevel::L3: s.llcHit += 1; return;
+              case HitLevel::L2: s.l2hit += 1; return;
+              default: break;
+            }
+        }
+        s.base += 1;
+        return;
+    }
+    // Empty ROB: the front end is the bottleneck.
+    if (fetchBlocked_ || stallReason_ == FetchStall::Branch)
+        s.branch += 1;
+    else if (stallReason_ == FetchStall::ICache)
+        s.icache += 1;
+    else
+        s.base += 1;
+}
+
+SimResult
+Core::run(const Trace &trace)
+{
+    traceSize_ = trace.size();
+    res_ = SimResult{};
+    for (auto &r : renameMap_)
+        r = -1;
+
+    uint64_t last_progress_cycle = 0;
+    uint64_t last_committed = 0;
+    while (committedUops_ < traceSize_) {
+        complete();
+        uint32_t commits = commit();
+        issue();
+        dispatch();
+        fetch(trace);
+        account(commits);
+
+        if (committedUops_ != last_committed) {
+            last_committed = committedUops_;
+            last_progress_cycle = now_;
+        } else if (now_ - last_progress_cycle > 1000000) {
+            throw std::logic_error("simulator deadlock at cycle " +
+                                   std::to_string(now_));
+        }
+        ++now_;
+    }
+
+    res_.cycles = now_;
+    res_.uops = committedUops_;
+    res_.instructions = committedInsts_;
+    res_.mem = mem_.stats();
+    res_.avgMlp = res_.dramCycles ?
+        static_cast<double>(mlpSum_) / res_.dramCycles : 1.0;
+
+    ActivityCounts &a = res_.activity;
+    a.cycles = now_;
+    a.l1iAccesses = res_.mem.l1i.accesses();
+    a.l1dAccesses = res_.mem.l1d.accesses();
+    a.l2Accesses = res_.mem.l2.accesses();
+    a.l3Accesses = res_.mem.l3.accesses();
+    a.dramAccesses = res_.mem.dramAccesses;
+    return res_;
+}
+
+} // namespace
+
+SimResult
+simulate(const Trace &trace, const CoreConfig &cfg, const SimOptions &opts)
+{
+    Core core(cfg, opts);
+    return core.run(trace);
+}
+
+} // namespace mipp

@@ -1,0 +1,101 @@
+#include "statstack/statstack.hh"
+
+#include <algorithm>
+
+namespace mipp {
+
+StatStack::StatStack(const LogHistogram &combined) : combined_(combined)
+{
+    total_ = static_cast<double>(combined.total());
+    size_t nbins = combined.numBins();
+    survival_.resize(nbins + 1, 0.0);
+    integral_.resize(nbins + 2, 0.0);
+    if (total_ == 0)
+        return;
+
+    // Remaining samples with RD strictly beyond each bin, built back to
+    // front; within a bin, half its mass is assumed already passed.
+    double beyond = static_cast<double>(combined.infiniteCount());
+    std::vector<double> beyondBin(nbins + 1, 0.0);
+    beyondBin[nbins] = beyond;
+    for (size_t b = nbins; b-- > 0;)
+        beyondBin[b] = beyondBin[b + 1] +
+                       static_cast<double>(combined.binCount(b));
+
+    for (size_t b = 0; b < nbins; ++b) {
+        double in_bin = static_cast<double>(combined.binCount(b));
+        survival_[b] = (beyondBin[b + 1] + 0.5 * in_bin) / total_;
+    }
+    survival_[nbins] =
+        static_cast<double>(combined.infiniteCount()) / total_;
+
+    // Integral of the survival function at bin lower boundaries.
+    integral_[0] = 0;
+    for (size_t b = 0; b <= nbins; ++b) {
+        uint64_t lo = LogHistogram::binLower(b);
+        uint64_t hi = LogHistogram::binLower(b + 1);
+        integral_[b + 1] = integral_[b] +
+                           survival_[b] * static_cast<double>(hi - lo);
+    }
+}
+
+double
+StatStack::stackDistance(uint64_t r) const
+{
+    if (total_ == 0)
+        return static_cast<double>(r);
+    size_t b = LogHistogram::binIndex(r);
+    size_t nbins = survival_.size() - 1;
+    if (b >= nbins) {
+        // Beyond profiled bins: only cold accesses survive.
+        double base = integral_[nbins];
+        uint64_t lo = LogHistogram::binLower(nbins);
+        return base + survival_[nbins] * static_cast<double>(r - lo);
+    }
+    uint64_t lo = LogHistogram::binLower(b);
+    return integral_[b] + survival_[b] * static_cast<double>(r - lo);
+}
+
+double
+StatStack::reuseThreshold(double cacheLines) const
+{
+    if (total_ == 0)
+        return cacheLines;
+    size_t nbins = survival_.size() - 1;
+    // Find the first bin whose end-integral reaches the target.
+    size_t b = 0;
+    while (b < nbins && integral_[b + 1] < cacheLines)
+        ++b;
+    double s = survival_[std::min(b, nbins)];
+    uint64_t lo = LogHistogram::binLower(b);
+    if (s <= 0) {
+        // Stack distance saturates below the cache size: nothing with a
+        // finite reuse ever misses.
+        if (b >= nbins)
+            return 1e18;
+        return static_cast<double>(lo);
+    }
+    return static_cast<double>(lo) + (cacheLines - integral_[b]) / s;
+}
+
+double
+StatStack::missRatio(const LogHistogram &typeReuse, double cacheLines) const
+{
+    uint64_t n = typeReuse.total();
+    if (n == 0)
+        return 0.0;
+    double thresh = reuseThreshold(cacheLines);
+    if (thresh >= 1e18)
+        return static_cast<double>(typeReuse.infiniteCount()) / n;
+    uint64_t t = thresh < 0 ? 0 : static_cast<uint64_t>(thresh);
+    return static_cast<double>(typeReuse.countAtLeast(t)) / n;
+}
+
+double
+StatStack::misses(const LogHistogram &typeReuse, double cacheLines) const
+{
+    return missRatio(typeReuse, cacheLines) *
+           static_cast<double>(typeReuse.total());
+}
+
+} // namespace mipp

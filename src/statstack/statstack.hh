@@ -1,0 +1,66 @@
+/**
+ * @file
+ * StatStack: statistical cache modeling from reuse distances (thesis §4.2).
+ *
+ * Reuse distances (total accesses between two touches of the same line) are
+ * cheap to profile; stack distances (unique lines touched in between) are
+ * what LRU miss ratios need. StatStack converts the former into the latter:
+ * the expected stack distance of a reuse of distance R is the expected
+ * number of intervening accesses whose own reuse extends past the window,
+ *
+ *     SD(R) = sum_{d=0}^{R-1} P(RD > d),
+ *
+ * i.e. the number of "arrows jumping over" the window in thesis Fig 4.1.
+ * An access misses a fully-associative LRU cache of C lines iff its
+ * expected stack distance is at least C; never-reused (cold) accesses
+ * always miss.
+ */
+
+#ifndef MIPP_STATSTACK_STATSTACK_HH
+#define MIPP_STATSTACK_STATSTACK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "profiler/histogram.hh"
+
+namespace mipp {
+
+/** Stack-distance model built from one combined reuse-distance histogram. */
+class StatStack
+{
+  public:
+    /** @param combined reuse distances of the full (load+store) stream. */
+    explicit StatStack(const LogHistogram &combined);
+
+    /** Expected stack distance for a reuse distance @p r. */
+    double stackDistance(uint64_t r) const;
+
+    /**
+     * Smallest reuse distance whose expected stack distance reaches
+     * @p cacheLines — the miss threshold for a cache of that size.
+     */
+    double reuseThreshold(double cacheLines) const;
+
+    /**
+     * Miss ratio of a fully-associative LRU cache with @p cacheLines lines
+     * for the access population described by @p typeReuse (e.g. loads
+     * only). Cold accesses count as misses.
+     */
+    double missRatio(const LogHistogram &typeReuse, double cacheLines) const;
+
+    /** Misses (absolute) for @p typeReuse accesses. */
+    double misses(const LogHistogram &typeReuse, double cacheLines) const;
+
+  private:
+    const LogHistogram &combined_;
+    /** Bin-boundary integral I(b) = sum_{d < binLower(b)} P(RD > d). */
+    std::vector<double> integral_;
+    /** Survival probability within each bin. */
+    std::vector<double> survival_;
+    double total_ = 0;
+};
+
+} // namespace mipp
+
+#endif // MIPP_STATSTACK_STATSTACK_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Micro-operation intermediate representation.
+ *
+ * The whole framework — workload generators, the cycle-level reference
+ * simulator, the micro-architecture independent profiler and the analytical
+ * model — operates on streams of micro-operations (uops). This mirrors the
+ * paper's CISC-to-uop decomposition step (thesis §3.2): x86 macro
+ * instructions are split into 1..n uops before dispatch, and the interval
+ * model counts uops, not instructions.
+ */
+
+#ifndef MIPP_TRACE_MICRO_OP_HH
+#define MIPP_TRACE_MICRO_OP_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace mipp {
+
+/** Number of architectural integer registers (x86-64-like). */
+constexpr int kNumIntRegs = 16;
+/** Number of architectural floating-point/vector registers. */
+constexpr int kNumFpRegs = 16;
+/** Total architectural register count; ids [0, kNumIntRegs) are integer. */
+constexpr int kNumRegs = kNumIntRegs + kNumFpRegs;
+/** Sentinel register id meaning "no operand". */
+constexpr int8_t kNoReg = -1;
+
+/** Cache line size in bytes, fixed across the framework (thesis setup). */
+constexpr uint32_t kLineSize = 64;
+
+/** Functional classes of micro-operations. */
+enum class UopType : uint8_t {
+    IntAlu,   ///< integer add/sub/logic/shift
+    IntMul,   ///< integer multiply
+    IntDiv,   ///< integer divide (non-pipelined unit)
+    FpAlu,    ///< floating-point add/sub/compare
+    FpMul,    ///< floating-point multiply
+    FpDiv,    ///< floating-point divide (non-pipelined unit)
+    Load,     ///< memory read
+    Store,    ///< memory write
+    Branch,   ///< conditional/unconditional control transfer
+    Move,     ///< register move / generic data shuffling
+    NumTypes,
+};
+
+/** Number of distinct uop types. */
+constexpr int kNumUopTypes = static_cast<int>(UopType::NumTypes);
+
+/** Short printable name for a uop type. */
+std::string_view uopTypeName(UopType t);
+
+/** @return true for Load/Store. */
+constexpr bool
+isMemory(UopType t)
+{
+    return t == UopType::Load || t == UopType::Store;
+}
+
+/**
+ * One dynamic micro-operation.
+ *
+ * Register operands encode true (RAW) data dependences: a uop depends on the
+ * most recent earlier uop writing one of its source registers. WAR/WAW
+ * hazards are assumed renamed away (thesis §2.1), so only RAW dependences
+ * carry timing meaning.
+ */
+struct MicroOp {
+    /** Static uop address. Uops from the same static program location share
+     *  a pc across dynamic instances; used for per-static-load stride
+     *  profiling, I-cache modeling and branch prediction. */
+    uint64_t pc = 0;
+    /** Effective byte address for Load/Store; 0 otherwise. */
+    uint64_t addr = 0;
+    UopType type = UopType::IntAlu;
+    /** First uop of its macro-instruction (for uops/instruction stats). */
+    bool instBoundary = true;
+    /** Branch outcome; meaningful only for Branch uops. */
+    bool taken = false;
+    /** Source operand registers; kNoReg if absent. */
+    int8_t src1 = kNoReg;
+    int8_t src2 = kNoReg;
+    /** Destination register; kNoReg if absent. */
+    int8_t dst = kNoReg;
+
+    /** @return the cache line index of the memory access. */
+    uint64_t lineAddr() const { return addr / kLineSize; }
+};
+
+} // namespace mipp
+
+#endif // MIPP_TRACE_MICRO_OP_HH

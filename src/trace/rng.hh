@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Small deterministic RNG used throughout the framework.
+ *
+ * All experiments must be reproducible bit-for-bit, so every stochastic
+ * component takes an explicit seed and uses this generator (xoshiro256**,
+ * public-domain algorithm by Blackman & Vigna).
+ */
+
+#ifndef MIPP_TRACE_RNG_HH
+#define MIPP_TRACE_RNG_HH
+
+#include <cstdint>
+
+namespace mipp {
+
+/** Deterministic 64-bit PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 seeding to fill the state.
+        uint64_t x = seed;
+        for (auto &word : s_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        auto rotl = [](uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    uint64_t
+    below(uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(below(hi - lo + 1));
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric draw: number of failures before first success with
+     * success probability @p p, capped at @p cap.
+     */
+    int
+    geometric(double p, int cap)
+    {
+        int k = 0;
+        while (k < cap && !chance(p))
+            ++k;
+        return k;
+    }
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace mipp
+
+#endif // MIPP_TRACE_RNG_HH

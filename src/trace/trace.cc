@@ -1,0 +1,57 @@
+#include "trace/trace.hh"
+
+namespace mipp {
+
+std::string_view
+uopTypeName(UopType t)
+{
+    switch (t) {
+      case UopType::IntAlu: return "IntAlu";
+      case UopType::IntMul: return "IntMul";
+      case UopType::IntDiv: return "IntDiv";
+      case UopType::FpAlu: return "FpAlu";
+      case UopType::FpMul: return "FpMul";
+      case UopType::FpDiv: return "FpDiv";
+      case UopType::Load: return "Load";
+      case UopType::Store: return "Store";
+      case UopType::Branch: return "Branch";
+      case UopType::Move: return "Move";
+      default: return "?";
+    }
+}
+
+size_t
+Trace::numInstructions() const
+{
+    size_t n = 0;
+    for (const auto &op : uops_)
+        n += op.instBoundary ? 1 : 0;
+    return n;
+}
+
+double
+Trace::uopsPerInstruction() const
+{
+    size_t insts = numInstructions();
+    return insts == 0 ? 0.0 : static_cast<double>(size()) / insts;
+}
+
+std::array<uint64_t, kNumUopTypes>
+Trace::typeCounts() const
+{
+    std::array<uint64_t, kNumUopTypes> counts{};
+    for (const auto &op : uops_)
+        counts[static_cast<int>(op.type)]++;
+    return counts;
+}
+
+double
+Trace::typeFraction(UopType t) const
+{
+    if (uops_.empty())
+        return 0.0;
+    auto counts = typeCounts();
+    return static_cast<double>(counts[static_cast<int>(t)]) / size();
+}
+
+} // namespace mipp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Dynamic micro-op trace container and statistics helpers.
+ */
+
+#ifndef MIPP_TRACE_TRACE_HH
+#define MIPP_TRACE_TRACE_HH
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "trace/micro_op.hh"
+
+namespace mipp {
+
+/**
+ * A materialized dynamic uop stream.
+ *
+ * Traces in this framework are short enough (a few million uops) to hold in
+ * memory; both the reference simulator and the profiler iterate over them.
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+    explicit Trace(std::vector<MicroOp> uops) : uops_(std::move(uops)) {}
+
+    /** Append one uop. */
+    void push(const MicroOp &op) { uops_.push_back(op); }
+
+    size_t size() const { return uops_.size(); }
+    bool empty() const { return uops_.empty(); }
+
+    const MicroOp &operator[](size_t i) const { return uops_[i]; }
+
+    auto begin() const { return uops_.begin(); }
+    auto end() const { return uops_.end(); }
+
+    /** Number of macro-instructions (uops flagged as instBoundary). */
+    size_t numInstructions() const;
+
+    /** Ratio of uops to macro-instructions (Fig 3.1 metric). */
+    double uopsPerInstruction() const;
+
+    /** Histogram of uop counts per UopType. */
+    std::array<uint64_t, kNumUopTypes> typeCounts() const;
+
+    /** Fraction of uops of a given type. */
+    double typeFraction(UopType t) const;
+
+    /** Reserve capacity up front. */
+    void reserve(size_t n) { uops_.reserve(n); }
+
+  private:
+    std::vector<MicroOp> uops_;
+};
+
+/**
+ * Sampling geometry for micro-trace profiling (thesis §5.1, Fig 5.1).
+ *
+ * A *window* is `windowSize` consecutive uops; the first `microTraceSize`
+ * uops of each window form the *micro-trace* that is actually profiled; the
+ * rest is fast-forwarded. `microTraceSize == windowSize` disables sampling.
+ */
+struct SamplingConfig {
+    size_t microTraceSize = 1000;
+    size_t windowSize = 100000;
+
+    /** No-sampling configuration (profile everything). */
+    static SamplingConfig full() { return {1, 1}; }
+
+    bool sampled() const { return microTraceSize < windowSize; }
+    double sampleRate() const
+    {
+        return static_cast<double>(microTraceSize) / windowSize;
+    }
+
+    /** @return true if uop index @p i falls inside a micro-trace. */
+    bool inMicroTrace(size_t i) const
+    {
+        return (i % windowSize) < microTraceSize;
+    }
+};
+
+} // namespace mipp
+
+#endif // MIPP_TRACE_TRACE_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Activity factors consumed by the power model (thesis §3.6, §4.10).
+ *
+ * Both the cycle-level simulator and the analytical model fill one of these
+ * from their respective executions; the power model converts activity plus a
+ * CoreConfig into power. This mirrors the paper's McPAT flow, where activity
+ * factors come either from Sniper or from the analytical model.
+ */
+
+#ifndef MIPP_UARCH_ACTIVITY_HH
+#define MIPP_UARCH_ACTIVITY_HH
+
+#include <array>
+#include <cstdint>
+
+#include "trace/micro_op.hh"
+
+namespace mipp {
+
+/** Event counts over one program execution. */
+struct ActivityCounts {
+    uint64_t cycles = 0;
+    uint64_t uops = 0;
+    uint64_t instructions = 0;
+
+    /** Executed operations per functional-unit type. */
+    std::array<uint64_t, kNumUopTypes> fuOps{};
+
+    uint64_t robWrites = 0;     ///< dispatches
+    uint64_t robReads = 0;      ///< commits
+    uint64_t iqWrites = 0;
+    uint64_t iqWakeups = 0;     ///< issue events
+    uint64_t rfReads = 0;
+    uint64_t rfWrites = 0;
+    uint64_t bpLookups = 0;
+
+    uint64_t l1iAccesses = 0;
+    uint64_t l1dAccesses = 0;
+    uint64_t l2Accesses = 0;
+    uint64_t l3Accesses = 0;
+    uint64_t dramAccesses = 0;
+};
+
+} // namespace mipp
+
+#endif // MIPP_UARCH_ACTIVITY_HH

@@ -1,0 +1,131 @@
+#include "uarch/core_config.hh"
+
+namespace mipp {
+
+std::string_view
+branchPredictorName(BranchPredictorKind k)
+{
+    switch (k) {
+      case BranchPredictorKind::GAg: return "GAg";
+      case BranchPredictorKind::GAp: return "GAp";
+      case BranchPredictorKind::PAp: return "PAp";
+      case BranchPredictorKind::GShare: return "gshare";
+      case BranchPredictorKind::Tournament: return "tournament";
+      default: return "?";
+    }
+}
+
+LatencyTable
+LatencyTable::nehalem()
+{
+    LatencyTable t;
+    t.of(UopType::IntAlu) = 1;
+    t.of(UopType::IntMul) = 3;
+    t.of(UopType::IntDiv) = 20;
+    t.of(UopType::FpAlu) = 3;
+    t.of(UopType::FpMul) = 5;
+    t.of(UopType::FpDiv) = 20;
+    t.of(UopType::Load) = 4;   // L1D hit; the memory system adds miss time
+    t.of(UopType::Store) = 1;
+    t.of(UopType::Branch) = 1;
+    t.of(UopType::Move) = 1;
+    return t;
+}
+
+namespace {
+
+/** Set every FU pool from one (count, pipelined) table. */
+void
+setFus(CoreConfig &c,
+       std::initializer_list<std::pair<UopType, FuPool>> pools)
+{
+    for (const auto &[type, pool] : pools)
+        c.fus[static_cast<int>(type)] = pool;
+}
+
+} // namespace
+
+void
+CoreConfig::setWidth(uint32_t width)
+{
+    fetchWidth = dispatchWidth = commitWidth = width;
+
+    using T = UopType;
+    ports.clear();
+    if (width <= 2) {
+        ports.push_back({{T::IntAlu, T::IntMul, T::IntDiv, T::FpMul,
+                          T::FpDiv, T::Move}});
+        ports.push_back({{T::IntAlu, T::FpAlu, T::Branch, T::Move}});
+        ports.push_back({{T::Load}});
+        ports.push_back({{T::Store}});
+        setFus(*this, {
+            {T::IntAlu, {2, true}}, {T::IntMul, {1, true}},
+            {T::IntDiv, {1, false}}, {T::FpAlu, {1, true}},
+            {T::FpMul, {1, true}}, {T::FpDiv, {1, false}},
+            {T::Load, {1, true}}, {T::Store, {1, true}},
+            {T::Branch, {1, true}}, {T::Move, {2, true}}});
+    } else if (width <= 4) {
+        // Nehalem-style six-port issue stage (thesis Fig 3.5).
+        ports.push_back({{T::IntAlu, T::FpMul, T::IntDiv, T::FpDiv,
+                          T::Move}});
+        ports.push_back({{T::IntAlu, T::IntMul, T::FpAlu, T::Move}});
+        ports.push_back({{T::Load}});
+        ports.push_back({{T::Store}});
+        ports.push_back({{T::Store}});
+        ports.push_back({{T::IntAlu, T::Branch, T::Move}});
+        setFus(*this, {
+            {T::IntAlu, {3, true}}, {T::IntMul, {1, true}},
+            {T::IntDiv, {1, false}}, {T::FpAlu, {1, true}},
+            {T::FpMul, {1, true}}, {T::FpDiv, {1, false}},
+            {T::Load, {1, true}}, {T::Store, {2, true}},
+            {T::Branch, {1, true}}, {T::Move, {3, true}}});
+    } else {
+        // Wide eight-port configuration.
+        ports.push_back({{T::IntAlu, T::FpMul, T::IntDiv, T::FpDiv,
+                          T::Move}});
+        ports.push_back({{T::IntAlu, T::IntMul, T::FpAlu, T::Move}});
+        ports.push_back({{T::Load}});
+        ports.push_back({{T::Store}});
+        ports.push_back({{T::Store}});
+        ports.push_back({{T::IntAlu, T::Branch, T::Move}});
+        ports.push_back({{T::IntAlu, T::IntMul, T::FpAlu, T::Move}});
+        ports.push_back({{T::Load}});
+        setFus(*this, {
+            {T::IntAlu, {4, true}}, {T::IntMul, {2, true}},
+            {T::IntDiv, {1, false}}, {T::FpAlu, {2, true}},
+            {T::FpMul, {1, true}}, {T::FpDiv, {1, false}},
+            {T::Load, {2, true}}, {T::Store, {2, true}},
+            {T::Branch, {1, true}}, {T::Move, {4, true}}});
+    }
+}
+
+CoreConfig
+CoreConfig::nehalemReference()
+{
+    CoreConfig c;
+    c.name = "nehalem";
+    c.setWidth(4);
+    c.frontendDepth = 5;
+    c.predictor = BranchPredictorKind::GShare;
+    c.predictorBytes = 4096;
+    // The issue queue is sized with the ROB: the interval model (like
+    // Sniper's interval core) reasons about a single ROB-sized instruction
+    // window, so the reference machine keeps the IQ non-binding. A small
+    // RS would add issue-queue-clog effects outside the model's scope.
+    c.robSize = 128;
+    c.iqSize = 128;
+    c.lsqSize = 48;
+    c.l1i = {32 * 1024, 4, 3};
+    c.l1d = {32 * 1024, 8, 4};
+    c.l2 = {256 * 1024, 8, 11};
+    c.l3 = {8 * 1024 * 1024, 16, 30};
+    c.mshrs = 10;
+    c.memLatency = 200;
+    c.busTransferCycles = 8;
+    c.prefetcherEnabled = false;
+    c.freqGHz = 2.66;
+    c.vdd = 1.1;
+    return c;
+}
+
+} // namespace mipp

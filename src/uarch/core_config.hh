@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Processor configuration description.
+ *
+ * A CoreConfig fully describes one design point: pipeline widths and depths,
+ * buffer sizes, issue ports and functional units, branch predictor, cache
+ * hierarchy, MSHRs, memory bus and DVFS operating point. Both the reference
+ * cycle-level simulator and the analytical model consume the same structure,
+ * so model-vs-simulator comparisons are always apples to apples.
+ */
+
+#ifndef MIPP_UARCH_CORE_CONFIG_HH
+#define MIPP_UARCH_CORE_CONFIG_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/micro_op.hh"
+
+namespace mipp {
+
+/** Branch predictor organizations (thesis Fig 3.10). */
+enum class BranchPredictorKind : uint8_t {
+    GAg,        ///< global history indexing a global table
+    GAp,        ///< global history, per-branch tables
+    PAp,        ///< per-branch history, per-branch tables
+    GShare,     ///< global history XOR pc
+    Tournament, ///< GAp/PAp chooser
+    NumKinds,
+};
+
+std::string_view branchPredictorName(BranchPredictorKind k);
+
+/** One level of the cache hierarchy. */
+struct CacheConfig {
+    uint32_t sizeBytes = 32 * 1024;
+    uint32_t associativity = 8;
+    /** Access (hit) latency in core cycles. */
+    uint32_t latency = 4;
+
+    uint32_t numLines() const { return sizeBytes / kLineSize; }
+    uint32_t numSets() const { return numLines() / associativity; }
+};
+
+/** Execution latencies per uop type, in cycles. */
+struct LatencyTable {
+    std::array<uint32_t, kNumUopTypes> cycles{};
+
+    /** Nehalem-like defaults. */
+    static LatencyTable nehalem();
+
+    uint32_t of(UopType t) const { return cycles[static_cast<int>(t)]; }
+    uint32_t &of(UopType t) { return cycles[static_cast<int>(t)]; }
+};
+
+/**
+ * Issue port: the set of uop types whose functional units hang off this
+ * port (thesis Fig 3.5). At most one uop can pass through a port per cycle.
+ */
+struct IssuePort {
+    std::vector<UopType> supports;
+
+    bool
+    canIssue(UopType t) const
+    {
+        for (auto s : supports)
+            if (s == t)
+                return true;
+        return false;
+    }
+};
+
+/** Functional-unit pool for one uop type. */
+struct FuPool {
+    uint32_t count = 1;
+    bool pipelined = true;
+};
+
+/** Complete core + memory configuration. */
+struct CoreConfig {
+    std::string name = "nehalem";
+
+    // --- Front end -------------------------------------------------------
+    uint32_t fetchWidth = 4;
+    /** Front-end pipeline depth = refill penalty c_fe in cycles. */
+    uint32_t frontendDepth = 5;
+    BranchPredictorKind predictor = BranchPredictorKind::GShare;
+    /** Branch predictor storage budget (bytes); 4 KB in the thesis. */
+    uint32_t predictorBytes = 4096;
+
+    // --- Back end --------------------------------------------------------
+    uint32_t dispatchWidth = 4;
+    uint32_t commitWidth = 4;
+    uint32_t robSize = 128;
+    uint32_t iqSize = 36;
+    uint32_t lsqSize = 48;
+
+    /** Issue ports; index is the port number. */
+    std::vector<IssuePort> ports;
+    /** Functional unit pools indexed by UopType. */
+    std::array<FuPool, kNumUopTypes> fus{};
+    LatencyTable lat = LatencyTable::nehalem();
+
+    // --- Memory hierarchy --------------------------------------------------
+    CacheConfig l1i{32 * 1024, 4, 3};
+    CacheConfig l1d{32 * 1024, 8, 4};
+    CacheConfig l2{256 * 1024, 8, 11};
+    CacheConfig l3{8 * 1024 * 1024, 16, 30};
+    /** L1D miss status handling registers. */
+    uint32_t mshrs = 10;
+    /** DRAM access latency in cycles (excluding bus queuing). */
+    uint32_t memLatency = 200;
+    /** Cycles the memory bus is occupied per cache-line transfer. */
+    uint32_t busTransferCycles = 8;
+    /** Per-PC stride prefetcher enabled? */
+    bool prefetcherEnabled = false;
+    /** Number of static loads the prefetcher can track. */
+    uint32_t prefetcherEntries = 16;
+
+    // --- Operating point ---------------------------------------------------
+    double freqGHz = 2.66;
+    double vdd = 1.1;
+
+    /** Number of issue ports. */
+    uint32_t numPorts() const { return ports.size(); }
+
+    /**
+     * Reference architecture, modeled after the Intel Nehalem core
+     * (thesis Tables 6.1 / 6.4).
+     */
+    static CoreConfig nehalemReference();
+
+    /**
+     * Scale the pipeline width (fetch/dispatch/commit and the port count)
+     * keeping the Nehalem port flavor. Used by the design space.
+     */
+    void setWidth(uint32_t width);
+};
+
+} // namespace mipp
+
+#endif // MIPP_UARCH_CORE_CONFIG_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * CPI-stack components (thesis Fig 6.1), shared between the cycle-level
+ * simulator and the analytical model so their stacks compare directly.
+ */
+
+#ifndef MIPP_UARCH_CPI_STACK_HH
+#define MIPP_UARCH_CPI_STACK_HH
+
+namespace mipp {
+
+/** Cycle attribution per first-order cause; values are cycle counts. */
+struct CpiStack {
+    double base = 0;    ///< dispatch/issue-limited execution
+    double branch = 0;  ///< misprediction resolution + refill
+    double icache = 0;  ///< instruction-fetch misses
+    double l2hit = 0;   ///< stalls on loads served by L2
+    double llcHit = 0;  ///< stalls on loads served by the LLC (chains)
+    double dram = 0;    ///< stalls on main-memory loads (incl. bus)
+
+    double
+    total() const
+    {
+        return base + branch + icache + l2hit + llcHit + dram;
+    }
+
+    /** Scale all components (e.g. cycles -> CPI). */
+    CpiStack
+    scaled(double f) const
+    {
+        return {base * f, branch * f, icache * f,
+                l2hit * f, llcHit * f, dram * f};
+    }
+};
+
+} // namespace mipp
+
+#endif // MIPP_UARCH_CPI_STACK_HH

@@ -1,0 +1,72 @@
+#include "uarch/design_space.hh"
+
+#include <string>
+
+namespace mipp {
+
+void
+scaleBackEnd(CoreConfig &c, uint32_t robSize)
+{
+    c.robSize = robSize;
+    c.iqSize = robSize;            // non-binding window (see CoreConfig)
+    c.lsqSize = robSize * 3 / 8;   // 48 at ROB=128
+    c.mshrs = robSize >= 256 ? 16 : (robSize >= 128 ? 10 : 6);
+}
+
+DesignSpace::DesignSpace(Axes axes)
+{
+    for (uint32_t w : axes.widths) {
+        for (uint32_t rob : axes.robSizes) {
+            for (uint32_t l1 : axes.l1dKb) {
+                for (uint32_t l2 : axes.l2Kb) {
+                    for (uint32_t l3 : axes.l3Mb) {
+                        CoreConfig c = CoreConfig::nehalemReference();
+                        c.setWidth(w);
+                        scaleBackEnd(c, rob);
+                        c.l1d.sizeBytes = l1 * 1024;
+                        c.l1i.sizeBytes = l1 * 1024;
+                        c.l2.sizeBytes = l2 * 1024;
+                        c.l3.sizeBytes = l3 * 1024 * 1024;
+                        // First-order latency scaling with capacity.
+                        c.l2.latency = l2 >= 512 ? 13 : (l2 >= 256 ? 11 : 9);
+                        c.l3.latency = l3 >= 32 ? 38 : (l3 >= 8 ? 30 : 24);
+                        c.name = "w" + std::to_string(w) +
+                                 "_rob" + std::to_string(rob) +
+                                 "_l1d" + std::to_string(l1) + "k" +
+                                 "_l2" + std::to_string(l2) + "k" +
+                                 "_l3" + std::to_string(l3) + "m";
+                        configs_.push_back(std::move(c));
+                    }
+                }
+            }
+        }
+    }
+}
+
+DesignSpace
+DesignSpace::small()
+{
+    Axes axes;
+    axes.widths = {2, 4, 6};
+    axes.robSizes = {64, 128, 256};
+    axes.l1dKb = {32};
+    axes.l2Kb = {256};
+    axes.l3Mb = {2, 8, 32};
+    return DesignSpace(axes);
+}
+
+std::vector<DvfsPoint>
+dvfsLadder()
+{
+    return {
+        {1.60, 0.90},
+        {1.86, 0.95},
+        {2.13, 1.00},
+        {2.40, 1.05},
+        {2.66, 1.10},
+        {2.93, 1.15},
+        {3.20, 1.20},
+    };
+}
+
+} // namespace mipp

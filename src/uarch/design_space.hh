@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Design-space enumeration (thesis Table 6.3) and DVFS operating points
+ * (thesis Table 7.2).
+ */
+
+#ifndef MIPP_UARCH_DESIGN_SPACE_HH
+#define MIPP_UARCH_DESIGN_SPACE_HH
+
+#include <vector>
+
+#include "uarch/core_config.hh"
+
+namespace mipp {
+
+/**
+ * Cartesian design space of core configurations.
+ *
+ * Five parameters with three values each — 243 design points, mirroring the
+ * thesis design space: pipeline width, ROB size (with IQ/LSQ scaled
+ * along), L1D/L1I size, L2 size and LLC size.
+ */
+class DesignSpace
+{
+  public:
+    /** Values explored per dimension. */
+    struct Axes {
+        std::vector<uint32_t> widths{2, 4, 6};
+        std::vector<uint32_t> robSizes{64, 128, 256};
+        std::vector<uint32_t> l1dKb{16, 32, 64};
+        std::vector<uint32_t> l2Kb{128, 256, 512};
+        std::vector<uint32_t> l3Mb{2, 8, 32};
+    };
+
+    DesignSpace() : DesignSpace(Axes{}) {}
+    explicit DesignSpace(Axes axes);
+
+    const std::vector<CoreConfig> &configs() const { return configs_; }
+    size_t size() const { return configs_.size(); }
+    const CoreConfig &operator[](size_t i) const { return configs_[i]; }
+
+    /**
+     * A 27-point subspace (every dimension reduced to its extremes plus the
+     * middle on three chosen axes) used by the quicker evaluation benches.
+     */
+    static DesignSpace small();
+
+  private:
+    std::vector<CoreConfig> configs_;
+};
+
+/** One DVFS operating point. */
+struct DvfsPoint {
+    double freqGHz;
+    double vdd;
+};
+
+/** Nehalem-like frequency/voltage ladder (thesis Table 7.2). */
+std::vector<DvfsPoint> dvfsLadder();
+
+/**
+ * Scale buffer sizes that track the ROB (IQ, LSQ, MSHRs) so one knob moves
+ * a balanced back end, as the thesis design space does.
+ */
+void scaleBackEnd(CoreConfig &c, uint32_t robSize);
+
+} // namespace mipp
+
+#endif // MIPP_UARCH_DESIGN_SPACE_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the five branch predictor organizations (thesis Fig 3.10).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/branch_predictor.hh"
+#include "trace/rng.hh"
+
+namespace mipp {
+namespace {
+
+constexpr BranchPredictorKind kAllKinds[] = {
+    BranchPredictorKind::GAg, BranchPredictorKind::GAp,
+    BranchPredictorKind::PAp, BranchPredictorKind::GShare,
+    BranchPredictorKind::Tournament,
+};
+
+class PredictorTest
+    : public ::testing::TestWithParam<BranchPredictorKind>
+{
+  protected:
+    std::unique_ptr<BranchPredictor>
+    make()
+    {
+        return BranchPredictor::create(GetParam(), 4096);
+    }
+
+    /** Miss rate over a generated outcome sequence. */
+    double
+    missRate(BranchPredictor &bp,
+             const std::vector<std::pair<uint64_t, bool>> &seq)
+    {
+        uint64_t miss = 0;
+        for (const auto &[pc, taken] : seq)
+            miss += !bp.predictAndUpdate(pc, taken);
+        return static_cast<double>(miss) / seq.size();
+    }
+};
+
+TEST_P(PredictorTest, LearnsAlwaysTaken)
+{
+    auto bp = make();
+    std::vector<std::pair<uint64_t, bool>> seq(5000, {0x400100, true});
+    EXPECT_LT(missRate(*bp, seq), 0.01);
+}
+
+TEST_P(PredictorTest, LearnsShortPeriodicPattern)
+{
+    auto bp = make();
+    std::vector<std::pair<uint64_t, bool>> seq;
+    for (int i = 0; i < 20000; ++i)
+        seq.emplace_back(0x400200, i % 4 != 0); // TTTN repeating
+    EXPECT_LT(missRate(*bp, seq), 0.05) <<
+        branchPredictorName(GetParam());
+}
+
+TEST_P(PredictorTest, RandomBranchesNearHalfMissRate)
+{
+    auto bp = make();
+    Rng rng(77);
+    std::vector<std::pair<uint64_t, bool>> seq;
+    for (int i = 0; i < 40000; ++i)
+        seq.emplace_back(0x400300, rng.chance(0.5));
+    double mr = missRate(*bp, seq);
+    EXPECT_GT(mr, 0.40) << branchPredictorName(GetParam());
+    EXPECT_LT(mr, 0.60) << branchPredictorName(GetParam());
+}
+
+TEST_P(PredictorTest, BiasedRandomBetterThanFair)
+{
+    auto mkSeq = [](double p) {
+        Rng rng(5);
+        std::vector<std::pair<uint64_t, bool>> seq;
+        for (int i = 0; i < 40000; ++i)
+            seq.emplace_back(0x400400, rng.chance(p));
+        return seq;
+    };
+    auto bpFair = make();
+    auto bpBiased = make();
+    double fair = missRate(*bpFair, mkSeq(0.5));
+    double biased = missRate(*bpBiased, mkSeq(0.9));
+    EXPECT_LT(biased, fair - 0.2);
+}
+
+TEST_P(PredictorTest, HandlesManyStaticBranches)
+{
+    auto bp = make();
+    std::vector<std::pair<uint64_t, bool>> seq;
+    for (int i = 0; i < 30000; ++i) {
+        uint64_t pc = 0x400000 + (i % 32) * 8;
+        seq.emplace_back(pc, (pc >> 3) % 2 == 0); // per-pc constant
+    }
+    EXPECT_LT(missRate(*bp, seq), 0.10) <<
+        branchPredictorName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPredictors, PredictorTest, ::testing::ValuesIn(kAllKinds),
+    [](const ::testing::TestParamInfo<BranchPredictorKind> &info) {
+        return std::string(branchPredictorName(info.param));
+    });
+
+TEST(PredictorFactory, CreatesEveryKind)
+{
+    for (auto k : kAllKinds) {
+        auto bp = BranchPredictor::create(k, 4096);
+        ASSERT_NE(bp, nullptr);
+        bp->predictAndUpdate(0x400000, true);
+    }
+}
+
+TEST(PApPredictor, LocalHistoryBeatsGlobalOnInterleavedPeriodics)
+{
+    // Two branches with different periodic patterns interleaved: local
+    // history predictors isolate them, a pure global-history predictor
+    // sees a combined stream.
+    auto pap = BranchPredictor::create(BranchPredictorKind::PAp, 4096);
+    uint64_t miss = 0;
+    int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        uint64_t pc = i % 2 ? 0x400100 : 0x400200;
+        bool taken = i % 2 ? (i / 2) % 3 != 0 : (i / 2) % 2 != 0;
+        miss += !pap->predictAndUpdate(pc, taken);
+    }
+    EXPECT_LT(static_cast<double>(miss) / n, 0.10);
+}
+
+} // namespace
+} // namespace mipp

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit + property tests for the log-binned histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "profiler/histogram.hh"
+
+namespace mipp {
+namespace {
+
+TEST(LogHistogram, SmallValuesAreExact)
+{
+    for (uint64_t v = 0; v < LogHistogram::kExactMax; ++v) {
+        EXPECT_EQ(LogHistogram::binIndex(v), v);
+        EXPECT_EQ(LogHistogram::binLower(v), v);
+        EXPECT_EQ(LogHistogram::binMid(v), v);
+    }
+}
+
+/** Property: binLower(binIndex(v)) <= v < binLower(binIndex(v)+1). */
+class BinProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(BinProperty, ValueFallsInItsBin)
+{
+    uint64_t v = GetParam();
+    size_t b = LogHistogram::binIndex(v);
+    EXPECT_LE(LogHistogram::binLower(b), v);
+    EXPECT_GT(LogHistogram::binLower(b + 1), v);
+}
+
+TEST_P(BinProperty, BinsAreMonotone)
+{
+    uint64_t v = GetParam();
+    size_t b = LogHistogram::binIndex(v);
+    EXPECT_LT(LogHistogram::binLower(b), LogHistogram::binLower(b + 1));
+    uint64_t mid = LogHistogram::binMid(b);
+    EXPECT_LE(LogHistogram::binLower(b), mid);
+    EXPECT_LT(mid, LogHistogram::binLower(b + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BinProperty,
+    ::testing::Values(0ull, 1ull, 7ull, 127ull, 128ull, 129ull, 200ull,
+                      255ull, 256ull, 1000ull, 4096ull, 65535ull,
+                      1000000ull, 1ull << 24, (1ull << 24) + 12345,
+                      1ull << 33));
+
+TEST(LogHistogram, RelativeBinningErrorBounded)
+{
+    // With 8 sub-bins per octave the bin width is at most 1/8 of the bin
+    // lower bound, so the relative error of binMid is below ~7 %.
+    for (uint64_t v = 128; v < (1ull << 30); v = v * 5 / 3 + 1) {
+        size_t b = LogHistogram::binIndex(v);
+        double mid = static_cast<double>(LogHistogram::binMid(b));
+        EXPECT_NEAR(mid, static_cast<double>(v),
+                    static_cast<double>(v) / 8.0 + 1);
+    }
+}
+
+TEST(LogHistogram, CountAtLeastCountsTailAndInfinite)
+{
+    LogHistogram h;
+    h.add(5);
+    h.add(10);
+    h.add(1000);
+    h.addInfinite(2);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.finiteTotal(), 3u);
+    EXPECT_EQ(h.countAtLeast(0), 5u);
+    EXPECT_EQ(h.countAtLeast(6), 4u);
+    EXPECT_EQ(h.countAtLeast(11), 3u);
+    EXPECT_EQ(h.countAtLeast(100000), 2u);
+}
+
+TEST(LogHistogram, MergeAddsCounts)
+{
+    LogHistogram a, b;
+    a.add(3);
+    a.addInfinite();
+    b.add(3);
+    b.add(500);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 4u);
+    EXPECT_EQ(a.binCount(3), 2u);
+    EXPECT_EQ(a.infiniteCount(), 1u);
+}
+
+TEST(LogHistogram, FiniteMeanSmallValues)
+{
+    LogHistogram h;
+    h.add(10);
+    h.add(20);
+    h.add(30);
+    EXPECT_DOUBLE_EQ(h.finiteMean(), 20.0);
+}
+
+TEST(LogHistogram, WeightedAdd)
+{
+    LogHistogram h;
+    h.add(4, 10);
+    EXPECT_EQ(h.total(), 10u);
+    EXPECT_EQ(h.binCount(4), 10u);
+}
+
+} // namespace
+} // namespace mipp

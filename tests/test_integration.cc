@@ -1,0 +1,183 @@
+/**
+ * @file
+ * End-to-end integration tests: the full profile-once / model-everywhere
+ * flow against the cycle-level simulator, mirroring the paper's headline
+ * validation (thesis §6.2-6.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+
+#include "dse/explorer.hh"
+#include "uarch/design_space.hh"
+#include "profiler/profiler.hh"
+#include "sim/ooo_core.hh"
+#include "workloads/workload.hh"
+
+namespace mipp {
+namespace {
+
+/** CPI-accuracy contract per workload against the reference machine. */
+class ReferenceAccuracy : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ReferenceAccuracy, ModelTracksSimulator)
+{
+    WorkloadSpec spec = suiteWorkload(GetParam());
+    Trace t = generateWorkload(spec, 150000);
+    CoreConfig cfg = CoreConfig::nehalemReference();
+    auto sim = simulate(t, cfg);
+    ProfilerConfig pc;
+    pc.name = spec.name;
+    Profile p = profileTrace(t, pc);
+    auto model = evaluateModel(p, cfg);
+    double err = std::abs(model.cpiPerUop() - sim.cpiPerUop()) /
+                 sim.cpiPerUop();
+    // Individual-workload contract; the suite mean is much tighter
+    // (checked in SuiteMeanError below, thesis reports 13 % at ISPASS).
+    EXPECT_LT(err, 0.45) << "sim " << sim.cpiPerUop() << " model "
+                         << model.cpiPerUop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, ReferenceAccuracy,
+    ::testing::Values("stream_add", "ptr_chase", "rand_gather",
+                      "dense_compute", "matrix_tile", "stencil",
+                      "scatter_store", "cold_sweep", "loopy_small",
+                      "mix_mid", "mul_port", "div_heavy",
+                      "bursty_mem", "balanced_mix"));
+
+TEST(Integration, SuiteMeanCpiErrorWithinPaperBand)
+{
+    // ISPASS'15 reports ~13 % average CPI error on the reference
+    // machine; require the suite mean to stay under 20 %.
+    CoreConfig cfg = CoreConfig::nehalemReference();
+    double sumErr = 0;
+    int n = 0;
+    for (const auto &spec : workloadSuite()) {
+        Trace t = generateWorkload(spec, 120000);
+        auto sim = simulate(t, cfg);
+        Profile p = profileTrace(t, {});
+        auto model = evaluateModel(p, cfg);
+        sumErr += std::abs(model.cpiPerUop() - sim.cpiPerUop()) /
+                  sim.cpiPerUop();
+        n++;
+    }
+    EXPECT_LT(sumErr / n, 0.20);
+}
+
+TEST(Integration, SuiteMeanPowerErrorWithinPaperBand)
+{
+    // ISPASS'15 reports ~7 % average power error; require < 12 %.
+    CoreConfig cfg = CoreConfig::nehalemReference();
+    double sumErr = 0;
+    int n = 0;
+    for (const auto &spec : workloadSuite()) {
+        Trace t = generateWorkload(spec, 120000);
+        auto e = evaluatePair(t, profileTrace(t, {}), cfg);
+        sumErr += std::abs(e.powerError());
+        n++;
+    }
+    EXPECT_LT(sumErr / n, 0.12);
+}
+
+TEST(Integration, ModelEvaluationOrdersOfMagnitudeFasterThanSim)
+{
+    // The paper's core speed claim: once profiled, evaluating one design
+    // point is dramatically cheaper than simulating it.
+    Trace t = generateWorkload(suiteWorkload("balanced_mix"), 200000);
+    Profile p = profileTrace(t, {});
+    CoreConfig cfg = CoreConfig::nehalemReference();
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto sim = simulate(t, cfg);
+    auto t1 = std::chrono::steady_clock::now();
+    auto model = evaluateModel(p, cfg);
+    auto t2 = std::chrono::steady_clock::now();
+
+    double simMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    double modelMs =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    EXPECT_GT(sim.cycles, 0u);
+    EXPECT_GT(model.cycles, 0.0);
+    EXPECT_LT(modelMs * 10, simMs)
+        << "model " << modelMs << " ms vs sim " << simMs << " ms";
+}
+
+TEST(Integration, ProfileOncePredictsManyConfigs)
+{
+    // One profile serves the whole (small) design space; relative
+    // ordering of clearly-ranked machines must be preserved.
+    Trace t = generateWorkload(suiteWorkload("mix_mid"), 120000);
+    Profile p = profileTrace(t, {});
+
+    CoreConfig small = CoreConfig::nehalemReference();
+    small.setWidth(2);
+    scaleBackEnd(small, 64);
+    small.l3.sizeBytes = 2 * 1024 * 1024;
+
+    CoreConfig big = CoreConfig::nehalemReference();
+    big.setWidth(6);
+    scaleBackEnd(big, 256);
+    big.l3.sizeBytes = 32 * 1024 * 1024;
+
+    auto mSmall = evaluateModel(p, small);
+    auto mBig = evaluateModel(p, big);
+    auto sSmall = simulate(t, small);
+    auto sBig = simulate(t, big);
+
+    EXPECT_LT(mBig.cycles, mSmall.cycles);
+    EXPECT_LT(sBig.cycles, sSmall.cycles);
+    // Relative speedup predicted within a factor band.
+    double simRatio = static_cast<double>(sSmall.cycles) / sBig.cycles;
+    double modRatio = mSmall.cycles / mBig.cycles;
+    EXPECT_NEAR(modRatio / simRatio, 1.0, 0.5);
+}
+
+TEST(Integration, PhaseTrackingFollowsSimulator)
+{
+    // Thesis §6.5: per-window CPI from the model should correlate with
+    // the simulator's windowed CPI over a phased workload.
+    PhasedSpec spec = phasedSuite()[0];
+    Trace t = generatePhased(spec);
+    CoreConfig cfg = CoreConfig::nehalemReference();
+    SimOptions so;
+    so.cpiWindowUops = 20000;
+    auto sim = simulate(t, cfg, so);
+    Profile p = profileTrace(t, {});
+    auto model = evaluateModel(p, cfg);
+
+    ASSERT_GE(sim.windowCpi.size(), 10u);
+    ASSERT_GE(model.windowCpi.size(), 10u);
+
+    // Compare normalized series at matched relative positions.
+    auto at = [](const std::vector<double> &v, double frac) {
+        return v[std::min(v.size() - 1,
+                          static_cast<size_t>(frac * v.size()))];
+    };
+    // Phase 1 (compute) vs phase 2 (memory): both sides must agree on
+    // which phase is slower.
+    double simPhase1 = at(sim.windowCpi, 0.15);
+    double simPhase2 = at(sim.windowCpi, 0.40);
+    double modPhase1 = at(model.windowCpi, 0.15);
+    double modPhase2 = at(model.windowCpi, 0.40);
+    EXPECT_EQ(simPhase1 < simPhase2, modPhase1 < modPhase2);
+}
+
+TEST(Integration, WholePipelineDeterministic)
+{
+    WorkloadSpec spec = suiteWorkload("stencil");
+    auto run = [&]() {
+        Trace t = generateWorkload(spec, 80000);
+        Profile p = profileTrace(t, {});
+        return evaluateModel(p, CoreConfig::nehalemReference()).cycles;
+    };
+    EXPECT_DOUBLE_EQ(run(), run());
+}
+
+} // namespace
+} // namespace mipp

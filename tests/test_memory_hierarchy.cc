@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the cache hierarchy, memory bus and stride prefetcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/memory_hierarchy.hh"
+
+namespace mipp {
+namespace {
+
+CacheConfig
+tinyCache(uint32_t lines, uint32_t assoc, uint32_t lat)
+{
+    return {lines * kLineSize, assoc, lat};
+}
+
+TEST(Cache, HitAfterInsert)
+{
+    Cache c(tinyCache(16, 4, 1));
+    EXPECT_FALSE(c.lookup(5));
+    c.insert(5, false);
+    EXPECT_TRUE(c.lookup(5));
+    EXPECT_TRUE(c.peek(5));
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    // Fully-associative 4-line cache (1 set).
+    Cache c(tinyCache(4, 4, 1));
+    for (uint64_t line = 0; line < 4; ++line)
+        EXPECT_FALSE(c.insert(line * 1, false).has_value());
+    // Touch 0 so 1 becomes LRU.
+    c.lookup(0);
+    auto victim = c.insert(100, false);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->line, 1u);
+}
+
+TEST(Cache, SetIndexingSeparatesConflicts)
+{
+    // 8 lines, 2-way: 4 sets; lines 0 and 4 share set 0.
+    Cache c(tinyCache(8, 2, 1));
+    c.insert(0, false);
+    c.insert(4, false);
+    c.insert(8, false); // evicts LRU of set 0 (line 0)
+    EXPECT_FALSE(c.peek(0));
+    EXPECT_TRUE(c.peek(4));
+    EXPECT_TRUE(c.peek(8));
+    EXPECT_FALSE(c.peek(1)); // other sets untouched
+}
+
+TEST(Cache, DirtyVictimReported)
+{
+    Cache c(tinyCache(2, 2, 1));
+    c.insert(1, true);
+    c.insert(2, false);
+    auto victim = c.insert(3, false);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->line, 1u);
+    EXPECT_TRUE(victim->dirty);
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache c(tinyCache(8, 2, 1));
+    c.insert(3, false);
+    EXPECT_TRUE(c.peek(3));
+    c.invalidate(3);
+    EXPECT_FALSE(c.peek(3));
+}
+
+TEST(Cache, PeekDoesNotDisturbLru)
+{
+    Cache c(tinyCache(2, 2, 1));
+    c.insert(1, false);
+    c.insert(2, false); // LRU = 1
+    c.peek(1);          // must NOT refresh 1
+    auto victim = c.insert(3, false);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->line, 1u);
+}
+
+class HierarchyTest : public ::testing::Test
+{
+  protected:
+    HierarchyTest()
+    {
+        cfg = CoreConfig::nehalemReference();
+        cfg.l1d = tinyCache(8, 2, 4);
+        cfg.l1i = tinyCache(8, 2, 3);
+        cfg.l2 = tinyCache(32, 4, 11);
+        cfg.l3 = tinyCache(128, 8, 30);
+        cfg.memLatency = 200;
+        cfg.busTransferCycles = 8;
+    }
+
+    CoreConfig cfg;
+};
+
+TEST_F(HierarchyTest, FirstAccessIsColdMissThenL1Hit)
+{
+    MemoryHierarchy mem(cfg);
+    auto r1 = mem.access(0x1000, 1, AccessKind::Load, 0);
+    EXPECT_EQ(r1.level, HitLevel::Dram);
+    EXPECT_TRUE(r1.coldMiss);
+    EXPECT_GE(r1.latency, cfg.memLatency);
+
+    auto r2 = mem.access(0x1008, 1, AccessKind::Load, 300);
+    EXPECT_EQ(r2.level, HitLevel::L1);
+    EXPECT_EQ(r2.latency, cfg.l1d.latency);
+    EXPECT_FALSE(r2.coldMiss);
+}
+
+TEST_F(HierarchyTest, EvictedFromL1StillHitsL2)
+{
+    MemoryHierarchy mem(cfg);
+    // L1 has 8 lines; touch 16 distinct lines, then re-touch the first.
+    for (uint64_t i = 0; i < 16; ++i)
+        mem.access(i * kLineSize, 1, AccessKind::Load, i * 1000);
+    auto r = mem.access(0, 1, AccessKind::Load, 1000000);
+    EXPECT_EQ(r.level, HitLevel::L2);
+    EXPECT_EQ(r.latency, cfg.l1d.latency + cfg.l2.latency);
+}
+
+TEST_F(HierarchyTest, CapacityMissIsNotCold)
+{
+    MemoryHierarchy mem(cfg);
+    // Touch more lines than the L3 holds, then revisit the first: it
+    // must be a DRAM access but not a cold miss.
+    for (uint64_t i = 0; i < 300; ++i)
+        mem.access(i * kLineSize, 1, AccessKind::Load, i * 1000);
+    auto r = mem.access(0, 1, AccessKind::Load, 10000000);
+    EXPECT_EQ(r.level, HitLevel::Dram);
+    EXPECT_FALSE(r.coldMiss);
+    EXPECT_EQ(mem.stats().capacityLoadMisses, 1u);
+}
+
+TEST_F(HierarchyTest, InclusionBackInvalidatesInnerLevels)
+{
+    MemoryHierarchy mem(cfg);
+    mem.access(0, 1, AccessKind::Load, 0);
+    EXPECT_EQ(mem.peekLevel(0), HitLevel::L1);
+    // Evict line 0 from L3 by filling its set with conflicting lines.
+    // L3: 128 lines, 8-way -> 16 sets; conflicts are multiples of
+    // 16 lines.
+    for (uint64_t i = 1; i <= 8; ++i)
+        mem.access(i * 16 * kLineSize, 1, AccessKind::Load, i * 1000);
+    EXPECT_EQ(mem.peekLevel(0), HitLevel::Dram)
+        << "line 0 must be back-invalidated everywhere";
+}
+
+TEST_F(HierarchyTest, BusQueuingDelaysConcurrentMisses)
+{
+    MemoryHierarchy mem(cfg);
+    auto r1 = mem.access(0x100000, 1, AccessKind::Load, 0);
+    auto r2 = mem.access(0x200000, 2, AccessKind::Load, 0);
+    auto r3 = mem.access(0x300000, 3, AccessKind::Load, 0);
+    EXPECT_LT(r1.latency, r2.latency);
+    EXPECT_LT(r2.latency, r3.latency);
+    EXPECT_EQ(r3.latency - r2.latency, cfg.busTransferCycles);
+    EXPECT_GT(mem.stats().busWaitCycles, 0u);
+}
+
+TEST_F(HierarchyTest, StoreMissCountsSeparately)
+{
+    MemoryHierarchy mem(cfg);
+    mem.access(0x5000, 1, AccessKind::Store, 0);
+    EXPECT_EQ(mem.stats().l1d.storeMisses, 1u);
+    EXPECT_EQ(mem.stats().coldStoreMisses, 1u);
+    EXPECT_EQ(mem.stats().l1d.loadMisses, 0u);
+}
+
+TEST_F(HierarchyTest, IfetchUsesInstructionCache)
+{
+    MemoryHierarchy mem(cfg);
+    mem.access(0x400000, 0x400000, AccessKind::Ifetch, 0);
+    EXPECT_EQ(mem.stats().l1i.ifetchAccesses, 1u);
+    EXPECT_EQ(mem.stats().l1i.ifetchMisses, 1u);
+    auto r = mem.access(0x400010, 0x400010, AccessKind::Ifetch, 300);
+    EXPECT_EQ(r.level, HitLevel::L1);
+}
+
+TEST_F(HierarchyTest, StridePrefetcherHidesStridedMisses)
+{
+    cfg.prefetcherEnabled = true;
+    MemoryHierarchy mem(cfg);
+    uint64_t pc = 0x400100;
+    uint64_t nPrefetched = 0;
+    uint64_t t = 0;
+    // Stride of one line; after training, subsequent accesses should be
+    // intercepted by in-flight or completed prefetches.
+    for (uint64_t i = 0; i < 64; ++i) {
+        auto r = mem.access(0x800000 + i * kLineSize, pc,
+                            AccessKind::Load, t);
+        t += 400;
+        nPrefetched += r.prefetched;
+    }
+    EXPECT_GT(mem.stats().prefetchesIssued, 20u);
+    EXPECT_GT(nPrefetched + mem.stats().prefetchHits, 20u);
+}
+
+TEST_F(HierarchyTest, PrefetcherIgnoresPageCrossingStrides)
+{
+    cfg.prefetcherEnabled = true;
+    MemoryHierarchy mem(cfg);
+    uint64_t pc = 0x400200;
+    for (uint64_t i = 0; i < 32; ++i)
+        mem.access(0x10000000 + i * 8192, pc, AccessKind::Load, i * 500);
+    EXPECT_EQ(mem.stats().prefetchesIssued, 0u);
+}
+
+TEST_F(HierarchyTest, WritebacksHappenOnDirtyEvictions)
+{
+    MemoryHierarchy mem(cfg);
+    // Dirty many lines, then push them all the way out of the L3.
+    for (uint64_t i = 0; i < 200; ++i)
+        mem.access(i * kLineSize, 1, AccessKind::Store, i * 1000);
+    for (uint64_t i = 200; i < 600; ++i)
+        mem.access(i * kLineSize, 1, AccessKind::Load, i * 1000);
+    EXPECT_GT(mem.stats().writebacks, 0u);
+}
+
+TEST_F(HierarchyTest, StatsAccessesAddUp)
+{
+    MemoryHierarchy mem(cfg);
+    for (uint64_t i = 0; i < 50; ++i)
+        mem.access(i * 32, 1, i % 3 ? AccessKind::Load : AccessKind::Store,
+                   i * 10);
+    const auto &s = mem.stats();
+    EXPECT_EQ(s.l1d.accesses(), 50u);
+    // Every L1D miss must show up as an L2 access.
+    EXPECT_EQ(s.l2.loadAccesses + s.l2.storeAccesses,
+              s.l1d.loadMisses + s.l1d.storeMisses);
+}
+
+} // namespace
+} // namespace mipp

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the McPAT-lite power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.hh"
+
+namespace mipp {
+namespace {
+
+ActivityCounts
+typicalActivity(uint64_t cycles = 1000000)
+{
+    ActivityCounts a;
+    a.cycles = cycles;
+    a.uops = cycles * 3 / 2;
+    a.instructions = a.uops * 9 / 10;
+    a.fuOps[static_cast<int>(UopType::IntAlu)] = a.uops / 2;
+    a.fuOps[static_cast<int>(UopType::Load)] = a.uops / 4;
+    a.fuOps[static_cast<int>(UopType::FpMul)] = a.uops / 10;
+    a.robWrites = a.robReads = a.uops;
+    a.iqWrites = a.iqWakeups = a.uops;
+    a.rfReads = a.uops * 3 / 2;
+    a.rfWrites = a.uops * 7 / 10;
+    a.bpLookups = a.uops / 10;
+    a.l1iAccesses = a.uops / 3;
+    a.l1dAccesses = a.uops / 3;
+    a.l2Accesses = a.uops / 50;
+    a.l3Accesses = a.uops / 200;
+    a.dramAccesses = a.uops / 1000;
+    return a;
+}
+
+TEST(PowerModel, TotalsAreCalibratedToNehalemScale)
+{
+    auto cfg = CoreConfig::nehalemReference();
+    auto p = computePower(typicalActivity(), cfg);
+    // Single core + LLC at 45 nm: single-digit to low-double-digit watts.
+    EXPECT_GT(p.total(), 2.0);
+    EXPECT_LT(p.total(), 40.0);
+    // Static around 40 % of total (thesis §2.4).
+    double staticFrac = p.staticPower / p.total();
+    EXPECT_GT(staticFrac, 0.2);
+    EXPECT_LT(staticFrac, 0.7);
+}
+
+TEST(PowerModel, ZeroCyclesMeansZeroPower)
+{
+    ActivityCounts a;
+    auto p = computePower(a, CoreConfig::nehalemReference());
+    EXPECT_DOUBLE_EQ(p.total(), 0.0);
+}
+
+TEST(PowerModel, DynamicPowerScalesWithSquaredVoltage)
+{
+    auto cfg = CoreConfig::nehalemReference();
+    auto a = typicalActivity();
+    auto base = computePower(a, cfg);
+    cfg.vdd *= 1.2;
+    auto boosted = computePower(a, cfg);
+    EXPECT_NEAR(boosted.fu / base.fu, 1.44, 0.01);
+    // Leakage grows superlinearly.
+    EXPECT_GT(boosted.staticPower / base.staticPower, 1.44);
+}
+
+TEST(PowerModel, SameWorkPerCycleAtHigherFrequencyBurnsMore)
+{
+    auto cfg = CoreConfig::nehalemReference();
+    auto a = typicalActivity();
+    auto slow = computePower(a, cfg);
+    cfg.freqGHz *= 2; // same cycle count in half the time
+    auto fast = computePower(a, cfg);
+    EXPECT_NEAR(fast.dynamicPower() / slow.dynamicPower(), 2.0, 0.01);
+}
+
+TEST(PowerModel, BiggerCachesLeakMore)
+{
+    auto a = typicalActivity();
+    auto small = CoreConfig::nehalemReference();
+    small.l3.sizeBytes = 2 * 1024 * 1024;
+    auto big = CoreConfig::nehalemReference();
+    big.l3.sizeBytes = 32 * 1024 * 1024;
+    EXPECT_GT(computePower(a, big).staticPower,
+              computePower(a, small).staticPower);
+}
+
+TEST(PowerModel, MoreDramTrafficMoreDramPower)
+{
+    auto cfg = CoreConfig::nehalemReference();
+    auto a = typicalActivity();
+    auto quiet = computePower(a, cfg);
+    a.dramAccesses *= 50;
+    auto busy = computePower(a, cfg);
+    EXPECT_GT(busy.dram, 10 * quiet.dram);
+    EXPECT_DOUBLE_EQ(busy.fu, quiet.fu);
+}
+
+TEST(PowerModel, BreakdownComponentsSumToDynamic)
+{
+    auto p = computePower(typicalActivity(),
+                          CoreConfig::nehalemReference());
+    double sum = p.frontend + p.rob + p.iq + p.rf + p.fu + p.bp + p.l1i +
+                 p.l1d + p.l2 + p.l3 + p.dram;
+    EXPECT_NEAR(sum, p.dynamicPower(), 1e-12);
+    EXPECT_NEAR(p.corePower() + p.cachePower() + p.dram,
+                p.dynamicPower(), 1e-12);
+}
+
+TEST(PowerModel, EnergyMetricsIdentities)
+{
+    auto cfg = CoreConfig::nehalemReference();
+    auto p = computePower(typicalActivity(), cfg);
+    auto m = energyMetrics(1000000, p, cfg);
+    EXPECT_NEAR(m.seconds, 1e6 / (cfg.freqGHz * 1e9), 1e-12);
+    EXPECT_NEAR(m.energy, p.total() * m.seconds, 1e-12);
+    EXPECT_NEAR(m.edp, m.energy * m.seconds, 1e-18);
+    EXPECT_NEAR(m.ed2p, m.edp * m.seconds, 1e-24);
+}
+
+TEST(PowerModel, ExecutionSecondsUsesFrequency)
+{
+    auto cfg = CoreConfig::nehalemReference();
+    cfg.freqGHz = 2.0;
+    EXPECT_DOUBLE_EQ(executionSeconds(2e9, cfg), 1.0);
+}
+
+} // namespace
+} // namespace mipp

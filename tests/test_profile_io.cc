@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Round-trip tests for profile serialization: a reloaded profile must
+ * produce bit-identical model results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "model/interval_model.hh"
+#include "profiler/profile_io.hh"
+#include "profiler/profiler.hh"
+#include "workloads/workload.hh"
+
+namespace mipp {
+namespace {
+
+Profile
+roundTrip(const Profile &p)
+{
+    std::stringstream ss;
+    writeProfile(p, ss);
+    return readProfile(ss);
+}
+
+TEST(ProfileIo, ScalarFieldsSurvive)
+{
+    Trace t = generateWorkload(suiteWorkload("mix_mid"), 80000);
+    Profile p = profileTrace(t, {.name = "mix_mid"});
+    Profile q = roundTrip(p);
+    EXPECT_EQ(q.name, p.name);
+    EXPECT_EQ(q.totalUops, p.totalUops);
+    EXPECT_EQ(q.profiledUops, p.profiledUops);
+    EXPECT_EQ(q.profiledInsts, p.profiledInsts);
+    EXPECT_EQ(q.sampling.windowSize, p.sampling.windowSize);
+    EXPECT_EQ(q.srcOperands, p.srcOperands);
+    EXPECT_EQ(q.uopCounts, p.uopCounts);
+    EXPECT_EQ(q.robSizes, p.robSizes);
+}
+
+TEST(ProfileIo, DistributionsSurvive)
+{
+    Trace t = generateWorkload(suiteWorkload("stencil"), 80000);
+    Profile p = profileTrace(t, {.name = "stencil"});
+    Profile q = roundTrip(p);
+
+    EXPECT_EQ(q.reuseLoads.total(), p.reuseLoads.total());
+    EXPECT_EQ(q.reuseLoads.infiniteCount(), p.reuseLoads.infiniteCount());
+    for (size_t b = 0; b < p.reuseLoads.numBins(); ++b)
+        ASSERT_EQ(q.reuseLoads.binCount(b), p.reuseLoads.binCount(b));
+
+    EXPECT_DOUBLE_EQ(q.branch.entropy(), p.branch.entropy());
+    EXPECT_EQ(q.branch.branches, p.branch.branches);
+
+    for (size_t i = 0; i < p.robSizes.size(); ++i) {
+        EXPECT_DOUBLE_EQ(q.chains.apAt(i), p.chains.apAt(i));
+        EXPECT_DOUBLE_EQ(q.chains.abpAt(i), p.chains.abpAt(i));
+        EXPECT_DOUBLE_EQ(q.chains.cpAt(i), p.chains.cpAt(i));
+    }
+
+    ASSERT_EQ(q.memOps.size(), p.memOps.size());
+    for (size_t i = 0; i < p.memOps.size(); ++i) {
+        EXPECT_EQ(q.memOps[i].pc, p.memOps[i].pc);
+        EXPECT_EQ(q.memOps[i].count, p.memOps[i].count);
+        EXPECT_EQ(q.memOps[i].strides, p.memOps[i].strides);
+        EXPECT_EQ(q.memOps[i].strideClass(), p.memOps[i].strideClass());
+    }
+
+    ASSERT_EQ(q.windows.size(), p.windows.size());
+    for (size_t i = 0; i < p.windows.size(); ++i) {
+        EXPECT_EQ(q.windows[i].uopCounts, p.windows[i].uopCounts);
+        EXPECT_EQ(q.windows[i].memCounts, p.windows[i].memCounts);
+        EXPECT_FLOAT_EQ(q.windows[i].branchEntropy,
+                        p.windows[i].branchEntropy);
+    }
+}
+
+TEST(ProfileIo, ModelResultsIdenticalAfterRoundTrip)
+{
+    for (const char *name : {"stream_add", "ptr_chase", "mix_mid"}) {
+        Trace t = generateWorkload(suiteWorkload(name), 100000);
+        Profile p = profileTrace(t, {.name = name});
+        Profile q = roundTrip(p);
+        CoreConfig cfg = CoreConfig::nehalemReference();
+        auto a = evaluateModel(p, cfg);
+        auto b = evaluateModel(q, cfg);
+        EXPECT_DOUBLE_EQ(a.cycles, b.cycles) << name;
+        EXPECT_DOUBLE_EQ(a.mlp, b.mlp) << name;
+        EXPECT_DOUBLE_EQ(a.branchMissRate, b.branchMissRate) << name;
+    }
+}
+
+TEST(ProfileIo, RejectsGarbage)
+{
+    std::stringstream ss("this is not a profile");
+    EXPECT_THROW(readProfile(ss), std::runtime_error);
+}
+
+TEST(ProfileIo, RejectsWrongVersion)
+{
+    std::stringstream ss("mipp-profile 99\n");
+    EXPECT_THROW(readProfile(ss), std::runtime_error);
+}
+
+TEST(ProfileIo, RejectsTruncated)
+{
+    Trace t = generateWorkload(suiteWorkload("loopy_small"), 50000);
+    Profile p = profileTrace(t, {});
+    std::stringstream ss;
+    writeProfile(p, ss);
+    std::string text = ss.str();
+    std::stringstream cut(text.substr(0, text.size() / 2));
+    EXPECT_THROW(readProfile(cut), std::runtime_error);
+}
+
+TEST(ProfileIo, FileSaveAndLoad)
+{
+    Trace t = generateWorkload(suiteWorkload("loopy_small"), 50000);
+    Profile p = profileTrace(t, {.name = "loopy_small"});
+    std::string path = "/tmp/mipp_test_profile.txt";
+    ASSERT_TRUE(saveProfile(p, path));
+    Profile q = loadProfile(path);
+    EXPECT_EQ(q.name, "loopy_small");
+    EXPECT_EQ(q.totalUops, p.totalUops);
+    std::remove(path.c_str());
+}
+
+TEST(ProfileIo, LoadMissingFileThrows)
+{
+    EXPECT_THROW(loadProfile("/nonexistent/x.profile"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace mipp

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Tests for the micro-architecture independent profiler: instruction-mix
+ * sampling, dependence chains (thesis Alg 3.1 worked example), branch
+ * entropy, reuse distances, cold misses and per-static-load statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "profiler/profiler.hh"
+#include "trace/rng.hh"
+#include "workloads/workload.hh"
+
+namespace mipp {
+namespace {
+
+ProfilerConfig
+fullProfiling()
+{
+    ProfilerConfig cfg;
+    cfg.sampling = SamplingConfig::full();
+    return cfg;
+}
+
+MicroOp
+uop(UopType t, int8_t dst = kNoReg, int8_t s1 = kNoReg,
+    int8_t s2 = kNoReg)
+{
+    MicroOp op;
+    op.type = t;
+    op.pc = 0x400000;
+    op.dst = dst;
+    op.src1 = s1;
+    op.src2 = s2;
+    return op;
+}
+
+TEST(Profiler, UopMixCountsExactWithoutSampling)
+{
+    Trace t;
+    for (int i = 0; i < 30; ++i)
+        t.push(uop(UopType::IntAlu, 4));
+    for (int i = 0; i < 10; ++i) {
+        MicroOp op = uop(UopType::Load, 5);
+        op.addr = 0x1000 + i * 64;
+        t.push(op);
+    }
+    Profile p = profileTrace(t, fullProfiling());
+    EXPECT_EQ(p.profiledUops, 40u);
+    EXPECT_DOUBLE_EQ(p.uopFraction(UopType::IntAlu), 0.75);
+    EXPECT_DOUBLE_EQ(p.uopFraction(UopType::Load), 0.25);
+}
+
+TEST(Profiler, SampledMixApproximatesFullMix)
+{
+    // Thesis Fig 5.2: sampled vs full instruction mix.
+    WorkloadSpec spec = suiteWorkload("balanced_mix");
+    Trace t = generateWorkload(spec, 400000);
+    ProfilerConfig sampled;
+    sampled.sampling = {1000, 20000};
+    Profile full = profileTrace(t, fullProfiling());
+    Profile samp = profileTrace(t, sampled);
+    for (int ty = 0; ty < kNumUopTypes; ++ty) {
+        double err = std::abs(
+            full.uopFraction(static_cast<UopType>(ty)) -
+            samp.uopFraction(static_cast<UopType>(ty)));
+        EXPECT_LT(err, 0.02) << uopTypeName(static_cast<UopType>(ty));
+    }
+}
+
+TEST(Profiler, DependenceChainsThesisExample)
+{
+    // Thesis Example 3.1 / Fig 3.3: the 8-instruction vector-sum loop.
+    // Build exactly the first 8 dynamic instructions:
+    //   a: MOV ->R0 ; b: MOV ->R1 ; c: MOV ->R2
+    //   d1: LD [R2]->R3 ; e1: ADD R1,R3->R1 ; f1: ADD R2->R2
+    //   g1: BNE R2 ; d2: LD [R2]->R3
+    Trace t;
+    MicroOp a = uop(UopType::Move, 0);           a.pc = 0x100;
+    MicroOp b = uop(UopType::Move, 1);           b.pc = 0x108;
+    MicroOp c = uop(UopType::Move, 2);           c.pc = 0x110;
+    MicroOp d1 = uop(UopType::Load, 3, 2);       d1.pc = 0x118;
+    d1.addr = 0xF0;
+    MicroOp e1 = uop(UopType::IntAlu, 1, 1, 3);  e1.pc = 0x120;
+    MicroOp f1 = uop(UopType::IntAlu, 2, 2);     f1.pc = 0x128;
+    MicroOp g1 = uop(UopType::Branch, kNoReg, 2); g1.pc = 0x130;
+    g1.taken = true;
+    MicroOp d2 = d1;                             d2.addr = 0xF4;
+    for (const auto &op : {a, b, c, d1, e1, f1, g1, d2})
+        t.push(op);
+
+    ProfilerConfig cfg = fullProfiling();
+    cfg.robSizes = {8};
+    Profile p = profileTrace(t, cfg);
+    // Thesis Eq 3.2: AP = (1+1+1+2+3+2+3+3)/8 = 2, one branch with
+    // chain length 3, critical path 3.
+    EXPECT_NEAR(p.chains.apAt(0), 2.0, 1e-9);
+    EXPECT_NEAR(p.chains.abpAt(0), 3.0, 1e-9);
+    EXPECT_NEAR(p.chains.cpAt(0), 3.0, 1e-9);
+}
+
+TEST(Profiler, ChainLengthsGrowWithRobSize)
+{
+    WorkloadSpec spec = suiteWorkload("fp_serial");
+    Trace t = generateWorkload(spec, 200000);
+    Profile p = profileTrace(t, {});
+    double cp32 = p.chains.cp(32);
+    double cp128 = p.chains.cp(128);
+    double cp256 = p.chains.cp(256);
+    EXPECT_LT(cp32, cp128);
+    EXPECT_LT(cp128, cp256);
+    EXPECT_GE(p.chains.cp(128), p.chains.ap(128));
+}
+
+TEST(Profiler, ChainInterpolationMatchesProfiledSizes)
+{
+    // Thesis §5.2: the log fit should be accurate *at* profiled sizes
+    // and smooth between them (Fig 5.3/5.4).
+    Trace t = generateWorkload(suiteWorkload("balanced_mix"), 200000);
+    Profile p = profileTrace(t, {});
+    for (size_t i = 0; i < p.robSizes.size(); ++i) {
+        double direct = p.chains.cpAt(i);
+        double interp = p.chains.cp(p.robSizes[i]);
+        EXPECT_NEAR(interp, direct, std::max(0.05 * direct, 0.2));
+    }
+    // Between sizes: value between neighbours (monotone-ish fit).
+    double lo = p.chains.cp(128), mid = p.chains.cp(136),
+           hi = p.chains.cp(144);
+    EXPECT_GE(mid, std::min(lo, hi) - 0.2);
+    EXPECT_LE(mid, std::max(lo, hi) + 0.2);
+}
+
+TEST(Profiler, EntropyZeroForPerfectlyBiasedBranches)
+{
+    Trace t;
+    for (int i = 0; i < 2000; ++i) {
+        MicroOp op = uop(UopType::Branch);
+        op.pc = 0x400100;
+        op.taken = true;
+        t.push(op);
+    }
+    Profile p = profileTrace(t, fullProfiling());
+    EXPECT_NEAR(p.branch.entropy(), 0.0, 1e-6);
+    EXPECT_EQ(p.branch.branches, 2000u);
+    EXPECT_EQ(p.branch.staticBranches, 1u);
+}
+
+TEST(Profiler, EntropyNearOneForFairRandomBranches)
+{
+    Rng rng(3);
+    Trace t;
+    for (int i = 0; i < 50000; ++i) {
+        MicroOp op = uop(UopType::Branch);
+        op.pc = 0x400200;
+        op.taken = rng.chance(0.5);
+        t.push(op);
+    }
+    Profile p = profileTrace(t, fullProfiling());
+    EXPECT_GT(p.branch.entropy(), 0.85);
+    EXPECT_LE(p.branch.entropy(), 1.0);
+}
+
+TEST(Profiler, EntropyMatchesLinearFormulaForBiasedBranches)
+{
+    // p(taken)=0.9 independent of history: E = 2*min(p,1-p) = 0.2.
+    Rng rng(17);
+    Trace t;
+    for (int i = 0; i < 100000; ++i) {
+        MicroOp op = uop(UopType::Branch);
+        op.pc = 0x400300;
+        op.taken = rng.chance(0.9);
+        t.push(op);
+    }
+    Profile p = profileTrace(t, fullProfiling());
+    // Finite history-context counts add noise; allow a band.
+    EXPECT_NEAR(p.branch.entropy(), 0.2, 0.06);
+}
+
+TEST(Profiler, PeriodicBranchHasLowEntropy)
+{
+    Trace t;
+    for (int i = 0; i < 50000; ++i) {
+        MicroOp op = uop(UopType::Branch);
+        op.pc = 0x400400;
+        op.taken = i % 4 != 0; // perfectly predictable with history
+        t.push(op);
+    }
+    Profile p = profileTrace(t, fullProfiling());
+    EXPECT_LT(p.branch.entropy(), 0.02);
+}
+
+TEST(Profiler, ReuseDistancesExactOnCraftedStream)
+{
+    // Stream of lines: A B A -> reuse distance of the second A is 1.
+    Trace t;
+    auto mkLoad = [](uint64_t line) {
+        MicroOp op = uop(UopType::Load, 4);
+        op.addr = line * kLineSize;
+        return op;
+    };
+    t.push(mkLoad(1));
+    t.push(mkLoad(2));
+    t.push(mkLoad(1));
+    Profile p = profileTrace(t, fullProfiling());
+    EXPECT_EQ(p.reuseLoads.total(), 3u);
+    EXPECT_EQ(p.reuseLoads.infiniteCount(), 2u); // A and B first touches
+    EXPECT_EQ(p.reuseLoads.binCount(1), 1u);     // rd = 1
+}
+
+TEST(Profiler, ColdMissesCountFirstTouchesOnly)
+{
+    Trace t;
+    for (int i = 0; i < 100; ++i) {
+        MicroOp op = uop(UopType::Load, 4);
+        op.addr = (i % 10) * kLineSize;
+        t.push(op);
+    }
+    Profile p = profileTrace(t, fullProfiling());
+    EXPECT_EQ(p.cold.coldLoadMisses, 10u);
+}
+
+TEST(Profiler, StrideClassificationSingleStride)
+{
+    Trace t;
+    for (int i = 0; i < 5000; ++i) {
+        MicroOp op = uop(UopType::Load, 4);
+        op.pc = 0x400500;
+        op.addr = 0x1000 + i * 8;
+        t.push(op);
+    }
+    Profile p = profileTrace(t, fullProfiling());
+    ASSERT_EQ(p.memOps.size(), 1u);
+    EXPECT_EQ(p.memOps[0].strideClass(), StrideClass::SingleStride);
+    auto dom = p.memOps[0].dominantStrides();
+    ASSERT_FALSE(dom.empty());
+    EXPECT_EQ(dom[0], 8);
+}
+
+TEST(Profiler, StrideClassificationTwoStride)
+{
+    Trace t;
+    uint64_t addr = 0x1000;
+    for (int i = 0; i < 5000; ++i) {
+        MicroOp op = uop(UopType::Load, 4);
+        op.pc = 0x400600;
+        op.addr = addr;
+        addr += i % 2 ? 8 : 64;
+        t.push(op);
+    }
+    Profile p = profileTrace(t, fullProfiling());
+    ASSERT_EQ(p.memOps.size(), 1u);
+    EXPECT_EQ(p.memOps[0].strideClass(), StrideClass::TwoStride);
+}
+
+TEST(Profiler, StrideClassificationRandom)
+{
+    Rng rng(4);
+    Trace t;
+    for (int i = 0; i < 5000; ++i) {
+        MicroOp op = uop(UopType::Load, 4);
+        op.pc = 0x400700;
+        op.addr = 0x1000 + rng.below(1 << 20) * 8;
+        t.push(op);
+    }
+    Profile p = profileTrace(t, fullProfiling());
+    ASSERT_EQ(p.memOps.size(), 1u);
+    EXPECT_EQ(p.memOps[0].strideClass(), StrideClass::RandomStride);
+}
+
+TEST(Profiler, LoadSpacingTracksGap)
+{
+    // One static load every 10 uops.
+    Trace t;
+    for (int i = 0; i < 20000; ++i) {
+        if (i % 10 == 0) {
+            MicroOp op = uop(UopType::Load, 4);
+            op.pc = 0x400800;
+            op.addr = 0x1000 + i * 8;
+            t.push(op);
+        } else {
+            t.push(uop(UopType::IntAlu, 5));
+        }
+    }
+    Profile p = profileTrace(t, fullProfiling());
+    ASSERT_EQ(p.memOps.size(), 1u);
+    EXPECT_NEAR(p.memOps[0].avgGap(), 10.0, 0.2);
+}
+
+TEST(Profiler, PointerChaseDetected)
+{
+    Trace t = generateWorkload(suiteWorkload("ptr_chase"), 100000);
+    Profile p = profileTrace(t, {});
+    int chases = 0;
+    for (const auto &op : p.memOps)
+        chases += !op.isStore && op.isPointerChase();
+    EXPECT_GT(chases, 3);
+}
+
+TEST(Profiler, LoadDepDistributionSumsToOne)
+{
+    Trace t = generateWorkload(suiteWorkload("mix_mid"), 200000);
+    Profile p = profileTrace(t, {});
+    for (size_t i = 0; i < p.robSizes.size(); ++i) {
+        if (p.loadDeps.loads[i] == 0)
+            continue;
+        double sum = 0;
+        for (int l = 1; l <= LoadDepProfile::kMaxDepth; ++l)
+            sum += p.loadDeps.f(i, l);
+        EXPECT_NEAR(sum, 1.0, 1e-9) << "rob " << p.robSizes[i];
+        EXPECT_LE(p.loadDeps.pathsPerWindow(i),
+                  p.loadDeps.loadsPerWindow(i) + 1e-9);
+    }
+}
+
+TEST(Profiler, WindowsCoverSampledTrace)
+{
+    Trace t = generateWorkload(suiteWorkload("stream_add"), 200000);
+    ProfilerConfig cfg;
+    cfg.sampling = {1000, 20000};
+    Profile p = profileTrace(t, cfg);
+    EXPECT_EQ(p.windows.size(), 10u);
+    EXPECT_NEAR(p.scale(), 20.0, 0.5);
+    for (const auto &w : p.windows)
+        EXPECT_NEAR(w.uops(), 1000.0, 1.0);
+}
+
+TEST(Profiler, DeterministicProfiles)
+{
+    Trace t = generateWorkload(suiteWorkload("stencil"), 100000);
+    Profile a = profileTrace(t, {});
+    Profile b = profileTrace(t, {});
+    EXPECT_EQ(a.profiledUops, b.profiledUops);
+    EXPECT_DOUBLE_EQ(a.branch.entropy(), b.branch.entropy());
+    EXPECT_EQ(a.reuseLoads.total(), b.reuseLoads.total());
+    EXPECT_EQ(a.memOps.size(), b.memOps.size());
+}
+
+} // namespace
+} // namespace mipp

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the StatStack reuse->stack distance model, including the
+ * worked example of thesis Fig 4.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "statstack/statstack.hh"
+
+namespace mipp {
+namespace {
+
+TEST(StatStack, UniformReuseGivesMatchingStackDistance)
+{
+    // A cyclic sweep over W distinct lines: every reuse distance is W-1
+    // and every stack distance is also W-1.
+    constexpr uint64_t W = 32;
+    LogHistogram h;
+    for (int i = 0; i < 1000; ++i)
+        h.add(W - 1);
+    StatStack ss(h);
+    EXPECT_NEAR(ss.stackDistance(W - 1), W - 1, 2.0);
+
+    // Caches with >= W lines never miss on the finite reuses; smaller
+    // caches always miss.
+    EXPECT_LT(ss.missRatio(h, 2 * W), 0.05);
+    EXPECT_GT(ss.missRatio(h, W / 4), 0.9);
+}
+
+TEST(StatStack, Figure41Example)
+{
+    // Thesis Fig 4.1: stream A B B C A C A with reuses
+    //   B->B: rd 0, sd 0
+    //   A->A: rd 3, sd 2
+    //   C->C: rd 1, sd 1
+    //   A->A: rd 1, sd 1
+    // Build the reuse histogram of that stream and check the expected
+    // stack distance of the rd=3 reuse is ~2 (two intervening arrows).
+    LogHistogram h;
+    h.add(0);
+    h.add(3);
+    h.add(1);
+    h.add(1);
+    h.addInfinite(3); // first touches of A, B, C
+    StatStack ss(h);
+    double sd3 = ss.stackDistance(3);
+    EXPECT_NEAR(sd3, 2.0, 0.75);
+    // Monotonicity and boundedness: SD(r) <= r.
+    EXPECT_LE(ss.stackDistance(1), 1.001);
+    EXPECT_LE(sd3, 3.0);
+}
+
+TEST(StatStack, StackDistanceIsMonotone)
+{
+    LogHistogram h;
+    for (uint64_t d = 1; d < 5000; d += 7)
+        h.add(d);
+    h.addInfinite(100);
+    StatStack ss(h);
+    double prev = 0;
+    for (uint64_t r = 0; r < 20000; r += 97) {
+        double sd = ss.stackDistance(r);
+        EXPECT_GE(sd, prev - 1e-9);
+        EXPECT_LE(sd, static_cast<double>(r) + 1e-9);
+        prev = sd;
+    }
+}
+
+/** Property: miss ratio decreases (weakly) with cache size. */
+class MissRatioMonotone : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(MissRatioMonotone, LargerCacheNeverMissesMore)
+{
+    double coldFrac = GetParam();
+    LogHistogram h;
+    // Synthetic mixed-reuse population.
+    for (uint64_t d = 1; d < 100000; d = d * 3 / 2 + 1)
+        h.add(d, 50);
+    uint64_t cold = static_cast<uint64_t>(
+        coldFrac * static_cast<double>(h.total()));
+    h.addInfinite(cold);
+
+    StatStack ss(h);
+    double prev = 1.0;
+    for (double lines = 16; lines < 4e6; lines *= 2) {
+        double mr = ss.missRatio(h, lines);
+        EXPECT_LE(mr, prev + 1e-9);
+        EXPECT_GE(mr, 0.0);
+        EXPECT_LE(mr, 1.0);
+        prev = mr;
+    }
+    // Huge cache: only cold misses remain.
+    EXPECT_NEAR(ss.missRatio(h, 1e9),
+                static_cast<double>(cold) / h.total(), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(ColdFractions, MissRatioMonotone,
+                         ::testing::Values(0.0, 0.1, 0.5, 0.9));
+
+TEST(StatStack, EmptyHistogramNeverCrashes)
+{
+    LogHistogram h;
+    StatStack ss(h);
+    EXPECT_DOUBLE_EQ(ss.missRatio(h, 100), 0.0);
+    EXPECT_GE(ss.stackDistance(50), 0.0);
+}
+
+TEST(StatStack, AllColdMeansAllMiss)
+{
+    LogHistogram h;
+    h.addInfinite(1000);
+    StatStack ss(h);
+    EXPECT_DOUBLE_EQ(ss.missRatio(h, 1 << 20), 1.0);
+}
+
+TEST(StatStack, TypeSplitUsesCombinedTransform)
+{
+    // Combined stream defines the stack-distance transform; a load-only
+    // population with short reuses should hit even if stores have long
+    // reuses.
+    LogHistogram combined, loadsOnly;
+    for (int i = 0; i < 500; ++i) {
+        combined.add(4);
+        loadsOnly.add(4);
+        combined.add(100000);
+    }
+    StatStack ss(combined);
+    EXPECT_LT(ss.missRatio(loadsOnly, 1024), 0.05);
+}
+
+TEST(StatStack, MissesScaleWithPopulation)
+{
+    LogHistogram h;
+    for (int i = 0; i < 100; ++i)
+        h.add(1000);
+    StatStack ss(h);
+    double m = ss.misses(h, 8);
+    EXPECT_NEAR(m, 100.0, 1.0); // everything misses an 8-line cache
+}
+
+} // namespace
+} // namespace mipp

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the micro-op IR, trace container, sampling geometry and
+ * the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/rng.hh"
+#include "trace/trace.hh"
+
+namespace mipp {
+namespace {
+
+MicroOp
+makeUop(UopType t, bool boundary = true)
+{
+    MicroOp op;
+    op.type = t;
+    op.instBoundary = boundary;
+    return op;
+}
+
+TEST(MicroOp, LineAddressUsesLineSize)
+{
+    MicroOp op;
+    op.addr = 3 * kLineSize + 7;
+    EXPECT_EQ(op.lineAddr(), 3u);
+}
+
+TEST(MicroOp, IsMemoryCoversLoadAndStoreOnly)
+{
+    EXPECT_TRUE(isMemory(UopType::Load));
+    EXPECT_TRUE(isMemory(UopType::Store));
+    EXPECT_FALSE(isMemory(UopType::IntAlu));
+    EXPECT_FALSE(isMemory(UopType::Branch));
+    EXPECT_FALSE(isMemory(UopType::Move));
+}
+
+TEST(MicroOp, EveryTypeHasAName)
+{
+    for (int t = 0; t < kNumUopTypes; ++t) {
+        auto name = uopTypeName(static_cast<UopType>(t));
+        EXPECT_FALSE(name.empty());
+        EXPECT_NE(name, "?");
+    }
+}
+
+TEST(Trace, CountsInstructionsByBoundary)
+{
+    Trace t;
+    t.push(makeUop(UopType::Load, true));
+    t.push(makeUop(UopType::IntAlu, false));
+    t.push(makeUop(UopType::IntAlu, true));
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_EQ(t.numInstructions(), 2u);
+    EXPECT_DOUBLE_EQ(t.uopsPerInstruction(), 1.5);
+}
+
+TEST(Trace, TypeCountsAndFractions)
+{
+    Trace t;
+    for (int i = 0; i < 6; ++i)
+        t.push(makeUop(UopType::IntAlu));
+    for (int i = 0; i < 2; ++i)
+        t.push(makeUop(UopType::Load));
+    auto counts = t.typeCounts();
+    EXPECT_EQ(counts[static_cast<int>(UopType::IntAlu)], 6u);
+    EXPECT_EQ(counts[static_cast<int>(UopType::Load)], 2u);
+    EXPECT_DOUBLE_EQ(t.typeFraction(UopType::Load), 0.25);
+    EXPECT_DOUBLE_EQ(t.typeFraction(UopType::Store), 0.0);
+}
+
+TEST(Trace, EmptyTraceEdgeCases)
+{
+    Trace t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.numInstructions(), 0u);
+    EXPECT_DOUBLE_EQ(t.uopsPerInstruction(), 0.0);
+    EXPECT_DOUBLE_EQ(t.typeFraction(UopType::Load), 0.0);
+}
+
+TEST(SamplingConfig, MicroTraceMembership)
+{
+    SamplingConfig s{1000, 20000};
+    EXPECT_TRUE(s.sampled());
+    EXPECT_DOUBLE_EQ(s.sampleRate(), 0.05);
+    EXPECT_TRUE(s.inMicroTrace(0));
+    EXPECT_TRUE(s.inMicroTrace(999));
+    EXPECT_FALSE(s.inMicroTrace(1000));
+    EXPECT_FALSE(s.inMicroTrace(19999));
+    EXPECT_TRUE(s.inMicroTrace(20000));
+    EXPECT_TRUE(s.inMicroTrace(20999));
+}
+
+TEST(SamplingConfig, FullProfilingEverythingInside)
+{
+    SamplingConfig s = SamplingConfig::full();
+    EXPECT_FALSE(s.sampled());
+    for (size_t i = 0; i < 100; ++i)
+        EXPECT_TRUE(s.inMicroTrace(i));
+}
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(9);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t v = r.below(17);
+        ASSERT_LT(v, 17u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 17u); // all residues hit
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(11);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng r(13);
+    double sum = 0;
+    const double p = 0.5;
+    for (int i = 0; i < 20000; ++i)
+        sum += r.geometric(p, 100);
+    // Mean of geometric (failures before success) is (1-p)/p = 1.
+    EXPECT_NEAR(sum / 20000, 1.0, 0.05);
+}
+
+} // namespace
+} // namespace mipp

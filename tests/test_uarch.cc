@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for processor configurations, the design space and DVFS points.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "uarch/core_config.hh"
+#include "uarch/cpi_stack.hh"
+#include "uarch/design_space.hh"
+
+namespace mipp {
+namespace {
+
+TEST(CacheConfig, DerivedGeometry)
+{
+    CacheConfig c{32 * 1024, 8, 4};
+    EXPECT_EQ(c.numLines(), 512u);
+    EXPECT_EQ(c.numSets(), 64u);
+}
+
+TEST(CoreConfig, NehalemReferenceSanity)
+{
+    auto c = CoreConfig::nehalemReference();
+    EXPECT_EQ(c.dispatchWidth, 4u);
+    EXPECT_EQ(c.robSize, 128u);
+    EXPECT_EQ(c.numPorts(), 6u);
+    EXPECT_EQ(c.l1d.sizeBytes, 32u * 1024);
+    EXPECT_EQ(c.l2.sizeBytes, 256u * 1024);
+    EXPECT_EQ(c.l3.sizeBytes, 8u * 1024 * 1024);
+    EXPECT_GT(c.memLatency, c.l3.latency);
+    EXPECT_GT(c.l3.latency, c.l2.latency);
+    EXPECT_GT(c.l2.latency, c.l1d.latency);
+}
+
+TEST(CoreConfig, EveryUopTypeHasAnIssuePortAtEveryWidth)
+{
+    for (uint32_t w : {2u, 4u, 6u}) {
+        CoreConfig c = CoreConfig::nehalemReference();
+        c.setWidth(w);
+        for (int t = 0; t < kNumUopTypes; ++t) {
+            bool found = false;
+            for (const auto &port : c.ports)
+                found |= port.canIssue(static_cast<UopType>(t));
+            EXPECT_TRUE(found) << "width " << w << " type " << t;
+        }
+    }
+}
+
+TEST(CoreConfig, EveryUopTypeHasFunctionalUnits)
+{
+    for (uint32_t w : {2u, 4u, 6u}) {
+        CoreConfig c = CoreConfig::nehalemReference();
+        c.setWidth(w);
+        for (int t = 0; t < kNumUopTypes; ++t)
+            EXPECT_GE(c.fus[t].count, 1u) << "width " << w;
+    }
+}
+
+TEST(CoreConfig, DividersAreNotPipelined)
+{
+    auto c = CoreConfig::nehalemReference();
+    EXPECT_FALSE(c.fus[static_cast<int>(UopType::IntDiv)].pipelined);
+    EXPECT_FALSE(c.fus[static_cast<int>(UopType::FpDiv)].pipelined);
+    EXPECT_TRUE(c.fus[static_cast<int>(UopType::IntAlu)].pipelined);
+}
+
+TEST(CoreConfig, WidthScalesPortCount)
+{
+    CoreConfig c = CoreConfig::nehalemReference();
+    c.setWidth(2);
+    uint32_t p2 = c.numPorts();
+    c.setWidth(6);
+    uint32_t p6 = c.numPorts();
+    EXPECT_LT(p2, p6);
+}
+
+TEST(LatencyTable, NehalemDefaultsOrdering)
+{
+    auto t = LatencyTable::nehalem();
+    EXPECT_EQ(t.of(UopType::IntAlu), 1u);
+    EXPECT_GT(t.of(UopType::IntDiv), t.of(UopType::IntMul));
+    EXPECT_GT(t.of(UopType::FpDiv), t.of(UopType::FpMul));
+    EXPECT_GT(t.of(UopType::FpMul), t.of(UopType::FpAlu));
+}
+
+TEST(BranchPredictorKind, AllNamed)
+{
+    for (int k = 0; k < static_cast<int>(BranchPredictorKind::NumKinds);
+         ++k) {
+        auto name =
+            branchPredictorName(static_cast<BranchPredictorKind>(k));
+        EXPECT_FALSE(name.empty());
+        EXPECT_NE(name, "?");
+    }
+}
+
+TEST(DesignSpace, Has243Points)
+{
+    DesignSpace space;
+    EXPECT_EQ(space.size(), 243u);
+}
+
+TEST(DesignSpace, AllNamesUnique)
+{
+    DesignSpace space;
+    std::set<std::string> names;
+    for (const auto &c : space.configs())
+        names.insert(c.name);
+    EXPECT_EQ(names.size(), space.size());
+}
+
+TEST(DesignSpace, CoversAxisExtremes)
+{
+    DesignSpace space;
+    bool smallCore = false, bigCore = false;
+    for (const auto &c : space.configs()) {
+        smallCore |= c.dispatchWidth == 2 && c.robSize == 64 &&
+                     c.l3.sizeBytes == 2u * 1024 * 1024;
+        bigCore |= c.dispatchWidth == 6 && c.robSize == 256 &&
+                   c.l3.sizeBytes == 32u * 1024 * 1024;
+    }
+    EXPECT_TRUE(smallCore);
+    EXPECT_TRUE(bigCore);
+}
+
+TEST(DesignSpace, SmallSubspaceIsSubsetSized)
+{
+    auto s = DesignSpace::small();
+    EXPECT_EQ(s.size(), 27u);
+}
+
+TEST(DesignSpace, ScaleBackEndTracksRob)
+{
+    CoreConfig c = CoreConfig::nehalemReference();
+    scaleBackEnd(c, 256);
+    EXPECT_EQ(c.robSize, 256u);
+    EXPECT_EQ(c.iqSize, 256u);
+    EXPECT_GT(c.mshrs, 10u);
+    scaleBackEnd(c, 64);
+    EXPECT_LT(c.lsqSize, 48u);
+    EXPECT_LT(c.mshrs, 10u);
+}
+
+TEST(Dvfs, LadderIsMonotone)
+{
+    auto ladder = dvfsLadder();
+    ASSERT_GE(ladder.size(), 3u);
+    for (size_t i = 1; i < ladder.size(); ++i) {
+        EXPECT_GT(ladder[i].freqGHz, ladder[i - 1].freqGHz);
+        EXPECT_GT(ladder[i].vdd, ladder[i - 1].vdd);
+    }
+}
+
+TEST(CpiStack, TotalAndScale)
+{
+    CpiStack s{1, 2, 3, 4, 5, 6};
+    EXPECT_DOUBLE_EQ(s.total(), 21.0);
+    CpiStack h = s.scaled(0.5);
+    EXPECT_DOUBLE_EQ(h.total(), 10.5);
+    EXPECT_DOUBLE_EQ(h.dram, 3.0);
+}
+
+} // namespace
+} // namespace mipp
