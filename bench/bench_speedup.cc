@@ -55,6 +55,29 @@ BM_ProfileOnce(benchmark::State &state)
 BENCHMARK(BM_ProfileOnce)->Unit(benchmark::kMillisecond);
 
 void
+BM_ProfileBatch(benchmark::State &state)
+{
+    // Multi-workload profiling through the batch API (shared thread
+    // pool; falls back to sequential on single-core hosts).
+    static std::vector<Trace> traces = [] {
+        std::vector<Trace> t;
+        for (const char *name : {"balanced_mix", "stream_add",
+                                 "ptr_chase", "branchy"})
+            t.push_back(generateWorkload(suiteWorkload(name), 50000));
+        return t;
+    }();
+    size_t uops = 0;
+    for (const auto &t : traces)
+        uops += t.size();
+    for (auto _ : state) {
+        auto profiles = profileTraces(traces);
+        benchmark::DoNotOptimize(profiles.size());
+    }
+    state.SetItemsProcessed(state.iterations() * uops);
+}
+BENCHMARK(BM_ProfileBatch)->Unit(benchmark::kMillisecond);
+
+void
 BM_ModelEvaluation(benchmark::State &state)
 {
     CoreConfig cfg = CoreConfig::nehalemReference();

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Run bench_speedup and emit BENCH_speedup.json (benchmark -> ns/op,
+# items/s) for the performance trajectory. A "baseline" block already
+# present in the output file (e.g. the pre-optimization numbers) is
+# preserved across runs.
+#
+# Usage: bench/run_benchmarks.sh [build-dir] [output-json]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_speedup.json}"
+BIN="$BUILD_DIR/bench_speedup"
+
+if [[ ! -x "$BIN" ]]; then
+    echo "error: $BIN not found; build first:" >&2
+    echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+fi
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+# Five repetitions; the per-benchmark minimum is the most noise-robust
+# estimate of the true cost on shared machines.
+"$BIN" --benchmark_repetitions=5 --benchmark_format=json >"$RAW"
+
+python3 - "$RAW" "$OUT" <<'EOF'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+old = {}
+try:
+    with open(out_path) as f:
+        old = json.load(f)
+except (OSError, ValueError):
+    pass
+
+benches = {}
+for b in raw.get("benchmarks", []):
+    if b.get("aggregate_name"):  # keep raw repetitions only
+        continue
+    name = b["run_name"]
+    entry = {"ns_per_op": b["real_time"] * 1e6}  # reported in ms
+    if "items_per_second" in b:
+        entry["items_per_sec"] = b["items_per_second"]
+    prev = benches.get(name)
+    if prev is None or entry["ns_per_op"] < prev["ns_per_op"]:
+        benches[name] = entry
+
+out = {
+    "context": {
+        "date": raw.get("context", {}).get("date"),
+        "num_cpus": raw.get("context", {}).get("num_cpus"),
+        "aggregate": "min of 5 repetitions",
+    },
+    "benchmarks": benches,
+}
+if "baseline" in old:
+    out["baseline"] = old["baseline"]
+
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2, sort_keys=True)
+    f.write("\n")
+
+for name, e in sorted(benches.items()):
+    line = f"{name}: {e['ns_per_op'] / 1e6:.3f} ms/op"
+    if "items_per_sec" in e:
+        line += f", {e['items_per_sec'] / 1e6:.2f} M uops/s"
+    print(line)
+print(f"wrote {out_path}")
+EOF

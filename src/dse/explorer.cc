@@ -1,7 +1,8 @@
 #include "dse/explorer.hh"
 
-#include <atomic>
-#include <thread>
+#include <algorithm>
+
+#include "util/thread_pool.hh"
 
 namespace mipp {
 
@@ -26,18 +27,11 @@ sweep(const std::vector<Trace> &traces,
 {
     const size_t nw = traces.size();
     const size_t nc = configs.size();
-    std::vector<SweepPoint> points(nw * nc);
+    const size_t total = nw * nc;
+    std::vector<SweepPoint> points(total);
 
-    if (threads == 0)
-        threads = std::max(1u, std::thread::hardware_concurrency());
-    threads = std::min<unsigned>(threads, nw * nc);
-
-    std::atomic<size_t> next{0};
-    auto worker = [&]() {
-        for (;;) {
-            size_t i = next.fetch_add(1);
-            if (i >= nw * nc)
-                return;
+    auto evalRange = [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
             size_t wi = i % nw;
             size_t ci = i / nw;
             PairEval e = evaluatePair(traces[wi], profiles[wi],
@@ -52,11 +46,20 @@ sweep(const std::vector<Trace> &traces,
         }
     };
 
-    std::vector<std::thread> pool;
-    for (unsigned t = 0; t < threads; ++t)
-        pool.emplace_back(worker);
-    for (auto &t : pool)
-        t.join();
+    if (threads == 1) {
+        evalRange(0, total);
+        return points;
+    }
+
+    // Chunked scheduling on the shared pool: several chunks per execution
+    // stream so uneven point costs still balance, without the per-call
+    // thread spawning the old implementation paid.
+    ThreadPool &pool = ThreadPool::shared();
+    unsigned streams = pool.concurrency();
+    if (threads != 0)
+        streams = std::min(streams, threads);
+    size_t grain = std::max<size_t>(1, total / (8 * streams));
+    pool.parallelFor(total, grain, evalRange);
     return points;
 }
 

@@ -72,9 +72,12 @@ struct SweepPoint {
 };
 
 /**
- * Evaluate all (config, workload) pairs; parallel across points.
+ * Evaluate all (config, workload) pairs; parallel across points via the
+ * shared ThreadPool (chunked scheduling, no per-call thread spawning).
  *
- * @param threads 0 = hardware concurrency.
+ * @param threads 0 = full pool concurrency; 1 = serial in the caller;
+ *                other values only bias chunk sizing, since the shared
+ *                pool owns the worker threads.
  */
 std::vector<SweepPoint>
 sweep(const std::vector<Trace> &traces,

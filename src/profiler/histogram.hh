@@ -10,9 +10,12 @@
 #ifndef MIPP_PROFILER_HISTOGRAM_HH
 #define MIPP_PROFILER_HISTOGRAM_HH
 
+#include <atomic>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 namespace mipp {
@@ -24,6 +27,42 @@ class LogHistogram
     static constexpr uint64_t kExactMax = 128;
     static constexpr int kSubBins = 8;
 
+    LogHistogram() = default;
+
+    // Copies and moves transfer the counts but not the derived suffix-sum
+    // cache (it is rebuilt on demand); spelled out because the cache
+    // validity flag is atomic.
+    LogHistogram(const LogHistogram &o)
+        : bins_(o.bins_), total_(o.total_), infinite_(o.infinite_)
+    {
+    }
+
+    LogHistogram(LogHistogram &&o) noexcept
+        : bins_(std::move(o.bins_)), total_(o.total_),
+          infinite_(o.infinite_)
+    {
+    }
+
+    LogHistogram &
+    operator=(const LogHistogram &o)
+    {
+        bins_ = o.bins_;
+        total_ = o.total_;
+        infinite_ = o.infinite_;
+        invalidateSuffix();
+        return *this;
+    }
+
+    LogHistogram &
+    operator=(LogHistogram &&o) noexcept
+    {
+        bins_ = std::move(o.bins_);
+        total_ = o.total_;
+        infinite_ = o.infinite_;
+        invalidateSuffix();
+        return *this;
+    }
+
     /** Map a value to its bin index. */
     static size_t
     binIndex(uint64_t v)
@@ -31,11 +70,12 @@ class LogHistogram
         if (v < static_cast<uint64_t>(kExactMax))
             return static_cast<size_t>(v);
         // Octave = floor(log2(v / kExactMax)); position within the octave
-        // subdivided into kSubBins.
+        // subdivided into kSubBins. The octave width is a power of two,
+        // so the sub-bin is a shift, not a division (this runs three
+        // times per profiled memory access).
         int octave = std::bit_width(v / kExactMax) - 1;
         uint64_t lo = kExactMax << octave;
-        uint64_t width = lo; // octave spans [lo, 2*lo)
-        size_t sub = static_cast<size_t>((v - lo) * kSubBins / width);
+        size_t sub = static_cast<size_t>((v - lo) >> (octave + 4));
         return kExactMax + static_cast<size_t>(octave) * kSubBins + sub;
     }
 
@@ -71,6 +111,22 @@ class LogHistogram
             bins_.resize(b + 1, 0);
         bins_[b] += weight;
         total_ += weight;
+        invalidateSuffix();
+    }
+
+    /**
+     * Add @p weight directly at bin @p b (a value from binIndex). Lets
+     * callers recording the same value into several histograms pay for
+     * the binning once.
+     */
+    void
+    addAtBin(size_t b, uint64_t weight = 1)
+    {
+        if (bins_.size() <= b)
+            bins_.resize(b + 1, 0);
+        bins_[b] += weight;
+        total_ += weight;
+        invalidateSuffix();
     }
 
     /** Record a value with no finite reuse (cold / never reused). */
@@ -85,15 +141,31 @@ class LogHistogram
         return b < bins_.size() ? bins_[b] : 0;
     }
 
-    /** Number of samples with value >= v (including the infinite bucket). */
-    uint64_t
+    /**
+     * Expected number of samples with value >= v (including the infinite
+     * bucket). O(1) via a cached suffix-sum table. When v falls inside a
+     * log bin, only the bin mass at or beyond v counts, assuming the mass
+     * is uniform within the bin — the same within-bin interpolation as
+     * StatStack::stackDistance. On the exact range (v < kExactMax) the
+     * count is exact.
+     *
+     * Concurrent queries are safe on a histogram that is no longer being
+     * mutated (e.g. a finished Profile shared across DSE sweep threads);
+     * mutation requires external synchronization, as with any container.
+     */
+    double
     countAtLeast(uint64_t v) const
     {
+        const std::vector<uint64_t> &suf = suffix();
         size_t b0 = binIndex(v);
-        uint64_t n = infinite_;
-        for (size_t b = b0; b < bins_.size(); ++b)
-            n += bins_[b];
-        return n;
+        if (b0 >= bins_.size())
+            return static_cast<double>(infinite_);
+        uint64_t lo = binLower(b0);
+        uint64_t hi = binLower(b0 + 1);
+        double frac = static_cast<double>(hi - v) /
+                      static_cast<double>(hi - lo);
+        return static_cast<double>(infinite_ + suf[b0 + 1]) +
+               frac * static_cast<double>(bins_[b0]);
     }
 
     /** Merge another histogram into this one. */
@@ -106,6 +178,24 @@ class LogHistogram
             bins_[b] += other.bins_[b];
         total_ += other.total_;
         infinite_ += other.infinite_;
+        invalidateSuffix();
+    }
+
+    /**
+     * Remove @p other's counts from this histogram. Every removed count
+     * must previously have been added (the profiler uses this to carve
+     * mixed-type accesses out of a derived per-type distribution).
+     */
+    void
+    subtract(const LogHistogram &other)
+    {
+        if (bins_.size() < other.bins_.size())
+            bins_.resize(other.bins_.size(), 0);
+        for (size_t b = 0; b < other.bins_.size(); ++b)
+            bins_[b] -= other.bins_[b];
+        total_ -= other.total_;
+        infinite_ -= other.infinite_;
+        invalidateSuffix();
     }
 
     /** Mean of the finite samples. */
@@ -121,9 +211,41 @@ class LogHistogram
     }
 
   private:
+    void
+    invalidateSuffix()
+    {
+        suffixValid_.store(false, std::memory_order_relaxed);
+    }
+
+    /** suffix_[b] = sum of bins_[b..]; built lazily, double-checked. */
+    const std::vector<uint64_t> &
+    suffix() const
+    {
+        if (!suffixValid_.load(std::memory_order_acquire))
+            buildSuffix();
+        return suffix_;
+    }
+
+    void
+    buildSuffix() const
+    {
+        // One mutex for all instances: rebuilds are rare (only after the
+        // first query following a mutation), queries pay an atomic load.
+        static std::mutex mu;
+        std::lock_guard<std::mutex> lock(mu);
+        if (suffixValid_.load(std::memory_order_relaxed))
+            return;
+        suffix_.assign(bins_.size() + 1, 0);
+        for (size_t b = bins_.size(); b-- > 0;)
+            suffix_[b] = suffix_[b + 1] + bins_[b];
+        suffixValid_.store(true, std::memory_order_release);
+    }
+
     std::vector<uint64_t> bins_;
     uint64_t total_ = 0;
     uint64_t infinite_ = 0;
+    mutable std::vector<uint64_t> suffix_;
+    mutable std::atomic<bool> suffixValid_{false};
 };
 
 } // namespace mipp

@@ -17,8 +17,8 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "profiler/histogram.hh"
@@ -226,6 +226,15 @@ enum class StrideClass : uint8_t {
 
 std::string_view strideClassName(StrideClass c);
 
+/**
+ * Stride -> occurrence counts of one static op, sorted by stride. A flat
+ * sorted vector instead of std::map: the set is small (bounded at 64
+ * entries during profiling) and profiles are created, copied and
+ * destroyed wholesale in DSE sweeps, where per-node heap traffic of
+ * hundreds of little trees dominated the cost.
+ */
+using StrideMap = std::vector<std::pair<int64_t, uint64_t>>;
+
 /** Profile of one static load (or store) instruction. */
 struct StaticMemProfile {
     uint64_t pc = 0;
@@ -236,8 +245,8 @@ struct StaticMemProfile {
      *  stream; feeds per-op miss-rate prediction via StatStack. */
     LogHistogram reuse;
 
-    /** Observed stride -> occurrences (bounded set). */
-    std::map<int64_t, uint64_t> strides;
+    /** Observed stride -> occurrences (bounded set, sorted by stride). */
+    StrideMap strides;
 
     /** Load-spacing statistics within micro-traces (thesis Fig 4.6). */
     double firstPosSum = 0;

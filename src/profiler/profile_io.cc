@@ -1,5 +1,6 @@
 #include "profiler/profile_io.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -229,12 +230,15 @@ readProfile(std::istream &is)
         expect(is, "strides");
         size_t nStrides = 0;
         is >> nStrides;
+        op.strides.reserve(nStrides);
         for (size_t s = 0; s < nStrides; ++s) {
             int64_t stride = 0;
             uint64_t n = 0;
             is >> stride >> n;
-            op.strides[stride] = n;
+            op.strides.emplace_back(stride, n);
         }
+        // Written sorted; re-sort in case the file was assembled by hand.
+        std::sort(op.strides.begin(), op.strides.end());
     }
 
     expect(is, "windows");

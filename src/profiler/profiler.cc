@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+#include <stdexcept>
+#include <vector>
+
+#include "util/flat_map.hh"
+#include "util/thread_pool.hh"
 
 namespace mipp {
 
@@ -21,14 +25,25 @@ struct TakenCounts {
     uint32_t total = 0;
 };
 
-/** Average linear entropy over a (pc, history) count map (Eq 3.15). */
+/**
+ * Average linear entropy over a (pc, history) count map (Eq 3.15).
+ * Entries are summed in key order so the floating-point result does not
+ * depend on hash iteration order.
+ */
 double
-entropyOf(const std::unordered_map<uint64_t, TakenCounts> &stats,
-          uint64_t &branchesOut)
+entropyOf(const FlatMap<TakenCounts> &stats, uint64_t &branchesOut)
 {
+    std::vector<std::pair<uint64_t, TakenCounts>> entries;
+    entries.reserve(stats.size());
+    stats.forEach([&](uint64_t key, const TakenCounts &c) {
+        entries.emplace_back(key, c);
+    });
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+
     double sum = 0;
     uint64_t branches = 0;
-    for (const auto &[key, c] : stats) {
+    for (const auto &[key, c] : entries) {
         double p = static_cast<double>(c.taken) / c.total;
         sum += c.total * linearEntropy(p);
         branches += c.total;
@@ -54,8 +69,18 @@ struct WindowChainStats {
     uint32_t independentLoads = 0;
 };
 
+/** Reusable per-walk buffer so stepping windows do not allocate. */
+struct WalkScratch {
+    /** Packed per-uop state: chain depth in the low 16 bits, load depth
+     *  in the high 16 — one load/store instead of two on the walk's
+     *  inner dependence lookups. */
+    std::vector<uint32_t> packedDepth;
+
+    void resize(size_t n) { packedDepth.resize(n); }
+};
+
 WindowChainStats
-walkWindow(const MicroOp *ops, size_t n,
+walkWindow(const MicroOp *ops, size_t n, WalkScratch &scratch,
            std::vector<std::pair<uint32_t, uint32_t>> *loadDepthPerOp)
 {
     WindowChainStats out;
@@ -63,53 +88,62 @@ walkWindow(const MicroOp *ops, size_t n,
     int prod[kNumRegs];
     std::fill(std::begin(prod), std::end(prod), -1);
 
-    std::vector<uint16_t> depth(n), loadDepth(n);
-    double depthSum = 0, branchDepthSum = 0;
+    uint32_t *packed = scratch.packedDepth.data();
+    // Integer accumulators (converted once at the end): the sums stay far
+    // below 2^53, so the doubles produced are bit-identical to per-step
+    // double accumulation.
+    uint64_t depthSum = 0, branchDepthSum = 0;
     uint32_t branches = 0;
-    uint16_t maxDepth = 0;
+    uint32_t maxDepth = 0;
 
     for (size_t j = 0; j < n; ++j) {
         const MicroOp &op = ops[j];
-        uint16_t d = 0, ld = 0;
+        // Both source depths at once: max over packed halves is the pair
+        // of maxes here, because the halves cannot borrow into each other
+        // (depths stay far below 2^16 in a <= 2^16-uop window).
+        uint32_t dpair = 0;
         auto consider = [&](int8_t reg) {
             if (reg == kNoReg)
                 return;
             int p = prod[reg];
             if (p >= 0) {
-                d = std::max(d, depth[p]);
-                ld = std::max(ld, loadDepth[p]);
+                uint32_t v = packed[p];
+                dpair = std::max(dpair & 0xffffu, v & 0xffffu) |
+                        std::max(dpair & 0xffff0000u, v & 0xffff0000u);
             }
         };
         consider(op.src1);
         consider(op.src2);
-        depth[j] = d + 1;
         bool is_load = op.type == UopType::Load;
-        loadDepth[j] = ld + (is_load ? 1 : 0);
+        uint32_t d = (dpair & 0xffffu) + 1;
+        uint32_t ld = (dpair >> 16) + (is_load ? 1 : 0);
+        packed[j] = d | (ld << 16);
         if (op.dst != kNoReg)
             prod[op.dst] = static_cast<int>(j);
 
-        depthSum += depth[j];
-        maxDepth = std::max(maxDepth, depth[j]);
+        depthSum += d;
+        maxDepth = std::max(maxDepth, d);
         if (op.type == UopType::Branch) {
-            branchDepthSum += depth[j];
+            branchDepthSum += d;
             branches++;
         }
         if (is_load) {
             out.loads++;
-            int bin = std::min<int>(loadDepth[j],
+            int bin = std::min<int>(static_cast<int>(ld),
                                     LoadDepProfile::kMaxDepth);
             out.loadHisto[bin - 1]++;
-            if (loadDepth[j] == 1)
+            if (ld == 1)
                 out.independentLoads++;
             if (loadDepthPerOp)
                 loadDepthPerOp->emplace_back(static_cast<uint32_t>(j),
-                                             loadDepth[j]);
+                                             ld);
         }
     }
-    out.ap = n ? depthSum / n : 0;
+    out.ap = n ? static_cast<double>(depthSum) / n : 0;
     out.cp = maxDepth;
     out.hasBranch = branches > 0;
-    out.abp = branches ? branchDepthSum / branches : 0;
+    out.abp =
+        branches ? static_cast<double>(branchDepthSum) / branches : 0;
     return out;
 }
 
@@ -126,59 +160,207 @@ class Profiler
         profile_.loadDeps.resize(cfg.robSizes.size());
         profile_.cold.resize(cfg.robSizes.size());
         profile_.branch.historyBits = cfg.historyBits;
+        histMask_ = cfg.historyBits >= 64 ?
+            ~0ULL : (1ULL << cfg.historyBits) - 1;
+        winHistMask_ = cfg.windowHistoryBits >= 64 ?
+            ~0ULL : (1ULL << cfg.windowHistoryBits) - 1;
+        // Dense per-pc history tables cost 8 * 2^historyBits bytes per
+        // static branch; beyond ~12 bits that scales badly, so long
+        // histories keep the sparse hashed-(pc, history) representation.
+        denseBranchTables_ = cfg.historyBits <= 12;
     }
 
     Profile run(const Trace &trace);
 
   private:
+    template <bool InMt>
+    void observeRange(const Trace &trace, size_t begin, size_t end);
     void observeMemory(const MicroOp &op, size_t uopIndex, bool inMt);
     void observeBranch(const MicroOp &op, bool inMt);
-    void observeIfetch(const MicroOp &op);
+    uint32_t newBranchTable();
     void finishMicroTrace();
+    void walkRobSize(const MicroOp *mt, size_t mtLen, size_t i,
+                     size_t median, WindowProfile &wp);
     uint32_t memOpIndex(uint64_t pc, bool isStore);
+    bool findMemOp(uint64_t pc, uint32_t &idx) const;
+    uint32_t createMemOp(uint64_t pc, bool isStore);
 
     const ProfilerConfig &cfg_;
     Profile profile_;
 
     // --- continuous (whole-trace) state ----------------------------------
-    std::unordered_map<uint64_t, uint64_t> lastAccess_; // line -> mem idx
+    FlatMap<uint64_t> lastAccess_; // line -> mem idx
     uint64_t memIndex_ = 0;
-    std::unordered_map<uint64_t, uint64_t> lastILine_;  // iline -> idx
+    FlatMap<uint64_t> lastILine_;  // iline -> idx
     uint64_t iLineIndex_ = 0;
     uint64_t prevILine_ = ~0ULL;
-    std::unordered_map<uint64_t, TakenCounts> branchStats_;
+    /**
+     * Global branch statistics as pc -> dense history table: one
+     * direct-indexed (or, off-window, hashed) pc lookup plus one
+     * direct-indexed store per branch, instead of hashing the whole
+     * (pc, history) pair into one large map. Direct slots hold
+     * table+1 (0 = empty), same windowing scheme as memOpDirect_.
+     */
+    std::vector<uint32_t> branchDirect_;
+    uint64_t branchPcBase_ = ~0ULL;
+    FlatMap<uint32_t> branchPc_; // fallback: pc -> table index
+    std::vector<TakenCounts> branchTables_; // tables * (histMask_ + 1)
+    uint32_t numBranchTables_ = 0;
+    /** Long histories (> 12 bits) skip the dense tables and hash the
+     *  whole (pc, history) pair, like the per-micro-trace stats. */
+    bool denseBranchTables_ = true;
+    FlatMap<TakenCounts> sparseBranchStats_;
     uint64_t ghist_ = 0;
-    std::unordered_map<uint64_t, uint32_t> memOpIndex_; // pc -> memOps idx
+    /** Hoisted (1 << historyBits) - 1 masks for the branch-key hot path. */
+    uint64_t histMask_ = 0;
+    uint64_t winHistMask_ = 0;
+    /**
+     * pc -> memOps index. Program counters cluster in a small static
+     * code footprint, so a direct-indexed table over a 64 KiB pc window
+     * (anchored at the first memory pc seen) resolves essentially every
+     * lookup with one load; pcs outside the window fall back to the
+     * hash map. Slot value is idx+1 (0 = empty).
+     */
+    static constexpr size_t kPcWindow = 1u << 16;
+    std::vector<uint32_t> memOpDirect_;
+    uint64_t memPcBase_ = ~0ULL;
+    FlatMap<uint32_t> memOpIndex_; // fallback for out-of-window pcs
+    /**
+     * Per-static-op running state, kept separate from StaticMemProfile
+     * so each memory access touches one compact struct (hot fields in
+     * the leading cache line) instead of the profile's large output
+     * record. Materialized into profile_.memOps when the run ends.
+     */
     struct OpRunning {
+        static constexpr size_t kInlineStrides = 4;
+        static constexpr size_t kMaxStrides = 64;
+
+        // -- first cache line: touched on every access ------------------
         uint64_t lastAddr = 0;
         uint64_t lastUopIdx = 0;
+        uint64_t count = 0;
+        uint64_t gapSum = 0;
+        uint64_t gapCount = 0;
+        uint64_t selfDependent = 0;
         bool seen = false;
+        bool isStore = false; // nominal type (first occurrence)
+        uint8_t nInline = 0;
+
+        // -- stride counts: inline entries cover the common stride
+        //    classes (thesis Fig 4.7: most static loads have <= 4
+        //    dominant strides); the flat map takes the overflow up to
+        //    the 64-distinct cap.
+        std::array<uint64_t, kInlineStrides> strideKey{};
+        std::array<uint64_t, kInlineStrides> strideCount{};
+        FlatMap<uint64_t> strideOverflow;
+
+        /** Reuse distances of this op's accesses (combined stream). */
+        LogHistogram reuse;
+
+        void
+        addStride(uint64_t stride)
+        {
+            for (size_t k = 0; k < nInline; ++k) {
+                if (strideKey[k] == stride) {
+                    strideCount[k]++;
+                    return;
+                }
+            }
+            if (nInline < kInlineStrides) {
+                strideKey[nInline] = stride;
+                strideCount[nInline] = 1;
+                nInline++;
+                return;
+            }
+            if (kInlineStrides + strideOverflow.size() < kMaxStrides) {
+                if (strideOverflow.empty())
+                    strideOverflow.reserve(kMaxStrides);
+                strideOverflow[stride]++;
+            } else if (uint64_t *c = strideOverflow.find(stride)) {
+                (*c)++;
+            }
+        }
     };
     std::vector<OpRunning> opRunning_;
     std::vector<uint64_t> coldLoadUopIdx_;
+    /** Exact corrections for accesses whose type differs from their
+     *  static op's nominal type ([0] loads, [1] stores). */
+    struct TypeAdjust {
+        LogHistogram add;
+        LogHistogram sub;
+    };
+    std::array<TypeAdjust, 2> typeAdjust_;
 
     // --- per-micro-trace state --------------------------------------------
-    std::vector<MicroOp> mtBuf_;
-    std::vector<size_t> mtUopIdx_;
-    std::unordered_map<uint64_t, TakenCounts> mtBranchStats_;
-    std::unordered_map<uint32_t, uint32_t> mtMemCounts_;
-    std::unordered_map<uint32_t, uint32_t> mtFirstPos_;
+    // Micro-traces are contiguous runs of the trace, so instead of copying
+    // uops into a buffer we keep a zero-copy [mtStart_, mtStart_ + mtLen_)
+    // span into the trace being profiled.
+    const Trace *trace_ = nullptr;
+    size_t mtStart_ = 0;
+    size_t mtLen_ = 0;
+    FlatMap<TakenCounts> mtBranchStats_;
+    /** Per-micro-trace occurrence counts / first positions, indexed
+     *  directly by memOps index (dense small ints — no hashing). The
+     *  touched list makes the end-of-micro-trace sweep and reset
+     *  proportional to the ops actually seen. */
+    std::vector<uint32_t> mtMemCount_;
+    std::vector<uint32_t> mtFirstPos_;
+    std::vector<uint32_t> mtTouched_;
     uint32_t mtColdMisses_ = 0;
 };
 
 uint32_t
 Profiler::memOpIndex(uint64_t pc, bool isStore)
 {
-    auto it = memOpIndex_.find(pc);
-    if (it != memOpIndex_.end())
-        return it->second;
+    if (memPcBase_ == ~0ULL) {
+        memPcBase_ = pc & ~(static_cast<uint64_t>(kPcWindow) - 1);
+        memOpDirect_.assign(kPcWindow, 0);
+    }
+    uint64_t off = pc - memPcBase_;
+    if (off < kPcWindow) {
+        uint32_t slot = memOpDirect_[off];
+        if (slot)
+            return slot - 1;
+        uint32_t idx = createMemOp(pc, isStore);
+        memOpDirect_[off] = idx + 1;
+        return idx;
+    }
+    auto [slot, inserted] = memOpIndex_.tryEmplace(pc);
+    if (!inserted)
+        return slot;
+    uint32_t idx = createMemOp(pc, isStore);
+    slot = idx;
+    return idx;
+}
+
+/** memOpIndex without creating. @return whether @p pc has an op. */
+bool
+Profiler::findMemOp(uint64_t pc, uint32_t &idx) const
+{
+    if (memPcBase_ != ~0ULL && pc - memPcBase_ < kPcWindow) {
+        uint32_t slot = memOpDirect_[pc - memPcBase_];
+        if (!slot)
+            return false;
+        idx = slot - 1;
+        return true;
+    }
+    const uint32_t *v = memOpIndex_.find(pc);
+    if (!v)
+        return false;
+    idx = *v;
+    return true;
+}
+
+uint32_t
+Profiler::createMemOp(uint64_t pc, bool isStore)
+{
     uint32_t idx = static_cast<uint32_t>(profile_.memOps.size());
-    memOpIndex_[pc] = idx;
     StaticMemProfile p;
     p.pc = pc;
     p.isStore = isStore;
     profile_.memOps.push_back(std::move(p));
     opRunning_.emplace_back();
+    opRunning_.back().isStore = isStore;
     return idx;
 }
 
@@ -189,22 +371,21 @@ Profiler::observeMemory(const MicroOp &op, size_t uopIndex, bool inMt)
     bool is_store = op.type == UopType::Store;
 
     // Combined-stream reuse distance (thesis Fig 4.1).
-    auto [it, cold] = lastAccess_.try_emplace(line, memIndex_);
+    auto [last, cold] = lastAccess_.tryEmplace(line, memIndex_);
     uint64_t rd = 0;
     if (!cold) {
-        rd = memIndex_ - it->second - 1;
-        it->second = memIndex_;
+        rd = memIndex_ - last - 1;
+        last = memIndex_;
     }
     memIndex_++;
 
-    auto addReuse = [&](LogHistogram &h) {
-        if (cold)
-            h.addInfinite();
-        else
-            h.add(rd);
-    };
-    addReuse(profile_.reuseAll);
-    addReuse(is_store ? profile_.reuseStores : profile_.reuseLoads);
+    // The same distance lands in three histograms (combined, per-type,
+    // per-op). Only the per-op one is touched here: reuseLoads /
+    // reuseStores are assembled at the end of the run from the per-op
+    // histograms (each static op is load or store), with the rare
+    // mixed-type pc corrected exactly via typeAdjust_, and reuseAll is
+    // their merge.
+    size_t reuseBin = cold ? 0 : LogHistogram::binIndex(rd);
 
     if (cold && !is_store) {
         profile_.cold.coldLoadMisses++;
@@ -214,47 +395,101 @@ Profiler::observeMemory(const MicroOp &op, size_t uopIndex, bool inMt)
     }
 
     // Per-static-op statistics (strides tracked continuously; spacing
-    // within micro-traces).
+    // within micro-traces), accumulated on the compact running struct.
     uint32_t idx = memOpIndex(op.pc, is_store);
-    StaticMemProfile &sp = profile_.memOps[idx];
     OpRunning &run = opRunning_[idx];
-    sp.count++;
-    addReuse(sp.reuse);
+    run.count++;
+    if (cold)
+        run.reuse.addInfinite();
+    else
+        run.reuse.addAtBin(reuseBin);
+    if (is_store != run.isStore) [[unlikely]] {
+        // Access type differs from the op's nominal type: log the exact
+        // correction moving this count between the derived per-type
+        // histograms (add to the access's type, remove from the op's).
+        LogHistogram &add = typeAdjust_[is_store ? 1 : 0].add;
+        LogHistogram &sub = typeAdjust_[run.isStore ? 1 : 0].sub;
+        if (cold) {
+            add.addInfinite();
+            sub.addInfinite();
+        } else {
+            add.addAtBin(reuseBin);
+            sub.addAtBin(reuseBin);
+        }
+    }
     if (run.seen) {
-        int64_t stride = static_cast<int64_t>(op.addr) -
-                         static_cast<int64_t>(run.lastAddr);
-        // Bound the stride map; rare strides beyond the cap fold into the
-        // closest existing entry-free behaviour (counted as distinct-ish).
-        if (sp.strides.size() < 64 || sp.strides.count(stride))
-            sp.strides[stride]++;
-        sp.gapSum += uopIndex - run.lastUopIdx;
-        sp.gapCount++;
+        run.addStride(static_cast<uint64_t>(op.addr - run.lastAddr));
+        run.gapSum += uopIndex - run.lastUopIdx;
+        run.gapCount++;
         if (!is_store && op.src1 == op.dst && op.dst != kNoReg)
-            sp.selfDependent++;
+            run.selfDependent++;
     }
     run.lastAddr = op.addr;
     run.lastUopIdx = uopIndex;
     run.seen = true;
 
     if (inMt) {
-        mtMemCounts_[idx]++;
-        size_t pos = mtBuf_.size(); // position within the micro-trace
-        mtFirstPos_.try_emplace(idx, static_cast<uint32_t>(pos));
+        if (idx >= mtMemCount_.size()) {
+            mtMemCount_.resize(opRunning_.size(), 0);
+            mtFirstPos_.resize(opRunning_.size(), 0);
+        }
+        if (mtMemCount_[idx]++ == 0) {
+            // Position within the micro-trace (the span is contiguous).
+            mtFirstPos_[idx] = static_cast<uint32_t>(uopIndex - mtStart_);
+            mtTouched_.push_back(idx);
+        }
     }
+}
+
+uint32_t
+Profiler::newBranchTable()
+{
+    const size_t tableSize = static_cast<size_t>(histMask_) + 1;
+    branchTables_.resize(branchTables_.size() + tableSize);
+    return numBranchTables_++;
 }
 
 void
 Profiler::observeBranch(const MicroOp &op, bool inMt)
 {
-    uint64_t mask = (1ULL << cfg_.historyBits) - 1;
-    uint64_t key = (op.pc << cfg_.historyBits) | (ghist_ & mask);
-    auto &c = branchStats_[key];
-    c.taken += op.taken ? 1 : 0;
-    c.total++;
+    if (!denseBranchTables_) {
+        uint64_t key = (op.pc << cfg_.historyBits) | (ghist_ & histMask_);
+        auto &c = sparseBranchStats_[key];
+        c.taken += op.taken ? 1 : 0;
+        c.total++;
+    } else {
+        const size_t tableSize = static_cast<size_t>(histMask_) + 1;
+        uint32_t table;
+        if (branchPcBase_ == ~0ULL) {
+            branchPcBase_ =
+                op.pc & ~(static_cast<uint64_t>(kPcWindow) - 1);
+            branchDirect_.assign(kPcWindow, 0);
+        }
+        uint64_t off = op.pc - branchPcBase_;
+        if (off < kPcWindow) {
+            uint32_t slot = branchDirect_[off];
+            if (slot) {
+                table = slot - 1;
+            } else {
+                table = newBranchTable();
+                branchDirect_[off] = table + 1;
+            }
+        } else {
+            auto [slot, fresh] = branchPc_.tryEmplace(op.pc, 0);
+            if (fresh)
+                slot = newBranchTable();
+            table = slot;
+        }
+        TakenCounts &c =
+            branchTables_[static_cast<size_t>(table) * tableSize +
+                          (ghist_ & histMask_)];
+        c.taken += op.taken ? 1 : 0;
+        c.total++;
+    }
 
     if (inMt) {
-        uint64_t wmask = (1ULL << cfg_.windowHistoryBits) - 1;
-        uint64_t wkey = (op.pc << cfg_.windowHistoryBits) | (ghist_ & wmask);
+        uint64_t wkey =
+            (op.pc << cfg_.windowHistoryBits) | (ghist_ & winHistMask_);
         auto &wc = mtBranchStats_[wkey];
         wc.taken += op.taken ? 1 : 0;
         wc.total++;
@@ -262,35 +497,82 @@ Profiler::observeBranch(const MicroOp &op, bool inMt)
     ghist_ = (ghist_ << 1) | (op.taken ? 1 : 0);
 }
 
+/**
+ * Stepping-window chain walk for ROB-size index @p i over the current
+ * micro-trace span. Writes only state owned by index i (chains row i,
+ * loadDeps row i, wp.*[i]) plus, for the median size only, the per-op
+ * load-depth attribution — safe to run concurrently across i.
+ */
 void
-Profiler::observeIfetch(const MicroOp &op)
+Profiler::walkRobSize(const MicroOp *mt, size_t mtLen, size_t i,
+                      size_t median, WindowProfile &wp)
 {
-    uint64_t iline = op.pc / kLineSize;
-    if (iline == prevILine_)
-        return;
-    prevILine_ = iline;
-    auto [it, cold] = lastILine_.try_emplace(iline, iLineIndex_);
-    if (cold) {
-        profile_.reuseInsts.addInfinite();
-    } else {
-        profile_.reuseInsts.add(iLineIndex_ - it->second - 1);
-        it->second = iLineIndex_;
+    size_t b = cfg_.robSizes[i];
+    if (b > mtLen)
+        b = mtLen;
+    size_t nwin = mtLen / b;
+    double apSum = 0, abpSum = 0, cpSum = 0;
+    double abpWindows = 0;
+    WalkScratch scratch;
+    scratch.resize(b);
+    std::vector<std::pair<uint32_t, uint32_t>> perLoad;
+    for (size_t w = 0; w < nwin; ++w) {
+        auto stats = walkWindow(mt + w * b, b, scratch,
+                                i == median ? &perLoad : nullptr);
+        apSum += stats.ap;
+        cpSum += stats.cp;
+        if (stats.hasBranch) {
+            abpSum += stats.abp;
+            abpWindows += 1;
+        }
+        auto &ld = profile_.loadDeps;
+        for (int l = 0; l < LoadDepProfile::kMaxDepth; ++l)
+            ld.histo[i][l] += stats.loadHisto[l];
+        ld.loads[i] += stats.loads;
+        ld.windows[i] += 1;
+        ld.independentLoads[i] += stats.independentLoads;
+
+        if (i == median) {
+            // Attribute load depths to their static op for the
+            // stride-MLP model's dependence imposition.
+            for (auto &[posInWin, depthv] : perLoad) {
+                size_t pos = w * b + posInWin;
+                const MicroOp &op = mt[pos];
+                uint32_t sidx = 0;
+                if (findMemOp(op.pc, sidx)) {
+                    auto &sp = profile_.memOps[sidx];
+                    sp.loadDepthSum += depthv;
+                    sp.loadDepthCount++;
+                }
+            }
+            perLoad.clear();
+        }
+        profile_.chains.addSample(i, stats.ap, stats.abp,
+                                  stats.hasBranch, stats.cp);
     }
-    iLineIndex_++;
+    if (nwin > 0) {
+        wp.ap[i] = static_cast<float>(apSum / nwin);
+        wp.cp[i] = static_cast<float>(cpSum / nwin);
+        wp.abp[i] = abpWindows ?
+            static_cast<float>(abpSum / abpWindows) : 0.0f;
+    }
 }
 
 void
 Profiler::finishMicroTrace()
 {
-    if (mtBuf_.empty())
+    if (mtLen_ == 0)
         return;
+    const MicroOp *mt = trace_->data() + mtStart_;
+    const size_t mtLen = mtLen_;
 
     WindowProfile wp;
     wp.ap.resize(cfg_.robSizes.size());
     wp.abp.resize(cfg_.robSizes.size());
     wp.cp.resize(cfg_.robSizes.size());
 
-    for (const auto &op : mtBuf_) {
+    for (size_t k = 0; k < mtLen; ++k) {
+        const MicroOp &op = mt[k];
         wp.uopCounts[static_cast<int>(op.type)]++;
         wp.insts += op.instBoundary ? 1 : 0;
         if (op.type == UopType::Branch)
@@ -299,63 +581,27 @@ Profiler::finishMicroTrace()
             (op.src1 != kNoReg) + (op.src2 != kNoReg);
         profile_.dstOperands += op.dst != kNoReg;
     }
-    profile_.profiledUops += mtBuf_.size();
+    profile_.profiledUops += mtLen;
     profile_.profiledInsts += wp.insts;
     for (int t = 0; t < kNumUopTypes; ++t)
         profile_.uopCounts[t] += wp.uopCounts[t];
 
     // Dependence chains + load-dependence distributions, one pass of
     // stepping windows per profiled ROB size (thesis Alg 3.1, sampled).
-    const size_t median = cfg_.robSizes.size() / 2;
-    for (size_t i = 0; i < cfg_.robSizes.size(); ++i) {
-        size_t b = cfg_.robSizes[i];
-        if (b > mtBuf_.size())
-            b = mtBuf_.size();
-        size_t nwin = mtBuf_.size() / b;
-        double apSum = 0, abpSum = 0, cpSum = 0;
-        double abpWindows = 0;
-        std::vector<std::pair<uint32_t, uint32_t>> perLoad;
-        for (size_t w = 0; w < nwin; ++w) {
-            auto stats = walkWindow(
-                mtBuf_.data() + w * b, b,
-                i == median ? &perLoad : nullptr);
-            apSum += stats.ap;
-            cpSum += stats.cp;
-            if (stats.hasBranch) {
-                abpSum += stats.abp;
-                abpWindows += 1;
-            }
-            auto &ld = profile_.loadDeps;
-            for (int l = 0; l < LoadDepProfile::kMaxDepth; ++l)
-                ld.histo[i][l] += stats.loadHisto[l];
-            ld.loads[i] += stats.loads;
-            ld.windows[i] += 1;
-            ld.independentLoads[i] += stats.independentLoads;
-
-            if (i == median) {
-                // Attribute load depths to their static op for the
-                // stride-MLP model's dependence imposition.
-                for (auto &[posInWin, depthv] : perLoad) {
-                    size_t pos = w * b + posInWin;
-                    const MicroOp &op = mtBuf_[pos];
-                    auto it = memOpIndex_.find(op.pc);
-                    if (it != memOpIndex_.end()) {
-                        auto &sp = profile_.memOps[it->second];
-                        sp.loadDepthSum += depthv;
-                        sp.loadDepthCount++;
-                    }
-                }
-                perLoad.clear();
-            }
-            profile_.chains.addSample(i, stats.ap, stats.abp,
-                                      stats.hasBranch, stats.cp);
-        }
-        if (nwin > 0) {
-            wp.ap[i] = static_cast<float>(apSum / nwin);
-            wp.cp[i] = static_cast<float>(cpSum / nwin);
-            wp.abp[i] = abpWindows ?
-                static_cast<float>(abpSum / abpWindows) : 0.0f;
-        }
+    // The per-size walks are independent; fan them out when the span is
+    // big enough to amortize the dispatch.
+    const size_t nSizes = cfg_.robSizes.size();
+    const size_t median = nSizes / 2;
+    ThreadPool &pool = ThreadPool::shared();
+    if (cfg_.parallelWindows && pool.concurrency() > 1 &&
+        mtLen * nSizes >= (1u << 14)) {
+        pool.parallelFor(nSizes, 1, [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i)
+                walkRobSize(mt, mtLen, i, median, wp);
+        });
+    } else {
+        for (size_t i = 0; i < nSizes; ++i)
+            walkRobSize(mt, mtLen, i, median, wp);
     }
 
     // Per-window branch entropy.
@@ -363,62 +609,184 @@ Profiler::finishMicroTrace()
     wp.branchEntropy = static_cast<float>(entropyOf(mtBranchStats_, nb));
 
     // Per-window memory-op occurrence counts + spacing updates.
-    wp.memCounts.assign(mtMemCounts_.begin(), mtMemCounts_.end());
-    std::sort(wp.memCounts.begin(), wp.memCounts.end());
-    for (const auto &[idx, firstPos] : mtFirstPos_) {
-        profile_.memOps[idx].firstPosSum += firstPos;
+    wp.memCounts.reserve(mtTouched_.size());
+    for (uint32_t idx : mtTouched_) {
+        wp.memCounts.emplace_back(idx, mtMemCount_[idx]);
+        profile_.memOps[idx].firstPosSum += mtFirstPos_[idx];
         profile_.memOps[idx].microTraces++;
+        mtMemCount_[idx] = 0;
     }
+    std::sort(wp.memCounts.begin(), wp.memCounts.end());
+    mtTouched_.clear();
     wp.coldMisses = mtColdMisses_;
 
     profile_.windows.push_back(std::move(wp));
-    mtBuf_.clear();
-    mtUopIdx_.clear();
+    mtLen_ = 0;
     mtBranchStats_.clear();
-    mtMemCounts_.clear();
-    mtFirstPos_.clear();
     mtColdMisses_ = 0;
+}
+
+template <bool InMt>
+void
+Profiler::observeRange(const Trace &trace, size_t begin, size_t end)
+{
+    const size_t n = trace.size();
+    // The line-reuse probe is the loop's dominant memory stall; its slot
+    // for a memory access 64 uops ahead is prefetched here, far enough
+    // out to cover the round-trip.
+    constexpr size_t kLookahead = 64;
+    // I-line locality state lives in a register across the loop instead
+    // of a member load/store per uop.
+    uint64_t prevILine = prevILine_;
+    for (size_t i = begin; i < end; ++i) {
+        const MicroOp &op = trace[i];
+        if (i + kLookahead < n) {
+            const MicroOp &ahead = trace[i + kLookahead];
+            if (isMemory(ahead.type))
+                lastAccess_.prefetch(ahead.lineAddr());
+        }
+        // Instruction-stream reuse (observeIfetch, inlined on the iline
+        // transition only).
+        uint64_t iline = op.pc / kLineSize;
+        if (iline != prevILine) {
+            prevILine = iline;
+            auto [last, cold] = lastILine_.tryEmplace(iline, iLineIndex_);
+            if (cold) {
+                profile_.reuseInsts.addInfinite();
+            } else {
+                profile_.reuseInsts.add(iLineIndex_ - last - 1);
+                last = iLineIndex_;
+            }
+            iLineIndex_++;
+        }
+        if (isMemory(op.type))
+            observeMemory(op, i, InMt);
+        if (op.type == UopType::Branch)
+            observeBranch(op, InMt);
+    }
+    prevILine_ = prevILine;
 }
 
 Profile
 Profiler::run(const Trace &trace)
 {
     profile_.totalUops = trace.size();
+    trace_ = &trace;
 
-    bool prevInMt = false;
-    for (size_t i = 0; i < trace.size(); ++i) {
-        const MicroOp &op = trace[i];
-        bool in_mt = cfg_.sampling.inMicroTrace(i);
-        if (prevInMt && !in_mt)
+    // Pre-size the hot maps so the innermost loop does not stall on
+    // rehashes (the line-reuse map moves its whole payload on growth).
+    lastAccess_.reserve(std::min<size_t>(trace.size() / 8 + 64, 1u << 22));
+    lastILine_.reserve(1024);
+    branchTables_.reserve(64 * (static_cast<size_t>(histMask_) + 1));
+    // The per-micro-trace map keeps its capacity across clear(); size it
+    // once instead of growing through rehashes on the first micro-trace.
+    mtBranchStats_.reserve(512);
+
+    // Walk whole in-/out-of-micro-trace segments instead of testing
+    // inMicroTrace(i) per uop: the sampling flag becomes a compile-time
+    // constant inside observeRange, so the 95 % fast-forward path
+    // carries no micro-trace bookkeeping at all.
+    const size_t winSize = std::max<size_t>(1, cfg_.sampling.windowSize);
+    const size_t mtSize = cfg_.sampling.microTraceSize;
+    const size_t n = trace.size();
+    if (mtSize >= winSize) {
+        // No sampling: the whole trace is one micro-trace.
+        mtStart_ = 0;
+        observeRange<true>(trace, 0, n);
+        mtLen_ = n;
+        finishMicroTrace();
+    } else {
+        for (size_t winStart = 0; winStart < n; winStart += winSize) {
+            size_t mtEnd = std::min(winStart + mtSize, n);
+            mtStart_ = winStart;
+            observeRange<true>(trace, winStart, mtEnd);
+            mtLen_ = mtEnd - winStart;
             finishMicroTrace();
-        prevInMt = in_mt;
-
-        // Continuously tracked statistics.
-        observeIfetch(op);
-        if (isMemory(op.type))
-            observeMemory(op, i, in_mt);
-        if (op.type == UopType::Branch)
-            observeBranch(op, in_mt);
-
-        if (in_mt) {
-            mtBuf_.push_back(op);
-            mtUopIdx_.push_back(i);
+            observeRange<false>(trace, mtEnd,
+                                std::min(winStart + winSize, n));
         }
     }
-    finishMicroTrace();
 
-    // Finalize branch entropy.
-    profile_.branch.staticBranches = 0;
-    {
-        std::unordered_map<uint64_t, bool> seen;
-        for (const auto &[key, c] : branchStats_)
-            seen[key >> cfg_.historyBits] = true;
-        profile_.branch.staticBranches = seen.size();
+    // Finalize branch entropy, iterating in (pc, history) order so the
+    // floating-point sum is identical to a sorted-key reference.
+    if (denseBranchTables_) {
+        std::vector<std::pair<uint64_t, uint32_t>> pcs;
+        pcs.reserve(numBranchTables_);
+        if (branchPcBase_ != ~0ULL)
+            for (size_t off = 0; off < kPcWindow; ++off)
+                if (uint32_t slot = branchDirect_[off])
+                    pcs.emplace_back(branchPcBase_ + off, slot - 1);
+        branchPc_.forEach([&](uint64_t pc, const uint32_t &table) {
+            pcs.emplace_back(pc, table);
+        });
+        std::sort(pcs.begin(), pcs.end());
+        const size_t tableSize = static_cast<size_t>(histMask_) + 1;
+        double sum = 0;
+        uint64_t branches = 0;
+        for (const auto &[pc, table] : pcs) {
+            const TakenCounts *tc =
+                branchTables_.data() + static_cast<size_t>(table) * tableSize;
+            for (size_t h = 0; h < tableSize; ++h) {
+                const TakenCounts &c = tc[h];
+                if (!c.total)
+                    continue;
+                double p = static_cast<double>(c.taken) / c.total;
+                sum += c.total * linearEntropy(p);
+                branches += c.total;
+            }
+        }
+        profile_.branch.staticBranches = pcs.size();
+        profile_.branch.branches = branches;
+        profile_.branch.entropySum = sum;
+    } else {
+        uint64_t nb = 0;
+        double e = entropyOf(sparseBranchStats_, nb);
+        profile_.branch.branches = nb;
+        profile_.branch.entropySum = e * nb;
+        std::vector<uint64_t> pcs;
+        pcs.reserve(sparseBranchStats_.size());
+        sparseBranchStats_.forEach([&](uint64_t key, const TakenCounts &) {
+            pcs.push_back(key >> cfg_.historyBits);
+        });
+        std::sort(pcs.begin(), pcs.end());
+        profile_.branch.staticBranches = static_cast<uint64_t>(
+            std::unique(pcs.begin(), pcs.end()) - pcs.begin());
     }
-    uint64_t nb = 0;
-    double e = entropyOf(branchStats_, nb);
-    profile_.branch.branches = nb;
-    profile_.branch.entropySum = e * nb;
+
+    // Materialize the per-op running state into the profile's output
+    // records (sorted stride maps are the serialized representation),
+    // assembling the per-type reuse distributions along the way.
+    for (size_t idx = 0; idx < opRunning_.size(); ++idx) {
+        OpRunning &run = opRunning_[idx];
+        StaticMemProfile &sp = profile_.memOps[idx];
+        sp.count = run.count;
+        sp.gapSum = run.gapSum;
+        sp.gapCount = run.gapCount;
+        sp.selfDependent = run.selfDependent;
+        sp.reuse = std::move(run.reuse);
+        (sp.isStore ? profile_.reuseStores : profile_.reuseLoads)
+            .merge(sp.reuse);
+        sp.strides.reserve(run.nInline + run.strideOverflow.size());
+        for (size_t k = 0; k < run.nInline; ++k)
+            sp.strides.emplace_back(
+                static_cast<int64_t>(run.strideKey[k]),
+                run.strideCount[k]);
+        run.strideOverflow.forEach(
+            [&](uint64_t stride, const uint64_t &count) {
+                sp.strides.emplace_back(static_cast<int64_t>(stride),
+                                        count);
+            });
+        std::sort(sp.strides.begin(), sp.strides.end());
+    }
+
+    // Apply the mixed-type corrections, then derive the combined
+    // distribution (every access is exactly one of load/store).
+    profile_.reuseLoads.merge(typeAdjust_[0].add);
+    profile_.reuseLoads.subtract(typeAdjust_[0].sub);
+    profile_.reuseStores.merge(typeAdjust_[1].add);
+    profile_.reuseStores.subtract(typeAdjust_[1].sub);
+    profile_.reuseAll.merge(profile_.reuseLoads);
+    profile_.reuseAll.merge(profile_.reuseStores);
 
     // Cold-miss burstiness per ROB size (thesis §4.4): step ROB-sized
     // windows over the uop stream and count cold loads per window.
@@ -456,6 +824,29 @@ profileTrace(const Trace &trace, const ProfilerConfig &cfg)
 {
     Profiler p(cfg);
     return p.run(trace);
+}
+
+std::vector<Profile>
+profileTraces(const std::vector<Trace> &traces,
+              const std::vector<ProfilerConfig> &cfgs)
+{
+    if (!cfgs.empty() && cfgs.size() != 1 && cfgs.size() != traces.size())
+        throw std::invalid_argument(
+            "profileTraces: cfgs must hold 0, 1, or one config per trace");
+    static const ProfilerConfig kDefault{};
+    std::vector<Profile> out(traces.size());
+    ThreadPool::shared().parallelFor(
+        traces.size(), 1, [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+                const ProfilerConfig &cfg =
+                    cfgs.empty() ? kDefault
+                                 : (cfgs.size() == 1 ? cfgs[0]
+                                                     : cfgs.at(i));
+                Profiler p(cfg);
+                out[i] = p.run(traces[i]);
+            }
+        });
+    return out;
 }
 
 } // namespace mipp

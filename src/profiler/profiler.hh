@@ -33,10 +33,23 @@ struct ProfilerConfig {
     uint32_t historyBits = 8;
     /** History bits for the cheap per-window entropy estimate. */
     uint32_t windowHistoryBits = 4;
+    /** Run the independent per-ROB-size window walks on the shared
+     *  thread pool when the micro-trace is large enough. Results are
+     *  identical either way (each ROB size writes disjoint state). */
+    bool parallelWindows = true;
 };
 
 /** Profile @p trace. Deterministic; no micro-architecture inputs. */
 Profile profileTrace(const Trace &trace, const ProfilerConfig &cfg = {});
+
+/**
+ * Profile a batch of workloads, parallel across traces on the shared
+ * thread pool. @p cfgs must hold either one config (broadcast to every
+ * trace) or exactly one per trace; empty means all-default configs.
+ * Equivalent to calling profileTrace per trace, in order.
+ */
+std::vector<Profile> profileTraces(const std::vector<Trace> &traces,
+                                   const std::vector<ProfilerConfig> &cfgs = {});
 
 } // namespace mipp
 

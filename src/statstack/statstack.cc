@@ -62,10 +62,12 @@ StatStack::reuseThreshold(double cacheLines) const
     if (total_ == 0)
         return cacheLines;
     size_t nbins = survival_.size() - 1;
-    // Find the first bin whose end-integral reaches the target.
-    size_t b = 0;
-    while (b < nbins && integral_[b + 1] < cacheLines)
-        ++b;
+    // First bin whose end-integral reaches the target; integral_ is
+    // non-decreasing, so binary search instead of a linear scan.
+    size_t b = static_cast<size_t>(
+        std::lower_bound(integral_.begin() + 1,
+                         integral_.begin() + 1 + nbins, cacheLines) -
+        (integral_.begin() + 1));
     double s = survival_[std::min(b, nbins)];
     uint64_t lo = LogHistogram::binLower(b);
     if (s <= 0) {

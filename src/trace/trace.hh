@@ -34,6 +34,9 @@ class Trace
 
     const MicroOp &operator[](size_t i) const { return uops_[i]; }
 
+    /** Contiguous uop storage (zero-copy span access for the profiler). */
+    const MicroOp *data() const { return uops_.data(); }
+
     auto begin() const { return uops_.begin(); }
     auto end() const { return uops_.end(); }
 

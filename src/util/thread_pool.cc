@@ -1,0 +1,147 @@
+#include "util/thread_pool.hh"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace mipp {
+
+namespace {
+/** Set inside workerLoop so nested parallelFor calls run inline. */
+thread_local bool tlInWorker = false;
+} // namespace
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    // The caller participates in every parallelFor, so spawn one fewer
+    // worker than the requested concurrency.
+    for (unsigned t = 0; t + 1 < threads; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tlInWorker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (tasks_.empty())
+                return; // stop_ and drained
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n, size_t grain, const RangeFn &fn)
+{
+    if (n == 0)
+        return;
+    if (grain == 0)
+        grain = 1;
+    size_t chunks = (n + grain - 1) / grain;
+    if (workers_.empty() || tlInWorker || chunks <= 1) {
+        fn(0, n);
+        return;
+    }
+
+    // Shared chunk dispenser; helpers and the caller pull ranges until
+    // the range is exhausted. The caller joins last (even when a chunk
+    // throws), so the reference to fn stays valid for the helpers'
+    // whole lifetime; the first exception is captured and rethrown on
+    // the caller once everyone is done.
+    struct Job {
+        std::atomic<size_t> next{0};
+        size_t n;
+        size_t grain;
+        const RangeFn &fn;
+        std::mutex mu;
+        std::condition_variable done;
+        size_t pendingHelpers;
+        std::exception_ptr error;
+
+        Job(size_t n, size_t grain, const RangeFn &fn, size_t helpers)
+            : n(n), grain(grain), fn(fn), pendingHelpers(helpers)
+        {
+        }
+
+        void
+        run() noexcept
+        {
+            // A thread executing chunks counts as inside the pool, so
+            // nested parallelFor calls from the caller's own chunk run
+            // inline instead of queuing behind the outer job.
+            bool wasInWorker = tlInWorker;
+            tlInWorker = true;
+            for (;;) {
+                size_t b = next.fetch_add(grain,
+                                          std::memory_order_relaxed);
+                if (b >= n)
+                    break;
+                try {
+                    fn(b, std::min(n, b + grain));
+                } catch (...) {
+                    {
+                        std::lock_guard<std::mutex> lock(mu);
+                        if (!error)
+                            error = std::current_exception();
+                    }
+                    // Stop handing out further chunks.
+                    next.store(n, std::memory_order_relaxed);
+                }
+            }
+            tlInWorker = wasInWorker;
+        }
+    };
+
+    size_t helpers = std::min(workers_.size(), chunks - 1);
+    auto job = std::make_shared<Job>(n, grain, fn, helpers);
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (size_t h = 0; h < helpers; ++h) {
+            tasks_.emplace_back([job] {
+                job->run();
+                std::lock_guard<std::mutex> jlock(job->mu);
+                if (--job->pendingHelpers == 0)
+                    job->done.notify_one();
+            });
+        }
+    }
+    cv_.notify_all();
+
+    job->run();
+    {
+        std::unique_lock<std::mutex> lock(job->mu);
+        job->done.wait(lock, [&] { return job->pendingHelpers == 0; });
+    }
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+} // namespace mipp

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Small shared thread pool for data-parallel loops.
+ *
+ * The profiler's per-ROB-size window walks, batch profiling and the DSE
+ * sweep all fan out over independent index ranges. Spawning threads per
+ * call (the old `sweep` strategy) pays thread-creation cost on every
+ * invocation; this pool keeps a process-wide set of workers alive and
+ * hands them chunked ranges instead.
+ *
+ * `parallelFor` degrades gracefully: with no workers (single-core hosts),
+ * a single chunk, or when called from inside a pool worker (nested
+ * parallelism), it runs the whole range inline on the caller, so results
+ * never depend on the pool's existence. The caller always participates in
+ * chunk execution and returns only when the full range is done.
+ */
+
+#ifndef MIPP_UTIL_THREAD_POOL_HH
+#define MIPP_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mipp {
+
+class ThreadPool
+{
+  public:
+    /** @param threads total concurrency; 0 = hardware concurrency. */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Process-wide pool shared by profiler and DSE sweeps. */
+    static ThreadPool &shared();
+
+    /** Total execution streams (workers + the calling thread). */
+    unsigned concurrency() const
+    {
+        return static_cast<unsigned>(workers_.size()) + 1;
+    }
+
+    using RangeFn = std::function<void(size_t begin, size_t end)>;
+
+    /**
+     * Run `fn(begin, end)` over disjoint chunks covering [0, n), at most
+     * @p grain indices per chunk, on the caller plus the pool workers.
+     * Blocks until the whole range has been processed.
+     */
+    void parallelFor(size_t n, size_t grain, const RangeFn &fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> tasks_;
+    bool stop_ = false;
+};
+
+} // namespace mipp
+
+#endif // MIPP_UTIL_THREAD_POOL_HH

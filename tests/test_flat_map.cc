@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the open-addressing FlatMap used on the profiler hot paths:
+ * insert/find/update, growth across rehashes, extreme u64 keys (0 and
+ * ~0), collision chains, clear-with-capacity and iteration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "trace/rng.hh"
+#include "util/flat_map.hh"
+
+namespace mipp {
+namespace {
+
+TEST(FlatMap, StartsEmpty)
+{
+    FlatMap<uint64_t> m;
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(0), nullptr);
+    EXPECT_EQ(m.find(~0ULL), nullptr);
+    EXPECT_FALSE(m.contains(42));
+}
+
+TEST(FlatMap, InsertAndFind)
+{
+    FlatMap<uint64_t> m;
+    m[7] = 70;
+    m[8] = 80;
+    EXPECT_EQ(m.size(), 2u);
+    ASSERT_NE(m.find(7), nullptr);
+    EXPECT_EQ(*m.find(7), 70u);
+    ASSERT_NE(m.find(8), nullptr);
+    EXPECT_EQ(*m.find(8), 80u);
+    EXPECT_EQ(m.find(9), nullptr);
+}
+
+TEST(FlatMap, ExtremeKeysZeroAndAllOnes)
+{
+    // 0 and ~0 are valid keys: occupancy is tracked out of band, not
+    // with sentinel key values.
+    FlatMap<uint32_t> m;
+    m[0] = 1;
+    m[~0ULL] = 2;
+    ASSERT_NE(m.find(0), nullptr);
+    EXPECT_EQ(*m.find(0), 1u);
+    ASSERT_NE(m.find(~0ULL), nullptr);
+    EXPECT_EQ(*m.find(~0ULL), 2u);
+    EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatMap, OperatorBracketDefaultConstructs)
+{
+    FlatMap<uint64_t> m;
+    EXPECT_EQ(m[123], 0u);
+    m[123]++;
+    m[123]++;
+    EXPECT_EQ(m[123], 2u);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, TryEmplaceSemantics)
+{
+    FlatMap<uint64_t> m;
+    auto [v1, inserted1] = m.tryEmplace(5, 50);
+    EXPECT_TRUE(inserted1);
+    EXPECT_EQ(v1, 50u);
+    auto [v2, inserted2] = m.tryEmplace(5, 99);
+    EXPECT_FALSE(inserted2);
+    EXPECT_EQ(v2, 50u); // existing value untouched
+    v2 = 51;
+    EXPECT_EQ(*m.find(5), 51u); // reference aliases the stored value
+}
+
+TEST(FlatMap, GrowthKeepsAllEntries)
+{
+    FlatMap<uint64_t> m;
+    constexpr uint64_t kN = 10000;
+    for (uint64_t k = 0; k < kN; ++k)
+        m[k * 0x10001ULL + 3] = k;
+    EXPECT_EQ(m.size(), kN);
+    for (uint64_t k = 0; k < kN; ++k) {
+        auto *v = m.find(k * 0x10001ULL + 3);
+        ASSERT_NE(v, nullptr) << "key " << k;
+        EXPECT_EQ(*v, k);
+    }
+    EXPECT_EQ(m.find(12345678901ULL), nullptr);
+}
+
+TEST(FlatMap, RandomKeysMatchReferenceMap)
+{
+    // Collision-chain stress: random keys against std::map ground truth.
+    FlatMap<uint64_t> m;
+    std::map<uint64_t, uint64_t> ref;
+    Rng rng(12345);
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t k = rng.next() & 0xffff; // dense -> many collisions
+        m[k]++;
+        ref[k]++;
+    }
+    EXPECT_EQ(m.size(), ref.size());
+    for (const auto &[k, n] : ref) {
+        auto *v = m.find(k);
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(*v, n);
+    }
+}
+
+TEST(FlatMap, ClearKeepsCapacityDropsEntries)
+{
+    FlatMap<uint64_t> m;
+    for (uint64_t k = 0; k < 1000; ++k)
+        m[k] = k;
+    size_t cap = m.capacity();
+    m.clear();
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.capacity(), cap);
+    EXPECT_EQ(m.find(5), nullptr);
+    m[5] = 55;
+    EXPECT_EQ(*m.find(5), 55u);
+}
+
+TEST(FlatMap, ReservePreventsRehash)
+{
+    FlatMap<uint64_t> m;
+    m.reserve(1000);
+    size_t cap = m.capacity();
+    for (uint64_t k = 0; k < 1000; ++k)
+        m[k] = k;
+    EXPECT_EQ(m.capacity(), cap) << "reserve(1000) should cover 1000 inserts";
+}
+
+TEST(FlatMap, ForEachVisitsEveryEntryOnce)
+{
+    FlatMap<uint64_t> m;
+    for (uint64_t k = 0; k < 500; ++k)
+        m[k * 7 + 1] = k;
+    std::map<uint64_t, uint64_t> seen;
+    m.forEach([&](uint64_t k, const uint64_t &v) { seen[k] = v; });
+    EXPECT_EQ(seen.size(), 500u);
+    for (uint64_t k = 0; k < 500; ++k) {
+        ASSERT_TRUE(seen.count(k * 7 + 1));
+        EXPECT_EQ(seen[k * 7 + 1], k);
+    }
+}
+
+} // namespace
+} // namespace mipp

@@ -76,6 +76,71 @@ TEST(LogHistogram, CountAtLeastCountsTailAndInfinite)
     EXPECT_EQ(h.countAtLeast(100000), 2u);
 }
 
+TEST(LogHistogram, CountAtLeastExactRangeStaysExact)
+{
+    // Regression: on the exact range (v < kExactMax) every query sits on
+    // a bin boundary, so no interpolation may kick in.
+    LogHistogram h;
+    for (uint64_t v = 0; v < 100; ++v)
+        h.add(v);
+    for (uint64_t v = 0; v <= 100; ++v)
+        EXPECT_DOUBLE_EQ(h.countAtLeast(v), static_cast<double>(100 - v));
+}
+
+TEST(LogHistogram, CountAtLeastInterpolatesPartialLogBin)
+{
+    // Regression for the bin-boundary overcount: a query inside a log
+    // bin used to count the whole bin. The first log bin is [128, 144)
+    // (16 wide); with 8 samples at 128, a query at 136 must count only
+    // the half of the bin at or beyond it, mirroring the uniform
+    // within-bin assumption of StatStack::stackDistance.
+    LogHistogram h;
+    h.add(128, 8);
+    EXPECT_DOUBLE_EQ(h.countAtLeast(128), 8.0); // bin boundary: full bin
+    EXPECT_DOUBLE_EQ(h.countAtLeast(136), 4.0); // mid-bin: half the mass
+    EXPECT_DOUBLE_EQ(h.countAtLeast(140), 2.0); // three quarters in
+    EXPECT_DOUBLE_EQ(h.countAtLeast(144), 0.0); // next bin: nothing
+}
+
+TEST(LogHistogram, CountAtLeastInterpolationIncludesInfinite)
+{
+    LogHistogram h;
+    h.add(128, 8);
+    h.addInfinite(3);
+    EXPECT_DOUBLE_EQ(h.countAtLeast(136), 7.0);
+    EXPECT_DOUBLE_EQ(h.countAtLeast(1 << 20), 3.0); // beyond all bins
+}
+
+TEST(LogHistogram, CountAtLeastMonotoneNonIncreasing)
+{
+    LogHistogram h;
+    for (uint64_t d = 1; d < 100000; d = d * 3 / 2 + 1)
+        h.add(d, 7);
+    h.addInfinite(5);
+    double prev = h.countAtLeast(0);
+    for (uint64_t v = 0; v < 200000; v += 111) {
+        double c = h.countAtLeast(v);
+        EXPECT_LE(c, prev + 1e-9);
+        prev = c;
+    }
+}
+
+TEST(LogHistogram, SubtractUndoesMerge)
+{
+    LogHistogram a, b;
+    a.add(3, 5);
+    a.add(500, 2);
+    a.addInfinite(1);
+    b.add(3, 1);
+    b.add(9000, 4);
+    a.merge(b);
+    a.subtract(b);
+    EXPECT_EQ(a.total(), 8u);
+    EXPECT_EQ(a.binCount(3), 5u);
+    EXPECT_EQ(a.binCount(LogHistogram::binIndex(9000)), 0u);
+    EXPECT_EQ(a.infiniteCount(), 1u);
+}
+
 TEST(LogHistogram, MergeAddsCounts)
 {
     LogHistogram a, b;

@@ -254,6 +254,44 @@ TEST(Profiler, StrideClassificationTwoStride)
     EXPECT_EQ(p.memOps[0].strideClass(), StrideClass::TwoStride);
 }
 
+TEST(Profiler, StrideMapCapsAt64DistinctStrides)
+{
+    // One static load produces 70 distinct strides; only the first 64
+    // may be tracked. Strides already in the set keep counting at the
+    // cap, later-new strides are dropped.
+    Trace t;
+    uint64_t addr = 0x10000;
+    auto pushLoad = [&](uint64_t a) {
+        MicroOp op = uop(UopType::Load, 4);
+        op.pc = 0x400700;
+        op.addr = a;
+        t.push(op);
+    };
+    pushLoad(addr);
+    for (int s = 1; s <= 70; ++s) {
+        addr += static_cast<uint64_t>(s) * 8; // stride s*8, all distinct
+        pushLoad(addr);
+    }
+    addr += 8; // stride 8 again: already tracked, must still count
+    pushLoad(addr);
+
+    Profile p = profileTrace(t, fullProfiling());
+    ASSERT_EQ(p.memOps.size(), 1u);
+    const auto &strides = p.memOps[0].strides;
+    EXPECT_EQ(strides.size(), 64u);
+
+    auto countOf = [&](int64_t s) -> uint64_t {
+        for (const auto &[stride, n] : strides)
+            if (stride == s)
+                return n;
+        return 0;
+    };
+    EXPECT_EQ(countOf(8), 2u);        // first stride, seen twice
+    EXPECT_EQ(countOf(64 * 8), 1u);   // 64th distinct stride still in
+    EXPECT_EQ(countOf(65 * 8), 0u);   // 65th arrived at the cap: dropped
+    EXPECT_EQ(countOf(70 * 8), 0u);
+}
+
 TEST(Profiler, StrideClassificationRandom)
 {
     Rng rng(4);

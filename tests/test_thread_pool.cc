@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the shared ThreadPool: full-range coverage with disjoint
+ * chunks, degenerate inputs, nested calls and the shared instance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace mipp {
+namespace {
+
+TEST(ThreadPool, CoversRangeExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr size_t kN = 10000;
+    std::vector<std::atomic<uint32_t>> hits(kN);
+    pool.parallelFor(kN, 7, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i)
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kN; ++i)
+        ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+}
+
+TEST(ThreadPool, ZeroItemsIsANoop)
+{
+    ThreadPool pool(2);
+    bool called = false;
+    pool.parallelFor(0, 1, [&](size_t, size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleChunkRunsInline)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallelFor(5, 100, [&](size_t b, size_t e) {
+        calls++;
+        EXPECT_EQ(b, 0u);
+        EXPECT_EQ(e, 5u);
+    });
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ZeroGrainIsTreatedAsOne)
+{
+    ThreadPool pool(2);
+    std::atomic<size_t> total{0};
+    pool.parallelFor(100, 0, [&](size_t b, size_t e) {
+        total.fetch_add(e - b);
+    });
+    EXPECT_EQ(total.load(), 100u);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsEverythingInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.concurrency(), 1u);
+    size_t total = 0; // no synchronization needed: caller-only
+    pool.parallelFor(1000, 10, [&](size_t b, size_t e) {
+        total += e - b;
+    });
+    EXPECT_EQ(total, 1000u);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    ThreadPool pool(4);
+    std::atomic<size_t> total{0};
+    pool.parallelFor(16, 1, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) {
+            pool.parallelFor(8, 1, [&](size_t ib, size_t ie) {
+                total.fetch_add(ie - ib);
+            });
+        }
+    });
+    EXPECT_EQ(total.load(), 16u * 8u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(100, 1,
+                         [&](size_t b, size_t) {
+                             if (b >= 40)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+    // The pool must remain usable after a failed job.
+    std::atomic<size_t> total{0};
+    pool.parallelFor(50, 5, [&](size_t b, size_t e) {
+        total.fetch_add(e - b);
+    });
+    EXPECT_EQ(total.load(), 50u);
+}
+
+TEST(ThreadPool, SharedInstanceIsStable)
+{
+    ThreadPool &a = ThreadPool::shared();
+    ThreadPool &b = ThreadPool::shared();
+    EXPECT_EQ(&a, &b);
+    EXPECT_GE(a.concurrency(), 1u);
+    std::atomic<size_t> total{0};
+    a.parallelFor(257, 16, [&](size_t begin, size_t end) {
+        total.fetch_add(end - begin);
+    });
+    EXPECT_EQ(total.load(), 257u);
+}
+
+TEST(ThreadPool, ReusableAcrossManyCalls)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<size_t> total{0};
+        pool.parallelFor(100, 9, [&](size_t b, size_t e) {
+            total.fetch_add(e - b);
+        });
+        ASSERT_EQ(total.load(), 100u) << "round " << round;
+    }
+}
+
+} // namespace
+} // namespace mipp
