@@ -1,36 +1,78 @@
 #!/usr/bin/env bash
-# Run bench_speedup and emit BENCH_speedup.json (benchmark -> ns/op,
-# items/s) for the performance trajectory. A "baseline" block already
-# present in the output file (e.g. the pre-optimization numbers) is
-# preserved across runs.
+# Run the google-benchmark binaries (bench_speedup + bench_dse_sweep) and
+# emit BENCH_speedup.json (benchmark -> ns/op, items/s) for the
+# performance trajectory. A "baseline" block already present in the
+# output file (e.g. the pre-optimization numbers) is preserved across
+# runs.
 #
-# Usage: bench/run_benchmarks.sh [build-dir] [output-json]
+# Usage: bench/run_benchmarks.sh [--smoke] [build-dir] [output-json]
+#   --smoke   one repetition with a short min-time, for CI plumbing
+#             checks. Numbers are noisy, so smoke runs never write the
+#             JSON — the recorded trajectory only ever holds the full
+#             5-repetition protocol.
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_speedup.json}"
-BIN="$BUILD_DIR/bench_speedup"
+SMOKE=0
+ARGS=()
+for a in "$@"; do
+    case "$a" in
+      --smoke) SMOKE=1 ;;
+      *) ARGS+=("$a") ;;
+    esac
+done
+BUILD_DIR="${ARGS[0]:-build}"
+OUT="${ARGS[1]:-BENCH_speedup.json}"
 
-if [[ ! -x "$BIN" ]]; then
-    echo "error: $BIN not found; build first:" >&2
-    echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
-    exit 1
+BENCH_FLAGS=(--benchmark_format=json)
+if [[ "$SMOKE" == 1 ]]; then
+    # One repetition, short min-time: proves the binaries run and emit
+    # parseable JSON without occupying a CI runner for minutes.
+    # Unsuffixed seconds: accepted by both pre- and post-1.8 benchmark.
+    BENCH_FLAGS+=(--benchmark_repetitions=1 --benchmark_min_time=0.01)
+else
+    # Five repetitions; the per-benchmark minimum is the most noise-robust
+    # estimate of the true cost on shared machines.
+    BENCH_FLAGS+=(--benchmark_repetitions=5)
 fi
 
-RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+RAWS=()
+# ${RAWS[@]+...} guard: expanding an empty array trips `set -u` on
+# bash < 4.4 (macOS ships 3.2).
+cleanup() { rm -f ${RAWS[@]+"${RAWS[@]}"}; }
+trap cleanup EXIT
 
-# Five repetitions; the per-benchmark minimum is the most noise-robust
-# estimate of the true cost on shared machines.
-"$BIN" --benchmark_repetitions=5 --benchmark_format=json >"$RAW"
+for bin in bench_speedup bench_dse_sweep; do
+    path="$BUILD_DIR/$bin"
+    if [[ ! -x "$path" ]]; then
+        echo "error: $path not found; build first:" >&2
+        echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+        exit 1
+    fi
+    raw="$(mktemp)"
+    RAWS+=("$raw")
+    "$path" "${BENCH_FLAGS[@]}" >"$raw"
+done
 
-python3 - "$RAW" "$OUT" <<'EOF'
+if [[ "$SMOKE" == 1 ]]; then
+    python3 - "${RAWS[@]}" <<'EOF'
+import json, sys
+for raw_path in sys.argv[1:]:
+    with open(raw_path) as f:
+        raw = json.load(f)
+    for b in raw.get("benchmarks", []):
+        if b.get("aggregate_name"):
+            continue
+        print(f"{b['run_name']}: {b['real_time']:.3f} ms/op")
+print("smoke run OK (no JSON written)")
+EOF
+    exit 0
+fi
+
+python3 - "$OUT" "${RAWS[@]}" <<'EOF'
 import json
 import sys
 
-raw_path, out_path = sys.argv[1], sys.argv[2]
-with open(raw_path) as f:
-    raw = json.load(f)
+out_path, raw_paths = sys.argv[1], sys.argv[2:]
 
 old = {}
 try:
@@ -40,27 +82,45 @@ except (OSError, ValueError):
     pass
 
 benches = {}
-for b in raw.get("benchmarks", []):
-    if b.get("aggregate_name"):  # keep raw repetitions only
-        continue
-    name = b["run_name"]
-    entry = {"ns_per_op": b["real_time"] * 1e6}  # reported in ms
-    if "items_per_second" in b:
-        entry["items_per_sec"] = b["items_per_second"]
-    prev = benches.get(name)
-    if prev is None or entry["ns_per_op"] < prev["ns_per_op"]:
-        benches[name] = entry
+context = {}
+for raw_path in raw_paths:
+    with open(raw_path) as f:
+        raw = json.load(f)
+    context = raw.get("context", context)
+    for b in raw.get("benchmarks", []):
+        if b.get("aggregate_name"):  # keep raw repetitions only
+            continue
+        name = b["run_name"]
+        entry = {"ns_per_op": b["real_time"] * 1e6}  # reported in ms
+        if "items_per_second" in b:
+            entry["items_per_sec"] = b["items_per_second"]
+        prev = benches.get(name)
+        if prev is None or entry["ns_per_op"] < prev["ns_per_op"]:
+            benches[name] = entry
 
 out = {
     "context": {
-        "date": raw.get("context", {}).get("date"),
-        "num_cpus": raw.get("context", {}).get("num_cpus"),
+        "date": context.get("date"),
+        "num_cpus": context.get("num_cpus"),
         "aggregate": "min of 5 repetitions",
+        "protocol": old.get("context", {}).get("protocol")
+            or "all benchmarks compiled with identical CMake flags (-O2) "
+               "and run in one session; in-binary baseline/optimized "
+               "pairs (e.g. BM_EvalUncached vs BM_EvalCached) are "
+               "interleaved by the benchmark runner itself",
     },
     "benchmarks": benches,
 }
-if "baseline" in old:
-    out["baseline"] = old["baseline"]
+for key in ("baseline", "speedup"):
+    if key in old:
+        out[key] = old[key]
+
+# In-binary baseline/optimized pairs: derive speedups automatically.
+pairs = {"BM_EvalCached": "BM_EvalUncached"}
+for fast, slow in pairs.items():
+    if fast in benches and slow in benches:
+        out.setdefault("speedup", {})[fast + "_vs_" + slow] = round(
+            benches[slow]["ns_per_op"] / benches[fast]["ns_per_op"], 3)
 
 with open(out_path, "w") as f:
     json.dump(out, f, indent=2, sort_keys=True)
@@ -69,7 +129,7 @@ with open(out_path, "w") as f:
 for name, e in sorted(benches.items()):
     line = f"{name}: {e['ns_per_op'] / 1e6:.3f} ms/op"
     if "items_per_sec" in e:
-        line += f", {e['items_per_sec'] / 1e6:.2f} M uops/s"
+        line += f", {e['items_per_sec'] / 1e6:.2f} M items/s"
     print(line)
 print(f"wrote {out_path}")
 EOF

@@ -1,62 +1,125 @@
 /**
  * @file
- * Design-space exploration: the paper's motivating use case.
+ * Design-space exploration: the paper's motivating use case, end to end.
  *
- * One profiling run per workload, then the analytical model sweeps a
- * 27-point design space in milliseconds and extracts the predicted
- * performance/power Pareto frontier.
+ * One profiling run per workload, then the sweep driver evaluates the
+ * design space in the selected mode:
+ *
+ *   --mode model    analytical model only (default; milliseconds for the
+ *                   full space — this is how million-point spaces scale)
+ *   --mode pareto   model everywhere, then detailed simulation on the
+ *                   model-predicted Pareto front + a validation sample
+ *                   (the paper's §7 prune-then-validate workflow)
+ *   --mode paired   simulate + model every point (ground-truth reference;
+ *                   slow — O(points x sim))
+ *
+ * Other flags:
+ *   --threads N     sweep concurrency (0 = all cores, 1 = serial)
+ *   --validate N    extra simulated off-front configs per workload
+ *                   (pareto mode; default 2)
+ *   --full          243-point space instead of the 27-point subspace
+ *   --uops N        trace length per workload (default 120000)
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "dse/explorer.hh"
 #include "dse/pareto.hh"
-#include "model/interval_model.hh"
-#include "power/power_model.hh"
 #include "profiler/profiler.hh"
+#include "sweep_flags.hh"
 #include "uarch/design_space.hh"
 #include "workloads/workload.hh"
 
+namespace {
+
+using namespace mipp;
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mipp;
 
-    WorkloadSpec spec = suiteWorkload("matrix_tile");
-    Trace trace = generateWorkload(spec, 200000);
-    Profile profile = profileTrace(trace, {.name = spec.name});
-    std::printf("profiled %s once (%zu uops)\n\n", spec.name.c_str(),
-                trace.size());
+    examples::SweepFlags flags;
+    flags.uops = 120000;
+    if (!flags.parse(argc - 1, argv + 1, argv[0]))
+        return 2;
+    const SweepOptions &sopts = flags.sopts;
+    const bool full = flags.full;
+    const size_t uops = flags.uops;
 
-    DesignSpace space = DesignSpace::small();
-    std::vector<Objective> objectives;
-
+    std::vector<Trace> traces;
+    std::vector<Profile> profiles;
+    std::vector<std::string> names;
     auto t0 = std::chrono::steady_clock::now();
-    for (const auto &cfg : space.configs()) {
-        ModelResult m = evaluateModel(profile, cfg);
-        PowerBreakdown p = computePower(m.activity, cfg);
-        objectives.push_back({m.cpiPerUop(), p.total()});
+    for (const char *name : {"matrix_tile", "ptr_chase", "balanced_mix"}) {
+        WorkloadSpec spec = suiteWorkload(name);
+        traces.push_back(generateWorkload(spec, uops));
+        profiles.push_back(profileTrace(traces.back(), {.name = name}));
+        names.push_back(name);
     }
-    auto t1 = std::chrono::steady_clock::now();
-    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    std::printf("profiled %zu workloads once (%.1f ms, %zu uops each)\n\n",
+                profiles.size(), msSince(t0), uops);
 
-    std::printf("evaluated %zu design points in %.1f ms "
-                "(%.2f ms per design)\n\n",
-                space.size(), ms, ms / space.size());
+    DesignSpace space = full ? DesignSpace() : DesignSpace::small();
 
-    std::printf("%-30s %9s %8s %7s\n", "design", "CPI", "watts",
-                "Pareto");
-    auto front = paretoFront(objectives);
-    std::vector<bool> optimal(space.size(), false);
-    for (size_t i : front)
-        optimal[i] = true;
-    for (size_t i = 0; i < space.size(); ++i) {
-        std::printf("%-30s %9.3f %8.2f %7s\n", space[i].name.c_str(),
-                    objectives[i].first, objectives[i].second,
-                    optimal[i] ? "*" : "");
+    t0 = std::chrono::steady_clock::now();
+    SweepResult r = sweepEx(traces, profiles, space.configs(), {}, sopts);
+    double ms = msSince(t0);
+
+    const char *modeName =
+        sopts.mode == SweepMode::ModelOnly
+            ? "model-only"
+            : (sopts.mode == SweepMode::Paired ? "paired"
+                                               : "model+sim-pareto");
+    std::printf("swept %zu points (%zu workloads x %zu configs) in "
+                "%.1f ms [%s]\n",
+                r.points.size(), r.nWorkloads, r.nConfigs, ms, modeName);
+    std::printf("detailed simulations spent: %zu of %zu points "
+                "(%.3f ms per point overall)\n\n",
+                r.simInvocations, r.points.size(),
+                r.points.empty() ? 0 : ms / r.points.size());
+
+    for (size_t wi = 0; wi < r.nWorkloads; ++wi) {
+        // In Paired mode fronts are not precomputed; derive the model
+        // front here so every mode prints the same report.
+        std::vector<size_t> front;
+        if (wi < r.modelFronts.size() && !r.modelFronts.empty() &&
+            sopts.mode != SweepMode::Paired) {
+            front = r.modelFronts[wi];
+        } else {
+            std::vector<Objective> obj;
+            for (size_t ci = 0; ci < r.nConfigs; ++ci)
+                obj.push_back({r.at(wi, ci).modelCpi,
+                               r.at(wi, ci).modelWatts});
+            front = paretoFront(obj);
+        }
+        std::printf("%s — predicted Pareto front (%zu of %zu designs):\n",
+                    names[wi].c_str(), front.size(), r.nConfigs);
+        for (size_t ci : front) {
+            const SweepPoint &pt = r.at(wi, ci);
+            std::printf("  %-30s CPI %7.3f  W %6.2f", space[ci].name.c_str(),
+                        pt.modelCpi, pt.modelWatts);
+            if (pt.simulated)
+                std::printf("   (sim: %7.3f / %6.2f, err %+.1f%%)",
+                            pt.simCpi, pt.simWatts, 100 * pt.cpiError());
+            std::printf("\n");
+        }
+        std::printf("\n");
     }
-    std::printf("\n%zu of %zu designs are predicted Pareto-optimal\n",
-                front.size(), space.size());
     return 0;
 }

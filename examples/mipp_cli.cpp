@@ -10,8 +10,15 @@
  *                     [--l2 KB] [--l3 MB] [--freq GHZ] [--prefetcher]
  *       Evaluate the analytical model for one design point.
  *
- *   mipp_cli sweep <in.profile>
- *       Evaluate the 27-point subspace and print the Pareto frontier.
+ *   mipp_cli sweep <in.profile> [--mode model|pareto|paired]
+ *                  [--threads N] [--validate N] [--full] [--uops N]
+ *       Sweep the design space and print the Pareto frontier.
+ *       `model` (default) evaluates the analytical model only;
+ *       `pareto` additionally simulates the model-predicted front plus a
+ *       validation sample (the paper's prune-then-validate workflow);
+ *       `paired` simulates every point. Simulation modes regenerate the
+ *       suite workload named in the profile. `--full` uses the 243-point
+ *       space instead of the 27-point subspace.
  *
  *   mipp_cli list
  *       List the available suite workloads.
@@ -22,11 +29,13 @@
 #include <cstring>
 #include <string>
 
+#include "dse/explorer.hh"
 #include "dse/pareto.hh"
 #include "model/interval_model.hh"
 #include "power/power_model.hh"
 #include "profiler/profile_io.hh"
 #include "profiler/profiler.hh"
+#include "sweep_flags.hh"
 #include "uarch/design_space.hh"
 #include "workloads/workload.hh"
 
@@ -137,20 +146,54 @@ cmdSweep(int argc, char **argv)
     if (argc < 1)
         return usage();
     Profile p = loadProfile(argv[0]);
-    DesignSpace space = DesignSpace::small();
 
-    std::vector<Objective> obj;
-    for (const auto &cfg : space.configs()) {
-        ModelResult m = evaluateModel(p, cfg);
-        obj.push_back(
-            {m.cpiPerUop(), computePower(m.activity, cfg).total()});
+    examples::SweepFlags flags; // uops 0 = match the profiled length
+    if (!flags.parse(argc - 1, argv + 1, "mipp_cli sweep <profile>"))
+        return 2;
+    SweepOptions sopts = flags.sopts;
+    size_t uops = flags.uops;
+
+    DesignSpace space =
+        flags.full ? DesignSpace() : DesignSpace::small();
+    std::vector<Profile> profiles{std::move(p)};
+    std::vector<Trace> traces;
+    if (sopts.mode != SweepMode::ModelOnly) {
+        // Simulation needs the instruction stream; regenerate the suite
+        // workload the profile was collected from, at the profiled
+        // length unless overridden (a length mismatch would skew the
+        // model-vs-sim comparison through cold-miss fractions).
+        if (uops == 0)
+            uops = static_cast<size_t>(profiles[0].totalUops);
+        traces.push_back(
+            generateWorkload(suiteWorkload(profiles[0].name), uops));
+    } else {
+        traces.emplace_back();
     }
-    auto front = paretoFront(obj);
-    std::printf("predicted Pareto frontier for %s (%zu of %zu designs):"
-                "\n", p.name.c_str(), front.size(), space.size());
-    for (size_t i : front)
-        std::printf("  %-30s CPI %7.3f  W %6.2f\n",
-                    space[i].name.c_str(), obj[i].first, obj[i].second);
+
+    SweepResult r = sweepEx(traces, profiles, space.configs(), {}, sopts);
+
+    std::vector<size_t> front =
+        r.modelFronts.empty() ? std::vector<size_t>{} : r.modelFronts[0];
+    if (front.empty()) {
+        std::vector<Objective> obj;
+        for (size_t ci = 0; ci < r.nConfigs; ++ci)
+            obj.push_back(
+                {r.at(0, ci).modelCpi, r.at(0, ci).modelWatts});
+        front = paretoFront(obj);
+    }
+    std::printf("predicted Pareto frontier for %s (%zu of %zu designs, "
+                "%zu simulations spent):\n",
+                profiles[0].name.c_str(), front.size(), space.size(),
+                r.simInvocations);
+    for (size_t ci : front) {
+        const SweepPoint &pt = r.at(0, ci);
+        std::printf("  %-30s CPI %7.3f  W %6.2f", space[ci].name.c_str(),
+                    pt.modelCpi, pt.modelWatts);
+        if (pt.simulated)
+            std::printf("   (sim: %7.3f, err %+.1f%%)", pt.simCpi,
+                        100 * pt.cpiError());
+        std::printf("\n");
+    }
     return 0;
 }
 

@@ -1,7 +1,10 @@
 #include "dse/explorer.hh"
 
 #include <algorithm>
+#include <utility>
 
+#include "dse/pareto.hh"
+#include "model/eval_cache.hh"
 #include "util/thread_pool.hh"
 
 namespace mipp {
@@ -19,47 +22,208 @@ evaluatePair(const Trace &trace, const Profile &profile,
     return e;
 }
 
+namespace {
+
+/** One contiguous run of configs for a single workload. */
+struct Span {
+    size_t wi, c0, c1;
+};
+
+/**
+ * Chunk the workload-major point grid. Several chunks per execution
+ * stream so uneven point costs still balance, but the grain respects
+ * workload boundaries: a chunk never straddles two workloads, so one
+ * memoized EvalContext serves every point in it. (The old config-major
+ * mapping `wi = i % nw` interleaved workloads, thrashing any per-workload
+ * state on every index.)
+ */
+std::vector<Span>
+workloadMajorChunks(size_t nw, size_t nc, unsigned streams)
+{
+    std::vector<Span> spans;
+    if (nw == 0 || nc == 0)
+        return spans;
+    size_t target = std::max<size_t>(1, 4 * streams);
+    size_t perWorkload = std::max<size_t>(1, (target + nw - 1) / nw);
+    perWorkload = std::min(perWorkload, nc);
+    size_t grain = (nc + perWorkload - 1) / perWorkload;
+    for (size_t wi = 0; wi < nw; ++wi)
+        for (size_t c0 = 0; c0 < nc; c0 += grain)
+            spans.push_back({wi, c0, std::min(nc, c0 + grain)});
+    return spans;
+}
+
+unsigned
+streamCount(unsigned threads)
+{
+    unsigned streams = ThreadPool::shared().concurrency();
+    if (threads != 0)
+        streams = std::min(streams, threads);
+    return streams;
+}
+
+/** Run fn(begin, end) over [0, n): serial when threads == 1, otherwise
+ *  one item at a time on the shared pool. */
+void
+runParallel(size_t n, unsigned threads, const ThreadPool::RangeFn &fn)
+{
+    if (n == 0)
+        return;
+    if (threads == 1) {
+        fn(0, n);
+        return;
+    }
+    ThreadPool::shared().parallelFor(n, 1, fn);
+}
+
+/** Model every point, one EvalContext per (workload, chunk). */
+void
+modelPass(const std::vector<Profile> &profiles,
+          const std::vector<CoreConfig> &configs, SweepResult &res,
+          const ModelOptions &mopts, unsigned threads)
+{
+    const size_t nc = res.nConfigs;
+    auto spans =
+        workloadMajorChunks(res.nWorkloads, nc, streamCount(threads));
+    runParallel(spans.size(), threads, [&](size_t begin, size_t end) {
+        for (size_t s = begin; s < end; ++s) {
+            const Span &sp = spans[s];
+            EvalContext ctx(profiles[sp.wi]);
+            for (size_t ci = sp.c0; ci < sp.c1; ++ci) {
+                ModelResult m = evaluateModel(ctx, configs[ci], mopts);
+                SweepPoint &pt = res.points[sp.wi * nc + ci];
+                pt.configIdx = ci;
+                pt.workloadIdx = sp.wi;
+                pt.modelCpi = m.cpiPerUop();
+                pt.modelWatts = computePower(m.activity, configs[ci]).total();
+            }
+        }
+    });
+}
+
+/** Detail-simulate the selected (workload, config) pairs. */
+void
+simPass(const std::vector<Trace> &traces,
+        const std::vector<CoreConfig> &configs,
+        const std::vector<std::pair<size_t, size_t>> &pairs,
+        SweepResult &res, unsigned threads)
+{
+    runParallel(pairs.size(), threads, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+            auto [wi, ci] = pairs[i];
+            SimResult sim = simulate(traces[wi], configs[ci]);
+            SweepPoint &pt = res.points[wi * res.nConfigs + ci];
+            pt.simCpi = sim.cpiPerUop();
+            pt.simWatts = computePower(sim.activity, configs[ci]).total();
+            pt.simulated = true;
+        }
+    });
+    // Every selected pair is simulated exactly once.
+    res.simInvocations += pairs.size();
+}
+
+/** Per-workload Pareto fronts over the model objectives. */
+void
+extractModelFronts(SweepResult &res)
+{
+    res.modelFronts.assign(res.nWorkloads, {});
+    for (size_t wi = 0; wi < res.nWorkloads; ++wi) {
+        std::vector<Objective> obj;
+        obj.reserve(res.nConfigs);
+        for (size_t ci = 0; ci < res.nConfigs; ++ci) {
+            const SweepPoint &pt = res.at(wi, ci);
+            obj.push_back({pt.modelCpi, pt.modelWatts});
+        }
+        // paretoFront indices are config indices: obj is in ci order.
+        res.modelFronts[wi] = paretoFront(obj);
+    }
+}
+
+/**
+ * Simulation budget of ModelThenSimPareto: every model-front config plus
+ * an evenly spaced sample of the remaining configs per workload.
+ */
+std::vector<std::pair<size_t, size_t>>
+selectValidationPairs(const SweepResult &res, size_t validationSamples)
+{
+    std::vector<std::pair<size_t, size_t>> pairs;
+    for (size_t wi = 0; wi < res.nWorkloads; ++wi) {
+        std::vector<bool> onFront(res.nConfigs, false);
+        for (size_t ci : res.modelFronts[wi]) {
+            onFront[ci] = true;
+            pairs.push_back({wi, ci});
+        }
+        if (validationSamples == 0)
+            continue;
+        std::vector<size_t> rest;
+        for (size_t ci = 0; ci < res.nConfigs; ++ci)
+            if (!onFront[ci])
+                rest.push_back(ci);
+        size_t take = std::min(validationSamples, rest.size());
+        for (size_t k = 0; k < take; ++k)
+            pairs.push_back({wi, rest[k * rest.size() / take]});
+    }
+    return pairs;
+}
+
+} // namespace
+
+SweepResult
+sweepEx(const std::vector<Trace> &traces,
+        const std::vector<Profile> &profiles,
+        const std::vector<CoreConfig> &configs, const ModelOptions &mopts,
+        const SweepOptions &sopts)
+{
+    SweepResult res;
+    res.nWorkloads = profiles.size();
+    res.nConfigs = configs.size();
+    // Pre-sized, index-addressed (see SweepResult::points doc).
+    res.points.assign(res.nWorkloads * res.nConfigs, {});
+
+    modelPass(profiles, configs, res, mopts, sopts.threads);
+
+    switch (sopts.mode) {
+      case SweepMode::Paired: {
+        std::vector<std::pair<size_t, size_t>> all;
+        all.reserve(res.points.size());
+        for (size_t wi = 0; wi < res.nWorkloads; ++wi)
+            for (size_t ci = 0; ci < res.nConfigs; ++ci)
+                all.push_back({wi, ci});
+        simPass(traces, configs, all, res, sopts.threads);
+        break;
+      }
+      case SweepMode::ModelOnly:
+        extractModelFronts(res);
+        break;
+      case SweepMode::ModelThenSimPareto: {
+        extractModelFronts(res);
+        auto pairs = selectValidationPairs(res, sopts.validationSamples);
+        simPass(traces, configs, pairs, res, sopts.threads);
+        break;
+      }
+    }
+    return res;
+}
+
 std::vector<SweepPoint>
 sweep(const std::vector<Trace> &traces,
       const std::vector<Profile> &profiles,
       const std::vector<CoreConfig> &configs, const ModelOptions &mopts,
       unsigned threads)
 {
-    const size_t nw = traces.size();
-    const size_t nc = configs.size();
-    const size_t total = nw * nc;
-    std::vector<SweepPoint> points(total);
-
-    auto evalRange = [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-            size_t wi = i % nw;
-            size_t ci = i / nw;
-            PairEval e = evaluatePair(traces[wi], profiles[wi],
-                                      configs[ci], mopts);
-            SweepPoint &pt = points[i];
-            pt.configIdx = ci;
-            pt.workloadIdx = wi;
-            pt.simCpi = e.simCpi();
-            pt.modelCpi = e.modelCpi();
-            pt.simWatts = e.simPower.total();
-            pt.modelWatts = e.modelPower.total();
-        }
-    };
-
-    if (threads == 1) {
-        evalRange(0, total);
-        return points;
-    }
-
-    // Chunked scheduling on the shared pool: several chunks per execution
-    // stream so uneven point costs still balance, without the per-call
-    // thread spawning the old implementation paid.
-    ThreadPool &pool = ThreadPool::shared();
-    unsigned streams = pool.concurrency();
-    if (threads != 0)
-        streams = std::min(streams, threads);
-    size_t grain = std::max<size_t>(1, total / (8 * streams));
-    pool.parallelFor(total, grain, evalRange);
+    SweepOptions sopts;
+    sopts.mode = SweepMode::Paired;
+    sopts.threads = threads;
+    SweepResult res = sweepEx(traces, profiles, configs, mopts, sopts);
+    // Preserve the historical config-major return order (point i was
+    // (wi = i % nw, ci = i / nw)): consumers like the fig-7.10 bench
+    // split points positionally with a seeded RNG, and reordering would
+    // silently change those regenerated figures.
+    std::vector<SweepPoint> points;
+    points.reserve(res.points.size());
+    for (size_t ci = 0; ci < res.nConfigs; ++ci)
+        for (size_t wi = 0; wi < res.nWorkloads; ++wi)
+            points.push_back(res.at(wi, ci));
     return points;
 }
 

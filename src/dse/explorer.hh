@@ -2,15 +2,29 @@
  * @file
  * Design-space sweep driver (thesis Ch. 6-7 experimental harness).
  *
- * Pairs every workload with every core configuration and produces both the
- * ground truth (cycle-level simulation + power from simulated activity) and
- * the prediction (analytical model from the workload's single profile +
- * power from modeled activity). Sweeps parallelize across points.
+ * Pairs every workload with every core configuration. Three modes:
+ *
+ *  - Paired: every point gets both the ground truth (cycle-level
+ *    simulation + power from simulated activity) and the prediction
+ *    (analytical model + power from modeled activity). O(points × sim).
+ *  - ModelOnly: the analytical model over the full space, no simulation.
+ *    O(points × model) — the paper's speed claim; this is how a
+ *    million-point space is swept.
+ *  - ModelThenSimPareto: the paper's §7 workflow. The model is evaluated
+ *    everywhere, the *model-side* Pareto front is extracted per workload,
+ *    and detailed simulation runs only on front candidates plus a
+ *    configurable validation sample. O(points × model + front × sim).
+ *
+ * Sweeps are workload-major: points for one workload are contiguous and
+ * each worker chunk holds a single memoized EvalContext, so per-workload
+ * state (StatStacks, chain weights, MLP walks) is built once per chunk
+ * instead of once per point.
  */
 
 #ifndef MIPP_DSE_EXPLORER_HH
 #define MIPP_DSE_EXPLORER_HH
 
+#include <cstddef>
 #include <vector>
 
 #include "model/interval_model.hh"
@@ -50,6 +64,30 @@ PairEval evaluatePair(const Trace &trace, const Profile &profile,
                       const CoreConfig &cfg, const ModelOptions &mopts = {},
                       const SimOptions &sopts = {});
 
+/** How a sweep spends its simulation budget. */
+enum class SweepMode {
+    Paired,             ///< simulate + model every point
+    ModelOnly,          ///< model every point, simulate nothing
+    ModelThenSimPareto, ///< model everywhere, simulate model-front + sample
+};
+
+/** Sweep configuration. */
+struct SweepOptions {
+    SweepMode mode = SweepMode::Paired;
+
+    /** 0 = full pool concurrency; 1 = serial in the caller; other values
+     *  only bias chunk sizing, since the shared pool owns the workers. */
+    unsigned threads = 0;
+
+    /**
+     * ModelThenSimPareto: how many *non-front* configs per workload also
+     * get a detailed simulation, as a validation sample against model
+     * mispredictions off the front. Chosen evenly spaced over the
+     * config axis (deterministic).
+     */
+    size_t validationSamples = 0;
+};
+
 /** One record of a design-space sweep. */
 struct SweepPoint {
     size_t configIdx = 0;
@@ -58,6 +96,9 @@ struct SweepPoint {
     double modelCpi = 0;
     double simWatts = 0;
     double modelWatts = 0;
+    /** Whether this point was detail-simulated (always true in Paired
+     *  mode; front/sample points only in ModelThenSimPareto). */
+    bool simulated = false;
 
     double
     cpiError() const
@@ -71,13 +112,44 @@ struct SweepPoint {
     }
 };
 
+/** Outcome of sweepEx: all points plus the simulation bookkeeping. */
+struct SweepResult {
+    /**
+     * Workload-major: points[wi * nConfigs + ci]. Pre-sized and written
+     * in place by the workers — each point index is owned by exactly one
+     * chunk, so index-addressed writes need no synchronization (a
+     * reserve/emplace scheme would).
+     */
+    std::vector<SweepPoint> points;
+    size_t nWorkloads = 0;
+    size_t nConfigs = 0;
+
+    /** Detailed-simulation invocations actually spent. */
+    size_t simInvocations = 0;
+
+    /** Per workload, config indices of the model-predicted Pareto front
+     *  over (model CPI, model watts). Filled in ModelOnly and
+     *  ModelThenSimPareto modes. */
+    std::vector<std::vector<size_t>> modelFronts;
+
+    const SweepPoint &
+    at(size_t wi, size_t ci) const
+    {
+        return points[wi * nConfigs + ci];
+    }
+};
+
+/** Evaluate all (config, workload) pairs under @p sopts (see SweepMode). */
+SweepResult sweepEx(const std::vector<Trace> &traces,
+                    const std::vector<Profile> &profiles,
+                    const std::vector<CoreConfig> &configs,
+                    const ModelOptions &mopts = {},
+                    const SweepOptions &sopts = {});
+
 /**
- * Evaluate all (config, workload) pairs; parallel across points via the
- * shared ThreadPool (chunked scheduling, no per-call thread spawning).
- *
- * @param threads 0 = full pool concurrency; 1 = serial in the caller;
- *                other values only bias chunk sizing, since the shared
- *                pool owns the worker threads.
+ * Compatibility wrapper: Paired sweep over all pairs, returning the bare
+ * point list in the historical config-major order (point i is
+ * workload i % nWorkloads, config i / nWorkloads).
  */
 std::vector<SweepPoint>
 sweep(const std::vector<Trace> &traces,

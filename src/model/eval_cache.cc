@@ -1,0 +1,288 @@
+#include "model/eval_cache.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "model/branch_model.hh"
+#include "model/mlp_model.hh"
+
+namespace mipp {
+
+namespace {
+
+/** Log-fit interpolation over per-window chain samples (thesis Eq 5.2).
+ *  Shared by every evaluation of a window at a given ROB size; the math
+ *  matches DependenceChains::interpolate for the profiled global chains. */
+double
+interpChain(const std::vector<float> &vals,
+            const std::vector<uint32_t> &sizes, double rob)
+{
+    if (vals.empty())
+        return 1.0;
+    if (vals.size() == 1)
+        return vals[0];
+    size_t hi = 1;
+    while (hi + 1 < sizes.size() && sizes[hi] < rob)
+        ++hi;
+    size_t lo = hi - 1;
+    double x0 = std::log(static_cast<double>(sizes[lo]));
+    double x1 = std::log(static_cast<double>(sizes[hi]));
+    double y0 = vals[lo], y1 = vals[hi];
+    double a = (y1 - y0) / (x1 - x0);
+    double v = a * (std::log(std::max(rob, 2.0)) - x0) + y0;
+    return std::max(v, 1.0);
+}
+
+} // namespace
+
+double
+mixAvgLatency(const std::array<double, kNumUopTypes> &frac,
+              const CoreConfig &cfg, double mrL1)
+{
+    double lat = 0;
+    for (int t = 0; t < kNumUopTypes; ++t) {
+        auto type = static_cast<UopType>(t);
+        double l = cfg.lat.of(type);
+        if (type == UopType::Load)
+            l = (1.0 - mrL1) * cfg.l1d.latency + mrL1 * cfg.l2.latency;
+        lat += frac[t] * l;
+    }
+    return std::max(lat, 0.5);
+}
+
+DispatchLimits
+ablatedLimits(const std::array<double, kNumUopTypes> &typeCounts,
+              double cp, double avgLat, const CoreConfig &cfg,
+              ModelOptions::BaseLevel level)
+{
+    using Level = ModelOptions::BaseLevel;
+    DispatchLimits lim = dispatchLimits(typeCounts, cp, avgLat, cfg);
+    switch (level) {
+      case Level::Instructions:
+      case Level::MicroOps:
+        lim.dependences = lim.width;
+        lim.ports = lim.width;
+        lim.fus = lim.width;
+        break;
+      case Level::CriticalPath:
+        lim.ports = lim.width;
+        lim.fus = lim.width;
+        break;
+      case Level::Functional:
+        break;
+    }
+    return lim;
+}
+
+const BranchMissModel &
+internedBranchModel(BranchPredictorKind kind)
+{
+    static const auto table = [] {
+        constexpr size_t n =
+            static_cast<size_t>(BranchPredictorKind::NumKinds);
+        std::array<BranchMissModel, n> t{};
+        for (size_t k = 0; k < n; ++k)
+            t[k] = BranchMissModel::pretrained(
+                static_cast<BranchPredictorKind>(k));
+        return t;
+    }();
+    size_t idx = static_cast<size_t>(kind);
+    return table[idx < table.size() ? idx : 0];
+}
+
+EvalContext::EvalContext(const Profile &p)
+    : p_(p), ss_(p.reuseAll), ssI_(p.reuseInsts)
+{
+}
+
+double
+EvalContext::memoRatio(std::vector<RatioEntry> &memo, const StatStack &ss,
+                       const LogHistogram &h, double cacheLines)
+{
+    uint64_t bits = std::bit_cast<uint64_t>(cacheLines);
+    for (const RatioEntry &e : memo)
+        if (e.h == &h && e.linesBits == bits)
+            return e.value;
+    double v = ss.missRatio(h, cacheLines);
+    memo.push_back({&h, bits, v});
+    return v;
+}
+
+double
+EvalContext::dataMissRatio(const LogHistogram &h, double cacheLines)
+{
+    return memoRatio(dataRatios_, ss_, h, cacheLines);
+}
+
+double
+EvalContext::instMissRatio(const LogHistogram &h, double cacheLines)
+{
+    return memoRatio(instRatios_, ssI_, h, cacheLines);
+}
+
+const EvalContext::ChainWeights &
+EvalContext::chainWeights(double l2Lines, double l3Lines)
+{
+    ChainKey key{std::bit_cast<uint64_t>(l2Lines),
+                 std::bit_cast<uint64_t>(l3Lines)};
+    for (auto &[k, v] : chains_)
+        if (k == key)
+            return v;
+
+    // Same arithmetic, in the same order, as the pre-cache inline loop in
+    // evaluateModel: an LLC hit on a load that depends on other loads
+    // cannot be overlapped, so it serializes.
+    ChainWeights cw;
+    cw.opWeight.assign(p_.memOps.size(), 0.0);
+    double loadsSeen = 0;
+    for (size_t i = 0; i < p_.memOps.size(); ++i) {
+        const StaticMemProfile &sp = p_.memOps[i];
+        if (sp.isStore)
+            continue;
+        double hit3 = std::max(0.0, ss_.missRatio(sp.reuse, l2Lines) -
+                                        ss_.missRatio(sp.reuse, l3Lines));
+        double dep = std::clamp(sp.avgLoadDepth() - 1.0, 0.0, 1.0);
+        cw.opWeight[i] = hit3 * dep;
+        cw.globalSerialHits += cw.opWeight[i] * sp.count;
+        loadsSeen += sp.count;
+    }
+    if (loadsSeen > 0)
+        cw.globalSerialHits /= loadsSeen; // per load
+
+    cw.windowSerial.assign(p_.windows.size(), 0.0);
+    for (size_t wi = 0; wi < p_.windows.size(); ++wi) {
+        double serialW = 0;
+        for (const auto &[opIdx, cnt] : p_.windows[wi].memCounts)
+            serialW += cw.opWeight[opIdx] * cnt;
+        cw.windowSerial[wi] = serialW;
+    }
+    return chains_.emplace_back(key, std::move(cw)).second;
+}
+
+const std::vector<double> &
+EvalContext::windowCp(uint32_t robSize)
+{
+    for (auto &[k, v] : windowCps_)
+        if (k == robSize)
+            return v;
+    std::vector<double> cps;
+    cps.reserve(p_.windows.size());
+    for (const WindowProfile &w : p_.windows)
+        cps.push_back(interpChain(w.cp, p_.robSizes, robSize));
+    return windowCps_.emplace_back(robSize, std::move(cps)).second;
+}
+
+const std::vector<DispatchLimits> &
+EvalContext::windowLimits(const CoreConfig &cfg,
+                          ModelOptions::BaseLevel level, double mrL1)
+{
+    // The key is the complete input material of the computation below,
+    // stored verbatim: ablation level, width, ROB, the L1D miss ratio
+    // entering the average latency, the latency-relevant cache levels,
+    // the execution-latency table, the per-port issue capabilities and
+    // the FU pools. Two configs that agree on all of it provably produce
+    // the same limits for every window.
+    std::vector<uint64_t> key;
+    key.reserve(14 + kNumUopTypes * 2 + cfg.ports.size());
+    key.push_back(static_cast<uint64_t>(level));
+    key.push_back(cfg.dispatchWidth);
+    key.push_back(cfg.robSize);
+    key.push_back(std::bit_cast<uint64_t>(mrL1));
+    key.push_back(cfg.l1d.latency);
+    key.push_back(cfg.l2.latency);
+    for (int t = 0; t < kNumUopTypes; ++t)
+        key.push_back(cfg.lat.cycles[t]);
+    for (const IssuePort &port : cfg.ports) {
+        uint64_t mask = 1; // distinguish "port with no types" from absent
+        for (int t = 0; t < kNumUopTypes; ++t)
+            if (port.canIssue(static_cast<UopType>(t)))
+                mask |= uint64_t{2} << t;
+        key.push_back(mask);
+    }
+    for (int t = 0; t < kNumUopTypes; ++t)
+        key.push_back(cfg.fus[t].count |
+                      (uint64_t{cfg.fus[t].pipelined} << 32));
+
+    for (auto &[k, v] : windowLimits_)
+        if (k == key)
+            return v;
+
+    const std::vector<double> &cps = windowCp(cfg.robSize);
+    std::vector<DispatchLimits> lims;
+    lims.reserve(p_.windows.size());
+    for (size_t wi = 0; wi < p_.windows.size(); ++wi) {
+        const WindowProfile &w = p_.windows[wi];
+        double uopsW = w.uops();
+        if (uopsW <= 0) {
+            lims.push_back({});
+            continue;
+        }
+        std::array<double, kNumUopTypes> fracW{}, countsW{};
+        for (int t = 0; t < kNumUopTypes; ++t) {
+            countsW[t] = w.uopCounts[t];
+            fracW[t] = w.uopCounts[t] / uopsW;
+        }
+        double latW = mixAvgLatency(fracW, cfg, mrL1);
+        lims.push_back(ablatedLimits(countsW, cps[wi], latW, cfg, level));
+    }
+    return windowLimits_.emplace_back(std::move(key), std::move(lims))
+        .second;
+}
+
+double
+EvalContext::branchResolution(const CoreConfig &cfg, double avgLat,
+                              double uopsBetweenMispredicts)
+{
+    ResolutionKey key{cfg.dispatchWidth, cfg.robSize,
+                      std::bit_cast<uint64_t>(avgLat),
+                      std::bit_cast<uint64_t>(uopsBetweenMispredicts)};
+    for (const auto &[k, v] : resolutions_)
+        if (k == key)
+            return v;
+    double v = branchResolutionTime(p_.chains, cfg, avgLat,
+                                    uopsBetweenMispredicts);
+    resolutions_.emplace_back(key, v);
+    return v;
+}
+
+const MlpEstimate &
+EvalContext::mlpEstimate(const CoreConfig &cfg, const ModelOptions &opts)
+{
+    const bool prefetchActive =
+        opts.modelPrefetcher && cfg.prefetcherEnabled;
+    MlpKey key{};
+    key.mode = static_cast<uint8_t>(opts.mlpMode);
+    key.mshrs = opts.modelMshrs;
+    key.prefetcher = opts.modelPrefetcher;
+    key.l3Lines = cfg.l3.numLines();
+    key.rob = cfg.robSize;
+    key.mshrCount = cfg.mshrs;
+    // Width, memory latency and the prefetch-table size are only read on
+    // the prefetcher path (thesis Eq 4.13 timeliness); keying them at 0
+    // otherwise lets e.g. a pure width sweep share one entry.
+    key.prefetcherEntries = prefetchActive ? cfg.prefetcherEntries : 0;
+    key.width = prefetchActive ? cfg.dispatchWidth : 0;
+    key.memLatency = prefetchActive ? cfg.memLatency : 0;
+
+    for (auto &[k, v] : mlps_)
+        if (k == key)
+            return v;
+
+    MlpOptions mo{opts.modelMshrs, opts.modelPrefetcher};
+    MlpEstimate est;
+    switch (opts.mlpMode) {
+      case ModelOptions::MlpMode::ColdMiss:
+        est = coldMissMlp(p_, cfg, ss_, mo);
+        break;
+      case ModelOptions::MlpMode::Stride:
+        est = strideMlp(p_, cfg, ss_, mo);
+        break;
+      case ModelOptions::MlpMode::None:
+        est.mlp = 1.0;
+        break;
+    }
+    return mlps_.emplace_back(key, std::move(est)).second;
+}
+
+} // namespace mipp

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Per-workload evaluation cache: the profile-once / evaluate-many contract.
+ *
+ * The paper's central economics (thesis Ch. 6): a micro-architecture
+ * independent profile is collected *once* per workload and then amortized
+ * over an entire design-space exploration of thousands to millions of
+ * design points. The plain `evaluateModel(profile, cfg)` entry point is a
+ * pure function and rebuilds every intermediate from scratch on each call —
+ * two StatStack objects, per-static-op chain weights, the branch miss
+ * model, the virtual-load-stream MLP walk. Almost all of that work depends
+ * only on the profile plus a *few discrete levels* of the configuration
+ * (cache sizes, ROB sizes), not on the full design point, so across a
+ * sweep it is recomputed hundreds of times with identical inputs.
+ *
+ * An EvalContext pins one Profile and memoizes those intermediates:
+ *
+ *  - the StatStack pair (combined data stream + instruction stream),
+ *    built once per workload instead of once per design point;
+ *  - `missRatio(histogram, cacheLines)` results, keyed by the histogram
+ *    identity and the exact cache-size value — a design space has only a
+ *    handful of distinct cache levels;
+ *  - per-static-op serialized-LLC-hit chain weights and their per-window
+ *    sums, keyed by the (L2, L3) size pair;
+ *  - per-window critical-path interpolations, keyed by ROB size;
+ *  - branch resolution times, keyed by the exact (width, ROB, latency,
+ *    interval) inputs;
+ *  - MLP estimates (the stride model's virtual-load-stream walk is the
+ *    single most expensive part of an evaluation), keyed by the subset of
+ *    configuration fields the MLP models actually read;
+ *  - pretrained BranchMissModel instances, interned per predictor kind.
+ *
+ * Every memo key captures *all* inputs of the memoized computation, so a
+ * cache hit returns the exact double the uncached computation would have
+ * produced: `evaluateModel(ctx, cfg, mopts)` is bitwise identical to
+ * `evaluateModel(ctx.profile(), cfg, mopts)` (the compat wrapper simply
+ * builds a throwaway context). tests/test_eval_cache.cc proves this over
+ * a grid of configurations and predictors.
+ *
+ * Contract and lifetime rules:
+ *  - The Profile must outlive the EvalContext and must not be mutated
+ *    while the context exists (histograms are referenced, not copied).
+ *  - An EvalContext is NOT thread-safe; use one instance per thread.
+ *    dse::sweep creates one per (workload, chunk) on the worker that
+ *    processes the chunk.
+ *  - Memory is bounded by the number of *distinct* levels queried, not by
+ *    the number of design points evaluated.
+ */
+
+#ifndef MIPP_MODEL_EVAL_CACHE_HH
+#define MIPP_MODEL_EVAL_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "model/interval_model.hh"
+#include "statstack/statstack.hh"
+
+namespace mipp {
+
+/**
+ * Pretrained BranchMissModel interned per predictor kind: one immutable
+ * process-wide instance per kind instead of a fresh construction per
+ * model evaluation.
+ */
+const BranchMissModel &internedBranchModel(BranchPredictorKind kind);
+
+/**
+ * Average uop latency for a type-fraction mix, with the load latency
+ * blended over the L1D hit/miss split (thesis §3.3). Single source of
+ * truth for both the per-call evaluation path and the memoized
+ * per-window dispatch limits.
+ */
+double mixAvgLatency(const std::array<double, kNumUopTypes> &frac,
+                     const CoreConfig &cfg, double mrL1);
+
+/** Dispatch limits honoring the base-component ablation level
+ *  (thesis Fig 3.7). */
+DispatchLimits ablatedLimits(
+    const std::array<double, kNumUopTypes> &typeCounts, double cp,
+    double avgLat, const CoreConfig &cfg, ModelOptions::BaseLevel level);
+
+/** Memoized per-workload evaluation state (see file comment). */
+class EvalContext
+{
+  public:
+    /** @param p profile to pin; must outlive the context, unmutated. */
+    explicit EvalContext(const Profile &p);
+
+    EvalContext(const EvalContext &) = delete;
+    EvalContext &operator=(const EvalContext &) = delete;
+
+    const Profile &profile() const { return p_; }
+
+    /** StatStack over the combined load+store reuse stream. */
+    const StatStack &stats() const { return ss_; }
+    /** StatStack over the instruction-fetch reuse stream. */
+    const StatStack &instStats() const { return ssI_; }
+
+    /** Memoized stats().missRatio(h, cacheLines). @p h must live inside
+     *  the pinned profile (identity is part of the memo key). */
+    double dataMissRatio(const LogHistogram &h, double cacheLines);
+
+    /** Memoized instStats().missRatio(h, cacheLines). */
+    double instMissRatio(const LogHistogram &h, double cacheLines);
+
+    /**
+     * Serialized-LLC-hit chain weights for one (L2, L3) size pair
+     * (thesis §4.8 extension): per static op, its LLC-hit probability
+     * times its load-dependence depth clamp; plus the per-window weighted
+     * sums and the global per-load expectation the model consumes.
+     */
+    struct ChainWeights {
+        /** Per Profile::memOps entry (stores stay 0). */
+        std::vector<double> opWeight;
+        /** Per Profile::windows entry: sum of opWeight * window count. */
+        std::vector<double> windowSerial;
+        /** Expected chained LLC hits per load, whole program. */
+        double globalSerialHits = 0;
+    };
+    const ChainWeights &chainWeights(double l2Lines, double l3Lines);
+
+    /** Per-window critical-path lengths interpolated to @p robSize
+     *  (thesis Eq 5.2), one entry per Profile::windows element. */
+    const std::vector<double> &windowCp(uint32_t robSize);
+
+    /**
+     * Per-window dispatch limits (Eq 3.10 with the ablation level
+     * applied): the port-scheduling walk runs once per distinct
+     * (pipeline, latency, L1D-behaviour) key instead of once per design
+     * point. The key holds every input of the computation verbatim —
+     * ports, FU pools, the latency table, ROB, width, ablation level and
+     * the L1D miss ratio entering the average latency — so hits are
+     * bitwise-exact replays. Entries are one per Profile::windows
+     * element (windows without uops get default limits).
+     */
+    const std::vector<DispatchLimits> &
+    windowLimits(const CoreConfig &cfg, ModelOptions::BaseLevel level,
+                 double mrL1);
+
+    /** Memoized branchResolutionTime (thesis Alg 3.2). */
+    double branchResolution(const CoreConfig &cfg, double avgLat,
+                            double uopsBetweenMispredicts);
+
+    /**
+     * Memoized MLP estimate (thesis Ch. 4). The key covers exactly the
+     * configuration fields the selected MLP model reads, so e.g. a
+     * pipeline-width sweep with the prefetcher disabled hits a single
+     * entry.
+     */
+    const MlpEstimate &mlpEstimate(const CoreConfig &cfg,
+                                   const ModelOptions &opts);
+
+  private:
+    struct RatioEntry {
+        const LogHistogram *h;
+        uint64_t linesBits;  ///< bit pattern of the double cacheLines
+        double value;
+    };
+    double memoRatio(std::vector<RatioEntry> &memo, const StatStack &ss,
+                     const LogHistogram &h, double cacheLines);
+
+    struct ChainKey {
+        uint64_t l2Bits, l3Bits;
+        bool operator==(const ChainKey &) const = default;
+    };
+    struct ResolutionKey {
+        uint32_t width, rob;
+        uint64_t avgLatBits, niBits;
+        bool operator==(const ResolutionKey &) const = default;
+    };
+    struct MlpKey {
+        uint8_t mode;  ///< ModelOptions::MlpMode
+        bool mshrs, prefetcher;
+        uint32_t l3Lines, rob, mshrCount;
+        /** Zero unless the prefetcher path is active (the only reader
+         *  of width / memLatency / table size in the MLP models). */
+        uint32_t prefetcherEntries, width, memLatency;
+        bool operator==(const MlpKey &) const = default;
+    };
+
+    const Profile &p_;
+    StatStack ss_;
+    StatStack ssI_;
+
+    std::vector<RatioEntry> dataRatios_, instRatios_;
+    // Deques: grow-only memo tables handing out stable references.
+    std::deque<std::pair<ChainKey, ChainWeights>> chains_;
+    std::deque<std::pair<uint32_t, std::vector<double>>> windowCps_;
+    std::vector<std::pair<ResolutionKey, double>> resolutions_;
+    std::deque<std::pair<MlpKey, MlpEstimate>> mlps_;
+    /** Limits keyed by the full input material (exact compare, no
+     *  hashing: a silent collision would silently corrupt results). */
+    std::deque<std::pair<std::vector<uint64_t>, std::vector<DispatchLimits>>>
+        windowLimits_;
+};
+
+/**
+ * Evaluate the interval model through a memoized per-workload context.
+ * Bitwise identical to evaluateModel(ctx.profile(), cfg, opts); the
+ * repeated-evaluation cost across a design-space sweep drops by the
+ * memo hit rate (see bench/bench_dse_sweep.cc).
+ */
+ModelResult evaluateModel(EvalContext &ctx, const CoreConfig &cfg,
+                          const ModelOptions &opts = {});
+
+} // namespace mipp
+
+#endif // MIPP_MODEL_EVAL_CACHE_HH

@@ -3,40 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "model/eval_cache.hh"
 #include "statstack/statstack.hh"
 
 namespace mipp {
 
 namespace {
 
-/** Log-fit interpolation over per-window chain samples (thesis Eq 5.2). */
-double
-interpChain(const std::vector<float> &vals,
-            const std::vector<uint32_t> &sizes, double rob)
-{
-    if (vals.empty())
-        return 1.0;
-    if (vals.size() == 1)
-        return vals[0];
-    size_t hi = 1;
-    while (hi + 1 < sizes.size() && sizes[hi] < rob)
-        ++hi;
-    size_t lo = hi - 1;
-    double x0 = std::log(static_cast<double>(sizes[lo]));
-    double x1 = std::log(static_cast<double>(sizes[hi]));
-    double y0 = vals[lo], y1 = vals[hi];
-    double a = (y1 - y0) / (x1 - x0);
-    double v = a * (std::log(std::max(rob, 2.0)) - x0) + y0;
-    return std::max(v, 1.0);
-}
-
-/** Everything shared between global and per-window evaluation. */
-struct Context {
+/**
+ * Everything shared between global and per-window evaluation. Heavy
+ * intermediates (StatStacks, chain weights, MLP walks, resolution times)
+ * come memoized out of the EvalContext; this struct only holds the
+ * per-design-point scalars derived from them.
+ */
+struct Scratch {
     const Profile &p;
     const CoreConfig &cfg;
     const ModelOptions &opts;
-    StatStack ss;
-    StatStack ssI;
+    const StatStack &ss;
+    const StatStack &ssI;
 
     double mrL1 = 0, mrL2 = 0, mrL3 = 0;       // load miss ratios
     double mrS1 = 0, mrS2 = 0, mrS3 = 0;       // store miss ratios
@@ -45,20 +30,20 @@ struct Context {
     double loads = 0, stores = 0, iAccesses = 0;
     double totalUops = 0, totalInsts = 0;
 
-    BranchMissModel bm;
+    const BranchMissModel &bm;
     double cres = 0;
     double cbus = 0;
     double mlp = 1.0;
     double prefetchFactor = 1.0;
-    MlpEstimate mlpEst;
+    const MlpEstimate *mlpEst = nullptr;
     size_t ri = 0;
 
-    Context(const Profile &prof, const CoreConfig &config,
+    Scratch(EvalContext &ec, const CoreConfig &config,
             const ModelOptions &options)
-        : p(prof), cfg(config), opts(options),
-          ss(prof.reuseAll), ssI(prof.reuseInsts),
-          bm(options.branchModel.value_or(
-              BranchMissModel::pretrained(config.predictor)))
+        : p(ec.profile()), cfg(config), opts(options), ss(ec.stats()),
+          ssI(ec.instStats()),
+          bm(options.branchModel ? *options.branchModel
+                                 : internedBranchModel(config.predictor))
     {
     }
 
@@ -67,15 +52,7 @@ struct Context {
     double
     avgLatency(const std::array<double, kNumUopTypes> &frac) const
     {
-        double lat = 0;
-        for (int t = 0; t < kNumUopTypes; ++t) {
-            auto type = static_cast<UopType>(t);
-            double l = cfg.lat.of(type);
-            if (type == UopType::Load)
-                l = (1.0 - mrL1) * cfg.l1d.latency + mrL1 * cfg.l2.latency;
-            lat += frac[t] * l;
-        }
-        return std::max(lat, 0.5);
+        return mixAvgLatency(frac, cfg, mrL1);
     }
 
     /**
@@ -117,10 +94,6 @@ struct Context {
         return std::max(full - slack, 0.2 * full);
     }
 
-    /** Per-op weight for serialized LLC-hit chains: the op's LLC-hit
-     *  probability times how deep it sits on load dependence paths. */
-    std::vector<double> opChainWeight;
-
     /**
      * Chained-LLC-hit penalty per ROB window (thesis Eq 4.7-4.11),
      * extended with a lower bound from dependent (pointer-chasing) loads
@@ -151,53 +124,38 @@ struct Context {
 
 /** Dispatch limits honoring the base-component ablation level. */
 DispatchLimits
-limitsFor(const Context &ctx,
+limitsFor(const Scratch &ctx,
           const std::array<double, kNumUopTypes> &typeCounts, double cp,
           double avgLat)
 {
-    using Level = ModelOptions::BaseLevel;
-    DispatchLimits lim =
-        dispatchLimits(typeCounts, cp, avgLat, ctx.cfg);
-    switch (ctx.opts.baseLevel) {
-      case Level::Instructions:
-      case Level::MicroOps:
-        lim.dependences = lim.width;
-        lim.ports = lim.width;
-        lim.fus = lim.width;
-        break;
-      case Level::CriticalPath:
-        lim.ports = lim.width;
-        lim.fus = lim.width;
-        break;
-      case Level::Functional:
-        break;
-    }
-    return lim;
+    return ablatedLimits(typeCounts, cp, avgLat, ctx.cfg,
+                         ctx.opts.baseLevel);
 }
 
 } // namespace
 
 ModelResult
-evaluateModel(const Profile &p, const CoreConfig &cfg,
+evaluateModel(EvalContext &ec, const CoreConfig &cfg,
               const ModelOptions &opts)
 {
+    const Profile &p = ec.profile();
     ModelResult res;
-    Context ctx(p, cfg, opts);
+    Scratch ctx(ec, cfg, opts);
     ctx.ri = p.robIndex(cfg.robSize);
 
     // --- Cache miss rates from StatStack (thesis §4.2) -------------------
     const double l1L = cfg.l1d.numLines();
     const double l2L = cfg.l2.numLines();
     const double l3L = cfg.l3.numLines();
-    ctx.mrL1 = ctx.ss.missRatio(p.reuseLoads, l1L);
-    ctx.mrL2 = ctx.ss.missRatio(p.reuseLoads, l2L);
-    ctx.mrL3 = ctx.ss.missRatio(p.reuseLoads, l3L);
-    ctx.mrS1 = ctx.ss.missRatio(p.reuseStores, l1L);
-    ctx.mrS2 = ctx.ss.missRatio(p.reuseStores, l2L);
-    ctx.mrS3 = ctx.ss.missRatio(p.reuseStores, l3L);
-    ctx.mrI1 = ctx.ssI.missRatio(p.reuseInsts, cfg.l1i.numLines());
-    ctx.mrI2 = ctx.ssI.missRatio(p.reuseInsts, l2L);
-    ctx.mrI3 = ctx.ssI.missRatio(p.reuseInsts, l3L);
+    ctx.mrL1 = ec.dataMissRatio(p.reuseLoads, l1L);
+    ctx.mrL2 = ec.dataMissRatio(p.reuseLoads, l2L);
+    ctx.mrL3 = ec.dataMissRatio(p.reuseLoads, l3L);
+    ctx.mrS1 = ec.dataMissRatio(p.reuseStores, l1L);
+    ctx.mrS2 = ec.dataMissRatio(p.reuseStores, l2L);
+    ctx.mrS3 = ec.dataMissRatio(p.reuseStores, l3L);
+    ctx.mrI1 = ec.instMissRatio(p.reuseInsts, cfg.l1i.numLines());
+    ctx.mrI2 = ec.instMissRatio(p.reuseInsts, l2L);
+    ctx.mrI3 = ec.instMissRatio(p.reuseInsts, l3L);
 
     ctx.loads = static_cast<double>(p.reuseLoads.total());
     ctx.stores = static_cast<double>(p.reuseStores.total());
@@ -235,50 +193,22 @@ evaluateModel(const Profile &p, const CoreConfig &cfg,
     const double branches = static_cast<double>(p.branch.branches);
     res.branchMisses = res.branchMissRate * branches;
     if (res.branchMisses > 0.5) {
-        ctx.cres = branchResolutionTime(
-            p.chains, cfg, avgLat, ctx.totalUops / res.branchMisses);
+        ctx.cres = ec.branchResolution(
+            cfg, avgLat, ctx.totalUops / res.branchMisses);
     }
     res.branchResolution = ctx.cres;
 
     // --- MLP (thesis Ch. 4) -------------------------------------------------
-    MlpOptions mo{opts.modelMshrs, opts.modelPrefetcher};
-    switch (opts.mlpMode) {
-      case ModelOptions::MlpMode::ColdMiss:
-        ctx.mlpEst = coldMissMlp(p, cfg, ctx.ss, mo);
-        break;
-      case ModelOptions::MlpMode::Stride:
-        ctx.mlpEst = strideMlp(p, cfg, ctx.ss, mo);
-        break;
-      case ModelOptions::MlpMode::None:
-        ctx.mlpEst.mlp = 1.0;
-        break;
-    }
-    ctx.mlp = ctx.mlpEst.mlp;
-    ctx.prefetchFactor = ctx.mlpEst.dramMisses > 0 ?
-        ctx.mlpEst.latWeighted / ctx.mlpEst.dramMisses : 1.0;
+    ctx.mlpEst = &ec.mlpEstimate(cfg, opts);
+    ctx.mlp = ctx.mlpEst->mlp;
+    ctx.prefetchFactor = ctx.mlpEst->dramMisses > 0 ?
+        ctx.mlpEst->latWeighted / ctx.mlpEst->dramMisses : 1.0;
     res.mlp = ctx.mlp;
 
-    // Per-op serial-chain weights for the chained-LLC-hit bound: an LLC
-    // hit on a load that depends on other loads cannot be overlapped.
-    ctx.opChainWeight.assign(p.memOps.size(), 0.0);
-    double globalSerialHits = 0; // expected chained LLC hits per load
-    {
-        double loadsSeen = 0;
-        for (size_t i = 0; i < p.memOps.size(); ++i) {
-            const StaticMemProfile &sp = p.memOps[i];
-            if (sp.isStore)
-                continue;
-            double hit3 = std::max(
-                0.0, ctx.ss.missRatio(sp.reuse, l2L) -
-                         ctx.ss.missRatio(sp.reuse, l3L));
-            double dep = std::clamp(sp.avgLoadDepth() - 1.0, 0.0, 1.0);
-            ctx.opChainWeight[i] = hit3 * dep;
-            globalSerialHits += ctx.opChainWeight[i] * sp.count;
-            loadsSeen += sp.count;
-        }
-        if (loadsSeen > 0)
-            globalSerialHits /= loadsSeen; // per load
-    }
+    // Per-op serial-chain weights for the chained-LLC-hit bound (memoized
+    // per (L2, L3) level pair): an LLC hit on a load that depends on other
+    // loads cannot be overlapped.
+    const EvalContext::ChainWeights &cw = ec.chainWeights(l2L, l3L);
 
     const double llcLoadMisses = res.loadMissesL3;
     const double llcStoreMisses = res.storeMissesL3;
@@ -313,6 +243,9 @@ evaluateModel(const Profile &p, const CoreConfig &cfg,
         double eMean = bSum > 0 ? eSum / bSum : 0;
         double eNorm = eMean > 1e-9 ? p.branch.entropy() / eMean : 1.0;
 
+        const std::vector<DispatchLimits> &limWindows =
+            ec.windowLimits(cfg, opts.baseLevel, ctx.mrL1);
+
         CpiStack stack;
         double profiledCycles = 0, profiledUops = 0;
         for (size_t wi = 0; wi < p.windows.size(); ++wi) {
@@ -326,9 +259,7 @@ evaluateModel(const Profile &p, const CoreConfig &cfg,
                 countsW[t] = w.uopCounts[t];
                 fracW[t] = w.uopCounts[t] / uopsW;
             }
-            double latW = ctx.avgLatency(fracW);
-            double cpW = interpChain(w.cp, p.robSizes, cfg.robSize);
-            DispatchLimits limW = limitsFor(ctx, countsW, cpW, latW);
+            const DispatchLimits &limW = limWindows[wi];
             double deffW = limW.effective();
             double nW = useInsts ? static_cast<double>(w.insts) : uopsW;
             double baseW = nW / deffW;
@@ -346,8 +277,8 @@ evaluateModel(const Profile &p, const CoreConfig &cfg,
             double dramLat = ctx.dramLatencyPerMiss(limW);
             double dramW = 0;
             if (opts.mlpMode == ModelOptions::MlpMode::Stride &&
-                wi < ctx.mlpEst.windows.size()) {
-                const WindowMlp &wm = ctx.mlpEst.windows[wi];
+                wi < ctx.mlpEst->windows.size()) {
+                const WindowMlp &wm = ctx.mlpEst->windows[wi];
                 double mlpW = std::max(wm.mlp, 1.0);
                 dramW = wm.latWeighted * dramLat / mlpW;
             } else {
@@ -361,9 +292,7 @@ evaluateModel(const Profile &p, const CoreConfig &cfg,
             // from this window's static-load population.
             double chainW = 0;
             if (opts.modelLlcChaining) {
-                double serialW = 0;
-                for (const auto &[opIdx, cnt] : w.memCounts)
-                    serialW += ctx.opChainWeight[opIdx] * cnt;
+                double serialW = cw.windowSerial[wi];
                 serialW *= static_cast<double>(cfg.robSize) /
                            std::max(uopsW, 1.0);
                 double loadFracW = fracW[static_cast<int>(UopType::Load)];
@@ -400,7 +329,7 @@ evaluateModel(const Profile &p, const CoreConfig &cfg,
         double chain = 0;
         if (opts.modelLlcChaining) {
             double loadFrac = globalFrac[static_cast<int>(UopType::Load)];
-            double serial = globalSerialHits * loadFrac * cfg.robSize;
+            double serial = cw.globalSerialHits * loadFrac * cfg.robSize;
             chain = ctx.chainPenalty(loadFrac * cfg.robSize, res.deff,
                                      serial) *
                     (ctx.totalUops / cfg.robSize);
@@ -437,6 +366,17 @@ evaluateModel(const Profile &p, const CoreConfig &cfg,
     a.dramAccesses = static_cast<uint64_t>(
         res.loadMissesL3 + res.storeMissesL3 + res.ifetchMissesL3);
     return res;
+}
+
+ModelResult
+evaluateModel(const Profile &p, const CoreConfig &cfg,
+              const ModelOptions &opts)
+{
+    // Compat wrapper: a throwaway context makes this the uncached path.
+    // Use an EvalContext directly when evaluating many design points
+    // against one profile (the DSE sweep does).
+    EvalContext ctx(p);
+    return evaluateModel(ctx, cfg, opts);
 }
 
 } // namespace mipp

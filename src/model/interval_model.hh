@@ -98,7 +98,15 @@ struct ModelResult {
     }
 };
 
-/** Evaluate the interval model. Pure function; microseconds per call. */
+/**
+ * Evaluate the interval model. Pure function; microseconds per call.
+ *
+ * This entry point rebuilds every profile-derived intermediate from
+ * scratch. When evaluating many design points against one profile (a
+ * design-space sweep), construct an EvalContext and use the overload in
+ * model/eval_cache.hh instead — bitwise-identical results, with the
+ * per-workload intermediates built once and memoized.
+ */
 ModelResult evaluateModel(const Profile &p, const CoreConfig &cfg,
                           const ModelOptions &opts = {});
 

@@ -96,7 +96,6 @@ struct VirtualLoad {
 /** Per static-op modeling state reused across windows. */
 struct OpModel {
     double mrLlc = 0;       ///< per-access LLC miss ratio (StatStack)
-    double mrL1 = 0;        ///< per-access L1D miss ratio
     double indepProb = 1;   ///< (1 - M_pred)^(depth-1)
     double depth = 1;       ///< average load-dependence depth
     bool chase = false;     ///< address recycled through a register chain
@@ -116,7 +115,6 @@ strideMlp(const Profile &p, const CoreConfig &cfg, const StatStack &ss,
 {
     MlpEstimate est;
     const double llcLines = cfg.l3.numLines();
-    const double l1Lines = cfg.l1d.numLines();
     const double mrLlcGlobal = ss.missRatio(p.reuseLoads, llcLines);
     const double mtSize = static_cast<double>(p.sampling.microTraceSize);
     const bool prefetch = opt.modelPrefetcher && cfg.prefetcherEnabled;
@@ -131,7 +129,6 @@ strideMlp(const Profile &p, const CoreConfig &cfg, const StatStack &ss,
         staticLoads++;
         OpModel &m = ops[i];
         m.mrLlc = ss.missRatio(sp.reuse, llcLines);
-        m.mrL1 = ss.missRatio(sp.reuse, l1Lines);
         m.chase = sp.isPointerChase();
         m.depth = std::max(sp.avgLoadDepth(), 1.0);
         // Independence through the load dependence chain: a miss only
@@ -210,13 +207,18 @@ strideMlp(const Profile &p, const CoreConfig &cfg, const StatStack &ss,
     }
     const double renorm = adjTotal > 1e-9 ? expTotal / adjTotal : 1.0;
 
+    // One stream buffer reused across windows: the rebuild runs once per
+    // (profile, config) evaluation and its allocations showed up in
+    // DSE-sweep profiles.
+    std::vector<VirtualLoad> stream;
+    est.windows.reserve(p.windows.size());
     for (size_t wi = 0; wi < p.windows.size(); ++wi) {
         const WindowProfile &w = p.windows[wi];
         double factor = (opt.redistributeCold && expMissesW[wi] > 1e-9) ?
             adjMissesW[wi] * renorm / expMissesW[wi] : 1.0;
 
         // (1) Rebuild the virtual load stream from spacing + counts.
-        std::vector<VirtualLoad> stream;
+        stream.clear();
         for (const auto &[opIdx, count] : w.memCounts) {
             const StaticMemProfile &sp = p.memOps[opIdx];
             if (sp.isStore)
@@ -256,13 +258,12 @@ strideMlp(const Profile &p, const CoreConfig &cfg, const StatStack &ss,
         size_t cursor = 0;
         for (double lo = 0; lo < maxPos; lo += cfg.robSize) {
             double hi = lo + cfg.robSize;
-            double misses = 0, weighted = 0, l1m = 0;
+            double misses = 0, weighted = 0;
             double serialMisses = 0;   // on deep dependence chains
             double indepParallel = 0;  // parallelism of the free misses
             while (cursor < stream.size() && stream[cursor].pos < hi) {
                 const VirtualLoad &v = stream[cursor++];
                 OpModel &m = ops[v.opIdx];
-                l1m += m.mrL1;
                 if (!v.miss)
                     continue;
                 misses += 1;
@@ -287,7 +288,6 @@ strideMlp(const Profile &p, const CoreConfig &cfg, const StatStack &ss,
                 mlp = mshrCappedMlp(mlp, misses, cfg.mshrs);
             wm.dramMisses += misses;
             wm.latWeighted += weighted;
-            wm.l1Misses += l1m;
             serialTime += weighted / mlp;
             // Track a window-average MLP for reporting.
             wm.mlp += mlp * misses;

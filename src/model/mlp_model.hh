@@ -33,7 +33,6 @@ struct WindowMlp {
     double dramMisses = 0;   ///< LLC load misses in the micro-trace
     double latWeighted = 0;  ///< misses weighted by prefetch-reduced latency
     double mlp = 0;          ///< independent misses per dirty ROB window
-    double l1Misses = 0;     ///< L1D load misses (MSHR pressure)
 };
 
 /** Aggregated MLP-model output. */
