@@ -20,14 +20,28 @@
  *       suite workload named in the profile. `--full` uses the 243-point
  *       space instead of the 27-point subspace.
  *
+ *   mipp_cli report accuracy [--grid ci|default|wide] [--uops N]
+ *                  [--threads N] [--full] [--no-phased] [--workload NAME]...
+ *                  [--json out.json] [--baseline golden.json] [--margin P]
+ *       Run the suite-wide accuracy-validation harness: every suite (and
+ *       phased) workload through both the cycle-level simulator and the
+ *       analytical model over a design-point grid, with per-CPI-component
+ *       error reporting and internal-consistency invariants enforced on
+ *       both sides. `--json` writes the machine-readable report;
+ *       `--baseline` gates against a golden report's MAPEs (exit 1 on
+ *       regression beyond `--margin` percentage points, default 2).
+ *
  *   mipp_cli list
  *       List the available suite workloads.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+
+#include <vector>
 
 #include "dse/explorer.hh"
 #include "dse/pareto.hh"
@@ -37,6 +51,7 @@
 #include "profiler/profiler.hh"
 #include "sweep_flags.hh"
 #include "uarch/design_space.hh"
+#include "validate/accuracy.hh"
 #include "workloads/workload.hh"
 
 namespace {
@@ -50,6 +65,7 @@ usage()
                  "usage: mipp_cli profile <workload> <out> [uops]\n"
                  "       mipp_cli evaluate <profile> [options]\n"
                  "       mipp_cli sweep <profile>\n"
+                 "       mipp_cli report accuracy [options]\n"
                  "       mipp_cli list\n");
     return 2;
 }
@@ -197,6 +213,146 @@ cmdSweep(int argc, char **argv)
     return 0;
 }
 
+int
+cmdReport(int argc, char **argv)
+{
+    if (argc < 1 || std::strcmp(argv[0], "accuracy") != 0) {
+        std::fprintf(stderr,
+                     "usage: mipp_cli report accuracy [--grid "
+                     "ci|default|wide] [--uops N] [--threads N] [--full] "
+                     "[--no-phased] [--workload NAME]... [--json FILE] "
+                     "[--baseline FILE] [--margin PCT]\n");
+        return 2;
+    }
+
+    AccuracyOptions aopts;
+    std::string gridName = "default";
+    bool gridExplicit = false;
+    std::string jsonPath, baselinePath;
+    double margin = 2.0;
+
+    // Accuracy-specific flags are consumed here; everything else is
+    // handed to the shared SweepFlags parser (--uops/--threads/--full).
+    std::vector<char *> rest;
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", argv[i]);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        const char *v = nullptr;
+        if (!std::strcmp(argv[i], "--grid")) {
+            if (!(v = next()))
+                return 2;
+            gridName = v;
+            gridExplicit = true;
+        } else if (!std::strcmp(argv[i], "--json")) {
+            if (!(v = next()))
+                return 2;
+            jsonPath = v;
+        } else if (!std::strcmp(argv[i], "--baseline")) {
+            if (!(v = next()))
+                return 2;
+            baselinePath = v;
+        } else if (!std::strcmp(argv[i], "--margin")) {
+            if (!(v = next()))
+                return 2;
+            margin = std::atof(v);
+        } else if (!std::strcmp(argv[i], "--no-phased")) {
+            aopts.includePhased = false;
+        } else if (!std::strcmp(argv[i], "--workload")) {
+            if (!(v = next()))
+                return 2;
+            aopts.workloads.push_back(v);
+        } else {
+            rest.push_back(argv[i]);
+        }
+    }
+    examples::SweepFlags flags;
+    flags.uops = aopts.uops;
+    if (!flags.parse(static_cast<int>(rest.size()), rest.data(),
+                     "mipp_cli report accuracy"))
+        return 2;
+    aopts.uops = flags.uops;
+    aopts.threads = flags.sopts.threads;
+    if (flags.full) {
+        if (gridExplicit && gridName != "wide") {
+            std::fprintf(stderr,
+                         "--full conflicts with --grid %s (it selects "
+                         "the wide grid)\n",
+                         gridName.c_str());
+            return 2;
+        }
+        gridName = "wide";
+    }
+    aopts.grid = accuracyGrid(gridName);
+
+    AccuracyReport rep = runAccuracy(aopts);
+
+    std::printf("accuracy: %zu workloads x %zu design points "
+                "(%zu uops, grid '%s')\n",
+                rep.workloadNames.size(), rep.gridNames.size(), rep.uops,
+                gridName.c_str());
+    std::printf("%-18s %8s %8s %7s   %s\n", "workload", "simCPI",
+                "modelCPI", "err%", "mean|err|% across grid");
+    const size_t nc = rep.gridNames.size();
+    for (size_t wi = 0; wi < rep.workloadNames.size(); ++wi) {
+        const PointAccuracy &ref = rep.points[wi * nc];
+        double meanAbs = 0;
+        for (size_t ci = 0; ci < nc; ++ci)
+            meanAbs += std::abs(
+                rep.points[wi * nc + ci]
+                    .err[static_cast<size_t>(AccuracyMetric::Cpi)]);
+        meanAbs /= nc ? nc : 1;
+        std::printf("%-18s %8.3f %8.3f %+6.1f%%   %6.1f%%\n",
+                    ref.workload.c_str(), ref.simCpi, ref.modelCpi,
+                    ref.err[static_cast<size_t>(AccuracyMetric::Cpi)],
+                    meanAbs);
+    }
+    std::printf("suite MAPE (signed bias):");
+    for (size_t k = 0; k < kNumAccuracyMetrics; ++k) {
+        auto m = static_cast<AccuracyMetric>(k);
+        std::printf(" %s %.1f (%+.1f)%s",
+                    std::string(accuracyMetricName(m)).c_str(),
+                    rep.of(m).mape, rep.of(m).meanSigned,
+                    k + 1 < kNumAccuracyMetrics ? " |" : "\n");
+    }
+
+    if (!jsonPath.empty()) {
+        if (!writeAccuracyJson(rep, jsonPath)) {
+            std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+            return 1;
+        }
+        std::printf("report written to %s\n", jsonPath.c_str());
+    }
+
+    int rc = 0;
+    if (!rep.consistent()) {
+        std::fprintf(stderr,
+                     "%zu internal-consistency violations:\n",
+                     rep.violations.size());
+        for (const auto &v : rep.violations)
+            std::fprintf(stderr, "  %s\n", v.c_str());
+        rc = 1;
+    }
+    if (!baselinePath.empty()) {
+        auto regressions = compareToBaseline(rep, baselinePath, margin);
+        if (!regressions.empty()) {
+            std::fprintf(stderr, "MAPE regressions vs %s:\n",
+                         baselinePath.c_str());
+            for (const auto &r : regressions)
+                std::fprintf(stderr, "  %s\n", r.c_str());
+            rc = 1;
+        } else {
+            std::printf("baseline gate passed (%s, margin %.1f)\n",
+                        baselinePath.c_str(), margin);
+        }
+    }
+    return rc;
+}
+
 } // namespace
 
 int
@@ -214,6 +370,8 @@ main(int argc, char **argv)
             return cmdEvaluate(argc - 2, argv + 2);
         if (cmd == "sweep")
             return cmdSweep(argc - 2, argv + 2);
+        if (cmd == "report")
+            return cmdReport(argc - 2, argv + 2);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

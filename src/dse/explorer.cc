@@ -62,20 +62,6 @@ streamCount(unsigned threads)
     return streams;
 }
 
-/** Run fn(begin, end) over [0, n): serial when threads == 1, otherwise
- *  one item at a time on the shared pool. */
-void
-runParallel(size_t n, unsigned threads, const ThreadPool::RangeFn &fn)
-{
-    if (n == 0)
-        return;
-    if (threads == 1) {
-        fn(0, n);
-        return;
-    }
-    ThreadPool::shared().parallelFor(n, 1, fn);
-}
-
 /** Model every point, one EvalContext per (workload, chunk). */
 void
 modelPass(const std::vector<Profile> &profiles,
@@ -85,7 +71,7 @@ modelPass(const std::vector<Profile> &profiles,
     const size_t nc = res.nConfigs;
     auto spans =
         workloadMajorChunks(res.nWorkloads, nc, streamCount(threads));
-    runParallel(spans.size(), threads, [&](size_t begin, size_t end) {
+    parallelForShared(spans.size(), threads, [&](size_t begin, size_t end) {
         for (size_t s = begin; s < end; ++s) {
             const Span &sp = spans[s];
             EvalContext ctx(profiles[sp.wi]);
@@ -108,7 +94,7 @@ simPass(const std::vector<Trace> &traces,
         const std::vector<std::pair<size_t, size_t>> &pairs,
         SweepResult &res, unsigned threads)
 {
-    runParallel(pairs.size(), threads, [&](size_t begin, size_t end) {
+    parallelForShared(pairs.size(), threads, [&](size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {
             auto [wi, ci] = pairs[i];
             SimResult sim = simulate(traces[wi], configs[ci]);

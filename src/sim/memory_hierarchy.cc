@@ -5,11 +5,24 @@
 
 namespace mipp {
 
+namespace {
+
+/** Min-heap order for (ready cycle, line) prefetch entries. */
+bool
+heapLater(const std::pair<uint64_t, uint64_t> &a,
+          const std::pair<uint64_t, uint64_t> &b)
+{
+    return a.first > b.first;
+}
+
+} // namespace
+
 // --- Cache -------------------------------------------------------------------
 
 Cache::Cache(const CacheConfig &cfg)
-    : cfg_(cfg), numSets_(std::max<uint32_t>(cfg.numSets(), 1)),
-      ways_(cfg.associativity)
+    : cfg_(cfg.normalized()),
+      numSets_(std::max<uint32_t>(cfg_.numSets(), 1)),
+      ways_(cfg_.associativity)
 {
     sets_.resize(numSets_ * ways_);
 }
@@ -66,22 +79,40 @@ Cache::insert(uint64_t line, bool dirty)
     return victim;
 }
 
-void
+bool
 Cache::markDirty(uint64_t line)
 {
     Way *set = &sets_[setIndex(line) * ways_];
-    for (size_t i = 0; i < ways_; ++i)
-        if (set[i].valid && set[i].line == line)
+    for (size_t i = 0; i < ways_; ++i) {
+        if (set[i].valid && set[i].line == line) {
             set[i].dirty = true;
+            return true;
+        }
+    }
+    return false;
 }
 
-void
+bool
 Cache::invalidate(uint64_t line)
 {
     Way *set = &sets_[setIndex(line) * ways_];
-    for (size_t i = 0; i < ways_; ++i)
-        if (set[i].valid && set[i].line == line)
+    for (size_t i = 0; i < ways_; ++i) {
+        if (set[i].valid && set[i].line == line) {
             set[i].valid = false;
+            return set[i].dirty;
+        }
+    }
+    return false;
+}
+
+std::vector<uint64_t>
+Cache::residentLines() const
+{
+    std::vector<uint64_t> lines;
+    for (const Way &w : sets_)
+        if (w.valid)
+            lines.push_back(w.line);
+    return lines;
 }
 
 // --- MemoryHierarchy -----------------------------------------------------------
@@ -101,34 +132,90 @@ MemoryHierarchy::busCycles(uint64_t now)
 }
 
 void
-MemoryHierarchy::fill(uint64_t line, bool dirty, bool ifetch)
+MemoryHierarchy::insertL2(uint64_t line)
 {
-    // Inclusive fills: allocate in every level; L3 evictions
-    // back-invalidate the inner levels; dirty L3 victims write back.
-    if (auto v = l3_.insert(line, false)) {
-        l2_.invalidate(v->line);
-        l1d_.invalidate(v->line);
-        l1i_.invalidate(v->line);
-        if (v->dirty) {
+    if (auto v = l2_.insert(line, false)) {
+        if (v->dirty && !l3_.markDirty(v->line)) {
+            // L2 victim absent from L3 (inclusion normally prevents
+            // this): never drop dirty data silently.
             stats_.writebacks++;
             busFreeAt_ += cfg_.busTransferCycles;
         }
     }
-    if (auto v = l2_.insert(line, false)) {
-        if (v->dirty)
-            l3_.markDirty(v->line);
+}
+
+void
+MemoryHierarchy::fillShared(uint64_t line)
+{
+    // Inclusive fills: L3 evictions back-invalidate the inner levels; a
+    // dirty copy at ANY level writes back (the inner copy is the newest
+    // data — dropping it on back-invalidation would lose stores).
+    if (auto v = l3_.insert(line, false)) {
+        bool dirty = v->dirty;
+        dirty |= l2_.invalidate(v->line);
+        dirty |= l1d_.invalidate(v->line);
+        dirty |= l1i_.invalidate(v->line);
+        if (dirty) {
+            stats_.writebacks++;
+            busFreeAt_ += cfg_.busTransferCycles;
+        }
+        // The victim left the hierarchy entirely: a later demand hit on
+        // it can only follow a fresh demand fill, which the prefetcher
+        // gets no credit for.
+        prefetchedLines_.erase(v->line);
     }
+    insertL2(line);
+}
+
+void
+MemoryHierarchy::writebackInner(uint64_t line)
+{
+    // A dirty L1 victim lands in L2; L2 may have evicted the line while
+    // it sat in L1 (L2 victims do not back-invalidate L1), so fall back
+    // to L3, then to an off-chip writeback.
+    if (l2_.markDirty(line))
+        return;
+    if (l3_.markDirty(line))
+        return;
+    stats_.writebacks++;
+    busFreeAt_ += cfg_.busTransferCycles;
+}
+
+void
+MemoryHierarchy::fill(uint64_t line, bool dirty, bool ifetch)
+{
+    fillShared(line);
     Cache &l1 = ifetch ? l1i_ : l1d_;
     if (auto v = l1.insert(line, dirty)) {
         if (v->dirty)
-            l2_.markDirty(v->line);
+            writebackInner(v->line);
+    }
+}
+
+void
+MemoryHierarchy::drainPrefetches(uint64_t now)
+{
+    while (!prefetchHeap_.empty() && prefetchHeap_.front().first <= now) {
+        auto [ready, line] = prefetchHeap_.front();
+        std::pop_heap(prefetchHeap_.begin(), prefetchHeap_.end(),
+                      heapLater);
+        prefetchHeap_.pop_back();
+        auto it = inFlight_.find(line);
+        if (it == inFlight_.end() || it->second != ready)
+            continue; // stale: intercepted by a demand access
+        inFlight_.erase(it);
+        fillShared(line);
+        // L3-resident from here until fillShared's eviction hook erases
+        // it, so the set is bounded by the L3 capacity.
+        prefetchedLines_.insert(line);
+        stats_.prefetchesInstalled++;
     }
 }
 
 void
 MemoryHierarchy::train(uint64_t pc, uint64_t addr, uint64_t now)
 {
-    if (!cfg_.prefetcherEnabled)
+    if (!cfg_.prefetcherEnabled || cfg_.prefetcherEntries == 0)
         return;
 
     auto it = strideTable_.find(pc);
@@ -166,18 +253,24 @@ MemoryHierarchy::train(uint64_t pc, uint64_t addr, uint64_t now)
             return;
         uint64_t next = addr + e.stride;
         uint64_t nline = next / kLineSize;
-        // Bound the in-flight table: drop long-expired, never-used entries.
-        if (inFlight_.size() > 4096) {
-            for (auto jt = inFlight_.begin(); jt != inFlight_.end();) {
-                if (jt->second + 10000 < now)
-                    jt = inFlight_.erase(jt);
-                else
-                    ++jt;
-            }
-        }
-        if (!l2_.peek(nline) && !l3_.peek(nline) && !inFlight_.count(nline)) {
+        // Sub-line strides often target the line the demand access is
+        // already fetching; prefetching it again is pure waste.
+        if (nline == addr / kLineSize)
+            return;
+        if (!l1d_.peek(nline) && !l2_.peek(nline) && !l3_.peek(nline) &&
+            !inFlight_.count(nline)) {
             uint32_t lat = cfg_.memLatency + busCycles(now);
             inFlight_[nline] = now + lat;
+            prefetchHeap_.push_back({now + lat, nline});
+            std::push_heap(prefetchHeap_.begin(), prefetchHeap_.end(),
+                           heapLater);
+            // The prefetch fetches from DRAM (issue requires the line to
+            // be absent everywhere): account the off-chip traffic to the
+            // prefetcher so power-model activity sees it, and mark the
+            // line touched so a later demand miss is not misclassified
+            // as cold.
+            stats_.dramAccesses++;
+            touched_.insert(nline);
             stats_.prefetchesIssued++;
         }
     }
@@ -200,6 +293,10 @@ AccessResult
 MemoryHierarchy::access(uint64_t addr, uint64_t pc, AccessKind kind,
                         uint64_t now)
 {
+    // Completed prefetches land in L2/L3 before the demand lookup, so a
+    // timely prefetch turns this access into an ordinary L2 hit.
+    drainPrefetches(now);
+
     uint64_t line = addr / kLineSize;
     AccessResult res;
     const bool is_store = kind == AccessKind::Store;
@@ -238,23 +335,32 @@ MemoryHierarchy::access(uint64_t addr, uint64_t pc, AccessKind kind,
     auto fill_l1 = [&]() {
         if (auto v = l1.insert(line, is_store && !is_ifetch)) {
             if (v->dirty)
-                l2_.markDirty(v->line);
+                writebackInner(v->line);
         }
     };
 
     bool l2_hit = l2_.lookup(line);
-    count(stats_.l2, !l2_hit);
     if (l2_hit) {
+        count(stats_.l2, false);
+        if (prefetchedLines_.erase(line)) {
+            // First demand use of an installed prefetch.
+            stats_.prefetchHits++;
+            res.prefetched = true;
+        }
         res.latency = l1.config().latency + l2_.config().latency;
         res.level = HitLevel::L2;
         fill_l1();
         return res;
     }
 
-    // In-flight prefetch interception: partially or fully hidden latency.
+    // In-flight prefetch interception: the demand request merges with the
+    // prefetch's outstanding fill, so it counts as an L2 *hit* (the L3 is
+    // never probed, and the DRAM traffic was already accounted to the
+    // prefetch at issue). Latency is partially or fully hidden.
     if (auto it = inFlight_.find(line); it != inFlight_.end()) {
+        count(stats_.l2, false);
         uint64_t ready = it->second;
-        inFlight_.erase(it);
+        inFlight_.erase(it); // heap entry goes stale; skipped on pop
         fill(line, is_store && !is_ifetch, is_ifetch);
         stats_.prefetchHits++;
         res.prefetched = true;
@@ -264,16 +370,20 @@ MemoryHierarchy::access(uint64_t addr, uint64_t pc, AccessKind kind,
                       std::max<uint64_t>(l2_.config().latency, remaining);
         return res;
     }
+    count(stats_.l2, true);
 
     bool l3_hit = l3_.lookup(line);
     count(stats_.l3, !l3_hit);
     if (l3_hit) {
+        if (prefetchedLines_.erase(line)) {
+            // Prefetched into L2/L3, evicted from L2 before first use,
+            // still served from the L3 thanks to the prefetch.
+            stats_.prefetchHits++;
+            res.prefetched = true;
+        }
         res.latency = l1.config().latency + l3_.config().latency;
         res.level = HitLevel::L3;
-        if (auto v = l2_.insert(line, false)) {
-            if (v->dirty)
-                l3_.markDirty(v->line);
-        }
+        insertL2(line);
         fill_l1();
         return res;
     }

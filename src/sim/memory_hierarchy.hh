@@ -16,6 +16,7 @@
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "uarch/core_config.hh"
@@ -43,11 +44,19 @@ class Cache
     /** Insert @p line (possibly dirty); @return the victim if one. */
     std::optional<Victim> insert(uint64_t line, bool dirty);
 
-    /** Mark a resident line dirty (store hit). */
-    void markDirty(uint64_t line);
+    /** Mark a resident line dirty (store hit / inner-level writeback).
+     *  @return whether the line was resident — a false return means the
+     *  dirty data has NOT been recorded and the caller must write it
+     *  back elsewhere. */
+    bool markDirty(uint64_t line);
 
-    /** Remove @p line if resident (back-invalidation). */
-    void invalidate(uint64_t line);
+    /** Remove @p line if resident (back-invalidation).
+     *  @return whether the removed copy was dirty (lost unless the
+     *  caller writes it back). */
+    bool invalidate(uint64_t line);
+
+    /** All currently valid lines (test / validation introspection). */
+    std::vector<uint64_t> residentLines() const;
 
     const CacheConfig &config() const { return cfg_; }
 
@@ -107,6 +116,8 @@ struct MemoryStats {
     uint64_t busWaitCycles = 0;   ///< total queueing delay behind the bus
     uint64_t prefetchesIssued = 0;
     uint64_t prefetchHits = 0;    ///< demand hits on prefetched lines
+    /** Completed prefetches installed into L2/L3 before any demand use. */
+    uint64_t prefetchesInstalled = 0;
 };
 
 /** Inclusive three-level hierarchy + DRAM + bus + stride prefetcher. */
@@ -131,10 +142,24 @@ class MemoryHierarchy
 
     const MemoryStats &stats() const { return stats_; }
 
+    // Cache introspection for invariant checks (validate/accuracy, tests).
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+    const Cache &l3() const { return l3_; }
+
   private:
     uint32_t busCycles(uint64_t now);
     void train(uint64_t pc, uint64_t line, uint64_t now);
     void fill(uint64_t line, bool dirty, bool ifetch);
+    /** L2 allocation with the never-drop-dirty-victim guarantee. */
+    void insertL2(uint64_t line);
+    /** Shared (L3 + L2) part of a fill; prefetches stop here. */
+    void fillShared(uint64_t line);
+    /** Record a dirty L1 victim in L2, else L3, else write it back. */
+    void writebackInner(uint64_t line);
+    /** Install prefetches whose data has arrived by @p now into L2/L3. */
+    void drainPrefetches(uint64_t now);
 
     const CoreConfig &cfg_;
     Cache l1i_, l1d_, l2_, l3_;
@@ -157,6 +182,16 @@ class MemoryHierarchy
 
     /** In-flight prefetches: line -> cycle the data arrives in L2. */
     std::unordered_map<uint64_t, uint64_t> inFlight_;
+    /** Min-heap of (ready cycle, line) mirroring inFlight_, so completed
+     *  prefetches are installed in O(log n) without scanning the table.
+     *  Entries whose (ready, line) no longer matches inFlight_ are stale
+     *  (intercepted by a demand access) and skipped on pop. */
+    std::vector<std::pair<uint64_t, uint64_t>> prefetchHeap_;
+    /** Installed prefetched lines not yet referenced by a demand access
+     *  (attributes later L2/L3 hits to the prefetcher). Entries are
+     *  erased on first use or when the line leaves the L3, so the set
+     *  is bounded by the L3 capacity and never goes stale. */
+    std::unordered_set<uint64_t> prefetchedLines_;
 };
 
 } // namespace mipp

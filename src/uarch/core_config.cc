@@ -15,6 +15,17 @@ branchPredictorName(BranchPredictorKind k)
     }
 }
 
+CacheConfig
+CacheConfig::normalized() const
+{
+    CacheConfig c = *this;
+    if (c.associativity == 0)
+        c.associativity = 1;
+    if (c.sizeBytes < kLineSize * c.associativity)
+        c.sizeBytes = kLineSize * c.associativity;
+    return c;
+}
+
 LatencyTable
 LatencyTable::nehalem()
 {

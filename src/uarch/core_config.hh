@@ -42,6 +42,15 @@ struct CacheConfig {
 
     uint32_t numLines() const { return sizeBytes / kLineSize; }
     uint32_t numSets() const { return numLines() / associativity; }
+
+    /**
+     * Copy with degenerate parameters clamped to the smallest legal
+     * cache: at least one way, at least one line per way. The single
+     * validation point shared by the simulator's Cache and the DSE
+     * design space (`associativity == 0` would otherwise underflow the
+     * LRU way index and divide by zero in numSets()).
+     */
+    CacheConfig normalized() const;
 };
 
 /** Execution latencies per uop type, in cycles. */

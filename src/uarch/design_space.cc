@@ -13,6 +13,15 @@ scaleBackEnd(CoreConfig &c, uint32_t robSize)
     c.mshrs = robSize >= 256 ? 16 : (robSize >= 128 ? 10 : 6);
 }
 
+void
+scaleCacheLatencies(CoreConfig &c)
+{
+    uint32_t l2k = c.l2.sizeBytes / 1024;
+    uint32_t l3m = c.l3.sizeBytes / (1024 * 1024);
+    c.l2.latency = l2k >= 512 ? 13 : (l2k >= 256 ? 11 : 9);
+    c.l3.latency = l3m >= 32 ? 38 : (l3m >= 8 ? 30 : 24);
+}
+
 DesignSpace::DesignSpace(Axes axes)
 {
     for (uint32_t w : axes.widths) {
@@ -27,9 +36,13 @@ DesignSpace::DesignSpace(Axes axes)
                         c.l1i.sizeBytes = l1 * 1024;
                         c.l2.sizeBytes = l2 * 1024;
                         c.l3.sizeBytes = l3 * 1024 * 1024;
-                        // First-order latency scaling with capacity.
-                        c.l2.latency = l2 >= 512 ? 13 : (l2 >= 256 ? 11 : 9);
-                        c.l3.latency = l3 >= 32 ? 38 : (l3 >= 8 ? 30 : 24);
+                        scaleCacheLatencies(c);
+                        // Shared validation point with the simulator's
+                        // Cache: no degenerate cache reaches a sweep.
+                        c.l1i = c.l1i.normalized();
+                        c.l1d = c.l1d.normalized();
+                        c.l2 = c.l2.normalized();
+                        c.l3 = c.l3.normalized();
                         c.name = "w" + std::to_string(w) +
                                  "_rob" + std::to_string(rob) +
                                  "_l1d" + std::to_string(l1) + "k" +

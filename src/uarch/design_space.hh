@@ -64,6 +64,14 @@ std::vector<DvfsPoint> dvfsLadder();
  */
 void scaleBackEnd(CoreConfig &c, uint32_t robSize);
 
+/**
+ * First-order L2/L3 hit-latency scaling with the configured capacities.
+ * Single source of the heuristic, shared by the DSE design space and
+ * the accuracy-harness grids so their design points stay comparable.
+ * Call after setting the cache sizes.
+ */
+void scaleCacheLatencies(CoreConfig &c);
+
 } // namespace mipp
 
 #endif // MIPP_UARCH_DESIGN_SPACE_HH

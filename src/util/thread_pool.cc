@@ -1,5 +1,6 @@
 #include "util/thread_pool.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <memory>
@@ -142,6 +143,23 @@ ThreadPool::parallelFor(size_t n, size_t grain, const RangeFn &fn)
     }
     if (job->error)
         std::rethrow_exception(job->error);
+}
+
+void
+parallelForShared(size_t n, unsigned threads, const ThreadPool::RangeFn &fn)
+{
+    if (n == 0)
+        return;
+    if (threads == 1) {
+        fn(0, n);
+        return;
+    }
+    // threads only biases chunk sizing (the shared pool owns the
+    // workers): ~4 chunks per requested thread keeps dynamic balancing
+    // for uneven item costs instead of a static n/threads partition.
+    size_t grain =
+        threads == 0 ? 1 : std::max<size_t>(1, n / (4 * size_t{threads}));
+    ThreadPool::shared().parallelFor(n, grain, fn);
 }
 
 } // namespace mipp

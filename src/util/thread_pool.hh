@@ -66,6 +66,18 @@ class ThreadPool
     bool stop_ = false;
 };
 
+/**
+ * Run `fn(begin, end)` over [0, n) on the shared pool: serial in the
+ * caller when @p threads == 1; one index per chunk when threads == 0
+ * (full pool, finest dynamic balancing); otherwise ~4 chunks per
+ * requested thread — the pool owns the workers, so threads biases the
+ * chunking rather than hard-capping concurrency (same contract as
+ * SweepOptions::threads). Shared dispatch helper for the DSE sweep and
+ * the accuracy harness.
+ */
+void parallelForShared(size_t n, unsigned threads,
+                       const ThreadPool::RangeFn &fn);
+
 } // namespace mipp
 
 #endif // MIPP_UTIL_THREAD_POOL_HH

@@ -118,8 +118,19 @@ int
 pickWeighted(Rng &rng, const std::vector<double> &weights)
 {
     double total = 0;
-    for (double w : weights)
-        total += w;
+    int lastPositive = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        if (weights[i] > 0) {
+            total += weights[i];
+            lastPositive = static_cast<int>(i);
+        }
+    }
+    // All-zero mixes have no meaningful choice; fall back to the first
+    // class instead of silently selecting the last (which turned an
+    // all-zero pattern spec into PtrChase and an all-zero footprint spec
+    // into Unique). WorkloadSpec::validate() rejects such specs upstream.
+    if (total <= 0)
+        return 0;
     double x = rng.uniform() * total;
     double acc = 0;
     for (size_t i = 0; i < weights.size(); ++i) {
@@ -127,7 +138,9 @@ pickWeighted(Rng &rng, const std::vector<double> &weights)
         if (x < acc)
             return static_cast<int>(i);
     }
-    return static_cast<int>(weights.size()) - 1;
+    // Floating-point round-off can push x past the last bin edge; the
+    // last positively weighted class is the only correct fallback.
+    return lastPositive;
 }
 
 MemState
@@ -286,9 +299,61 @@ constexpr int8_t kScratchReg = 3;
 
 } // namespace
 
+void
+WorkloadSpec::validate() const
+{
+    auto reject = [&](const std::string &why) {
+        throw std::invalid_argument("workload spec '" + name + "': " + why);
+    };
+
+    const double mixFracs[] = {fLoad, fStore, fIntAlu, fIntMul, fIntDiv,
+                               fFpAlu, fFpMul, fFpDiv, fBranch, fMove};
+    double mixSum = 0;
+    for (double f : mixFracs) {
+        if (f < 0)
+            reject("negative instruction-mix fraction");
+        mixSum += f;
+    }
+    if (mixSum <= 0)
+        reject("instruction mix is all zero");
+
+    const double patterns[] = {wStride1, wStride2, wRandom, wPtrChase};
+    const double footprints[] = {wL1, wL2, wL3, wDram, wUnique};
+    double patSum = 0, fpSum = 0;
+    for (double w : patterns) {
+        if (w < 0)
+            reject("negative access-pattern weight");
+        patSum += w;
+    }
+    for (double w : footprints) {
+        if (w < 0)
+            reject("negative footprint weight");
+        fpSum += w;
+    }
+    // Memory ops exist whenever loads/stores are in the mix or compute
+    // ops can fuse a memory read; only then do the memory mixes matter.
+    if (fLoad > 0 || fStore > 0 || loadOpFusion > 0) {
+        if (patSum <= 0)
+            reject("access-pattern weights are all zero");
+        if (fpSum <= 0)
+            reject("footprint weights are all zero");
+    }
+
+    if (loopBodyInsts < 1)
+        reject("loop body must contain at least one instruction");
+    if (loadOpFusion < 0 || loadOpFusion > 1 || branchRandomFrac < 0 ||
+        branchRandomFrac > 1 || branchTakenProb < 0 || branchTakenProb > 1 ||
+        serialChainFrac < 0 || serialChainFrac > 1 || depLocality < 0 ||
+        depLocality > 1)
+        reject("probability out of [0,1]");
+    if (strideBytes == 0)
+        reject("strideBytes must be non-zero");
+}
+
 Trace
 generateWorkload(const WorkloadSpec &spec, size_t nUops)
 {
+    spec.validate();
     Rng rng(spec.seed);
     Body body = buildBody(spec, rng);
 

@@ -102,6 +102,16 @@ struct WorkloadSpec {
     double branchTakenProb = 0.5;
     /** Period of periodic (predictable) branches. */
     int branchPeriod = 4;
+
+    /**
+     * Reject degenerate specs with a std::invalid_argument: negative
+     * weights or fractions, an empty instruction mix, a loop body of
+     * zero instructions, or — when the spec can emit memory ops — an
+     * all-zero pattern or footprint mix (which would otherwise silently
+     * collapse every memory op into one class). Called by
+     * generateWorkload().
+     */
+    void validate() const;
 };
 
 /** Generate @p nUops micro-ops for @p spec. Deterministic in spec.seed. */

@@ -222,6 +222,60 @@ TEST_F(HierarchyTest, WritebacksHappenOnDirtyEvictions)
     EXPECT_GT(mem.stats().writebacks, 0u);
 }
 
+TEST(Cache, ZeroAssociativityClampedToOneWay)
+{
+    // associativity == 0 used to underflow the LRU way index.
+    Cache c(CacheConfig{16 * kLineSize, 0, 1});
+    EXPECT_FALSE(c.lookup(7));
+    c.insert(7, false);
+    EXPECT_TRUE(c.peek(7));
+    // Direct-mapped after the clamp: a conflicting line evicts.
+    auto victim = c.insert(7 + 16, false);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->line, 7u);
+}
+
+TEST(Cache, NormalizedClampsDegenerateConfigs)
+{
+    CacheConfig broken{0, 0, 1};
+    CacheConfig fixed = broken.normalized();
+    EXPECT_EQ(fixed.associativity, 1u);
+    EXPECT_GE(fixed.sizeBytes, kLineSize);
+    EXPECT_GE(fixed.numSets(), 1u);
+    // Already-sane configs pass through untouched.
+    CacheConfig sane{32 * 1024, 8, 4};
+    CacheConfig same = sane.normalized();
+    EXPECT_EQ(same.sizeBytes, sane.sizeBytes);
+    EXPECT_EQ(same.associativity, sane.associativity);
+}
+
+TEST(Cache, MarkDirtyReportsResidency)
+{
+    Cache c(tinyCache(8, 2, 1));
+    EXPECT_FALSE(c.markDirty(3)) << "absent line cannot absorb dirty data";
+    c.insert(3, false);
+    EXPECT_TRUE(c.markDirty(3));
+}
+
+TEST(Cache, InvalidateReportsDirtyLoss)
+{
+    Cache c(tinyCache(8, 2, 1));
+    c.insert(3, true);
+    c.insert(4, false);
+    EXPECT_TRUE(c.invalidate(3)) << "dirty copy was dropped";
+    EXPECT_FALSE(c.invalidate(4));
+    EXPECT_FALSE(c.invalidate(99));
+}
+
+TEST(Cache, ResidentLinesEnumeratesValidWays)
+{
+    Cache c(tinyCache(8, 2, 1));
+    c.insert(1, false);
+    c.insert(2, false);
+    auto lines = c.residentLines();
+    EXPECT_EQ(lines.size(), 2u);
+}
+
 TEST_F(HierarchyTest, StatsAccessesAddUp)
 {
     MemoryHierarchy mem(cfg);
@@ -233,6 +287,195 @@ TEST_F(HierarchyTest, StatsAccessesAddUp)
     // Every L1D miss must show up as an L2 access.
     EXPECT_EQ(s.l2.loadAccesses + s.l2.storeAccesses,
               s.l1d.loadMisses + s.l1d.storeMisses);
+}
+
+/** The per-level access chain must hold with the prefetcher active: the
+ *  intercept path used to count an L2 miss without ever probing the L3,
+ *  and prefetch DRAM fetches went unaccounted. */
+TEST_F(HierarchyTest, PrefetchPathKeepsLevelStatsConsistent)
+{
+    cfg.prefetcherEnabled = true;
+    MemoryHierarchy mem(cfg);
+    uint64_t t = 0;
+    // Mix of strided streams (various gaps: installed and intercepted
+    // prefetches), random loads and stores.
+    for (uint64_t i = 0; i < 200; ++i) {
+        mem.access(0x800000 + i * kLineSize, 0x400100, AccessKind::Load, t);
+        mem.access(0x900000 + i * 2 * kLineSize, 0x400108,
+                   AccessKind::Load, t + 10);
+        mem.access(0xA00000 + (i * 7919 % 512) * kLineSize, 0x400110,
+                   i % 4 ? AccessKind::Load : AccessKind::Store, t + 20);
+        t += i % 3 ? 100 : 500;
+    }
+    const auto &s = mem.stats();
+    ASSERT_GT(s.prefetchesIssued, 0u);
+    ASSERT_GT(s.prefetchHits, 0u);
+    EXPECT_EQ(s.l2.accesses(), s.l1d.misses() + s.l1i.misses());
+    EXPECT_EQ(s.l3.accesses(), s.l2.misses());
+    EXPECT_EQ(s.dramAccesses, s.l3.misses() + s.prefetchesIssued);
+    EXPECT_EQ(s.coldLoadMisses + s.capacityLoadMisses, s.l3.loadMisses);
+}
+
+TEST_F(HierarchyTest, CompletedPrefetchesAreInstalledIntoL2)
+{
+    cfg.prefetcherEnabled = true;
+    MemoryHierarchy mem(cfg);
+    uint64_t pc = 0x400100;
+    uint64_t t = 0;
+    uint64_t l2PrefetchHits = 0;
+    // Gaps far beyond the memory latency: every prefetch completes and
+    // must be *installed*, turning the next access into a plain L2 hit.
+    for (uint64_t i = 0; i < 32; ++i) {
+        auto r = mem.access(0x800000 + i * kLineSize, pc,
+                            AccessKind::Load, t);
+        t += 1000;
+        if (r.level == HitLevel::L2 && r.prefetched) {
+            l2PrefetchHits++;
+            EXPECT_EQ(r.latency, cfg.l1d.latency + cfg.l2.latency);
+        }
+    }
+    EXPECT_GT(mem.stats().prefetchesInstalled, 10u);
+    EXPECT_GT(l2PrefetchHits, 10u);
+    EXPECT_EQ(mem.stats().prefetchHits, l2PrefetchHits);
+}
+
+TEST_F(HierarchyTest, InFlightPrefetchInterceptHidesPartOfTheLatency)
+{
+    cfg.prefetcherEnabled = true;
+    MemoryHierarchy mem(cfg);
+    uint64_t pc = 0x400100;
+    uint64_t t = 0;
+    uint64_t intercepts = 0;
+    // Gaps shorter than the memory latency: prefetches are still in
+    // flight when the demand access arrives.
+    for (uint64_t i = 0; i < 32; ++i) {
+        auto r = mem.access(0x800000 + i * kLineSize, pc,
+                            AccessKind::Load, t);
+        t += 100;
+        if (r.prefetched && r.latency > cfg.l1d.latency + cfg.l2.latency) {
+            intercepts++;
+            // Partially hidden, but never worse than a full miss.
+            EXPECT_LE(r.latency,
+                      cfg.l1d.latency + cfg.memLatency +
+                          10 * cfg.busTransferCycles);
+        }
+    }
+    EXPECT_GT(intercepts, 10u);
+}
+
+TEST_F(HierarchyTest, PrefetcherSkipsResidentTargets)
+{
+    cfg.prefetcherEnabled = true;
+    MemoryHierarchy mem(cfg);
+    uint64_t pc = 0x400100;
+    // Warm the would-be prefetch target into the hierarchy (incl. L1D).
+    mem.access(0x900000 + 3 * kLineSize, 1, AccessKind::Load, 0);
+    // Train a stride whose next target is exactly that resident line:
+    // confidence is reached on the third access, and the target must be
+    // recognized as resident and skipped.
+    mem.access(0x900000, pc, AccessKind::Load, 1000);
+    mem.access(0x900000 + kLineSize, pc, AccessKind::Load, 1500);
+    mem.access(0x900000 + 2 * kLineSize, pc, AccessKind::Load, 2000);
+    EXPECT_EQ(mem.stats().prefetchesIssued, 0u);
+}
+
+TEST_F(HierarchyTest, ZeroEntryPrefetcherIsInert)
+{
+    // prefetcherEntries == 0 used to erase(end()) on the first trained
+    // miss (the stride table's LRU scan over an empty map).
+    cfg.prefetcherEnabled = true;
+    cfg.prefetcherEntries = 0;
+    MemoryHierarchy mem(cfg);
+    for (uint64_t i = 0; i < 16; ++i)
+        mem.access(0x800000 + i * kLineSize, 0x400100, AccessKind::Load,
+                   i * 400);
+    EXPECT_EQ(mem.stats().prefetchesIssued, 0u);
+}
+
+/** Inclusion: after arbitrary demand + prefetch traffic, every line
+ *  resident in an inner cache is resident in the L3. */
+TEST_F(HierarchyTest, InclusionInvariantHoldsUnderArbitraryTraffic)
+{
+    cfg.prefetcherEnabled = true;
+    MemoryHierarchy mem(cfg);
+    uint64_t t = 0;
+    for (uint64_t i = 0; i < 500; ++i) {
+        AccessKind kind = i % 5 == 0 ? AccessKind::Store :
+                          i % 7 == 0 ? AccessKind::Ifetch :
+                                       AccessKind::Load;
+        uint64_t addr = i % 2 ? 0x800000 + i * kLineSize
+                              : 0xC00000 + (i * 31 % 200) * kLineSize;
+        mem.access(addr, 0x400000 + (i % 16) * 8, kind, t);
+        t += 50 + (i % 9) * 100;
+    }
+    for (uint64_t line : mem.l1d().residentLines())
+        EXPECT_TRUE(mem.l3().peek(line)) << "L1D line " << line;
+    for (uint64_t line : mem.l1i().residentLines())
+        EXPECT_TRUE(mem.l3().peek(line)) << "L1I line " << line;
+    for (uint64_t line : mem.l2().residentLines())
+        EXPECT_TRUE(mem.l3().peek(line)) << "L2 line " << line;
+}
+
+/** A dirty L1 victim whose line was meanwhile evicted from the L2 must
+ *  land in the L3 (and eventually write back), not vanish. */
+TEST(HierarchyWriteback, DirtyL1VictimSurvivesL2Eviction)
+{
+    CoreConfig cfg = CoreConfig::nehalemReference();
+    cfg.l1d = tinyCache(64, 2, 4);   // 32 sets
+    cfg.l1i = tinyCache(64, 2, 3);
+    cfg.l2 = tinyCache(16, 4, 11);   // 4 sets: easy to conflict
+    cfg.l3 = tinyCache(128, 8, 30);  // 16 sets: X stays resident
+    MemoryHierarchy mem(cfg);
+
+    // Dirty line 0 (L1D set 0, L2 set 0, L3 set 0).
+    mem.access(0, 1, AccessKind::Store, 0);
+    // Evict line 0 from the L2 only: lines 4/8/12/16 share L2 set 0 but
+    // land in different L1D sets, and spread over L3 sets.
+    for (uint64_t l : {4, 8, 12, 16})
+        mem.access(l * kLineSize, 1, AccessKind::Load, 1000 * l);
+    ASSERT_FALSE(mem.l2().peek(0));
+    ASSERT_TRUE(mem.l1d().peek(0));
+    ASSERT_TRUE(mem.l3().peek(0));
+
+    // Evict line 0 from L1D (lines 32 and 64 share L1D set 0): its
+    // dirty data must fall back into the L3.
+    mem.access(32 * kLineSize, 1, AccessKind::Load, 100000);
+    mem.access(64 * kLineSize, 1, AccessKind::Load, 101000);
+    ASSERT_FALSE(mem.l1d().peek(0));
+    uint64_t before = mem.stats().writebacks;
+
+    // Push line 0 out of the L3: the writeback must happen now.
+    for (uint64_t l : {80, 96, 112, 128, 144, 160, 176, 192, 208})
+        mem.access(l * kLineSize, 1, AccessKind::Load, 200000 + l * 1000);
+    ASSERT_FALSE(mem.l3().peek(0));
+    EXPECT_GT(mem.stats().writebacks, before)
+        << "dirty line 0 was silently dropped";
+}
+
+/** Back-invalidating an inner dirty copy on an L3 eviction must write
+ *  the data back, not drop it. */
+TEST(HierarchyWriteback, BackInvalidationWritesBackDirtyInnerCopy)
+{
+    CoreConfig cfg = CoreConfig::nehalemReference();
+    cfg.l1d = tinyCache(64, 2, 4);  // 32 sets
+    cfg.l1i = tinyCache(64, 2, 3);
+    cfg.l2 = tinyCache(256, 8, 11); // large: no interference
+    cfg.l3 = tinyCache(16, 4, 30);  // 4 sets: easy to conflict
+    MemoryHierarchy mem(cfg);
+
+    // Dirty line 0 in L1D only (L2/L3 copies stay clean).
+    mem.access(0, 1, AccessKind::Store, 0);
+    ASSERT_EQ(mem.stats().writebacks, 0u);
+
+    // Evict line 0 from the L3: lines 4/8/12/16 share L3 set 0, but
+    // none of them evicts line 0 from L1D (different L1D sets).
+    for (uint64_t l : {4, 8, 12, 16})
+        mem.access(l * kLineSize, 1, AccessKind::Load, 1000 * l);
+
+    EXPECT_FALSE(mem.l3().peek(0));
+    EXPECT_FALSE(mem.l1d().peek(0)) << "inclusion requires invalidation";
+    EXPECT_GE(mem.stats().writebacks, 1u)
+        << "dirty L1D copy dropped on back-invalidation";
 }
 
 } // namespace

@@ -203,6 +203,66 @@ TEST(WorkloadSuite, PhasedSuiteGenerates)
     }
 }
 
+TEST(WorkloadValidation, AllZeroPatternMixRejected)
+{
+    // Pre-validate() behaviour: pickWeighted returned the *last* index
+    // for an all-zero mix, silently turning every memory op into a
+    // pointer chase.
+    WorkloadSpec spec;
+    spec.wStride1 = 0; spec.wStride2 = 0; spec.wRandom = 0;
+    spec.wPtrChase = 0;
+    EXPECT_THROW(generateWorkload(spec, 1000), std::invalid_argument);
+}
+
+TEST(WorkloadValidation, AllZeroFootprintMixRejected)
+{
+    // ... and an all-zero footprint mix into Unique (pure cold misses).
+    WorkloadSpec spec;
+    spec.wL1 = 0; spec.wL2 = 0; spec.wL3 = 0; spec.wDram = 0;
+    spec.wUnique = 0;
+    EXPECT_THROW(generateWorkload(spec, 1000), std::invalid_argument);
+}
+
+TEST(WorkloadValidation, NegativeWeightsAndEmptyMixRejected)
+{
+    WorkloadSpec neg;
+    neg.wL1 = -0.5;
+    EXPECT_THROW(neg.validate(), std::invalid_argument);
+
+    WorkloadSpec empty;
+    empty.fLoad = empty.fStore = empty.fIntAlu = empty.fIntMul = 0;
+    empty.fIntDiv = empty.fFpAlu = empty.fFpMul = empty.fFpDiv = 0;
+    empty.fBranch = empty.fMove = 0;
+    EXPECT_THROW(empty.validate(), std::invalid_argument);
+
+    WorkloadSpec zeroBody;
+    zeroBody.loopBodyInsts = 0;
+    EXPECT_THROW(zeroBody.validate(), std::invalid_argument);
+}
+
+TEST(WorkloadValidation, ComputeOnlySpecIgnoresMemoryMixes)
+{
+    // No loads, stores or fused reads: the memory mixes are dead and an
+    // all-zero value must not be rejected.
+    WorkloadSpec spec;
+    spec.fLoad = 0; spec.fStore = 0; spec.loadOpFusion = 0;
+    spec.fIntAlu = 1.0;
+    spec.wStride1 = 0; spec.wStride2 = 0; spec.wRandom = 0;
+    spec.wPtrChase = 0;
+    EXPECT_NO_THROW(spec.validate());
+    Trace t = generateWorkload(spec, 5000);
+    EXPECT_GE(t.size(), 5000u);
+}
+
+TEST(WorkloadValidation, EntireSuiteValidates)
+{
+    for (const auto &s : workloadSuite())
+        EXPECT_NO_THROW(s.validate()) << s.name;
+    for (const auto &p : phasedSuite())
+        for (const auto &[seg, uops] : p.segments)
+            EXPECT_NO_THROW(seg.validate()) << p.name;
+}
+
 /** Every suite workload generates a valid trace with sane properties. */
 class SuiteProperty : public ::testing::TestWithParam<WorkloadSpec>
 {
