@@ -1,15 +1,25 @@
 #!/usr/bin/env bash
-# Run the google-benchmark binaries (bench_speedup + bench_dse_sweep) and
-# emit BENCH_speedup.json (benchmark -> ns/op, items/s) for the
-# performance trajectory. A "baseline" block already present in the
-# output file (e.g. the pre-optimization numbers) is preserved across
-# runs.
+# Run the google-benchmark binaries and emit BENCH_speedup.json
+# (benchmark -> ns/op, items/s) for the performance trajectory. A
+# "baseline" block already present in the output file (e.g. the
+# pre-optimization numbers) is preserved across runs.
+#
+# The binary list is DERIVED from bench/*.cc, not hardcoded: every
+# source including <benchmark/benchmark.h> is a google-benchmark binary
+# and is run with the benchmark protocol; every other bench_* source
+# (the bench_fig* / bench_tab* figure generators) must at least exist as
+# a built executable. A new bench source that fails to build, or a
+# google-benchmark binary someone forgets to wire up, fails the run
+# instead of being silently skipped.
 #
 # Usage: bench/run_benchmarks.sh [--smoke] [build-dir] [output-json]
 #   --smoke   one repetition with a short min-time, for CI plumbing
-#             checks. Numbers are noisy, so smoke runs never write the
-#             JSON — the recorded trajectory only ever holds the full
-#             5-repetition protocol.
+#             checks (this is the same path the build-and-test CI job
+#             runs — there is deliberately no separate filtered
+#             invocation). Numbers are noisy, so smoke runs write
+#             bench_smoke.json (or the given output path) and never
+#             touch BENCH_speedup.json — the recorded trajectory only
+#             ever holds the full 5-repetition protocol.
 set -euo pipefail
 
 SMOKE=0
@@ -21,7 +31,49 @@ for a in "$@"; do
     esac
 done
 BUILD_DIR="${ARGS[0]:-build}"
-OUT="${ARGS[1]:-BENCH_speedup.json}"
+if [[ "$SMOKE" == 1 ]]; then
+    OUT="${ARGS[1]:-bench_smoke.json}"
+    if [[ "$(basename "$OUT")" == "BENCH_speedup.json" ]]; then
+        echo "error: smoke runs must not write BENCH_speedup.json" >&2
+        echo "(the trajectory only records the full protocol)" >&2
+        exit 1
+    fi
+else
+    OUT="${ARGS[1]:-BENCH_speedup.json}"
+fi
+
+BENCH_SRC_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+
+# Derive the binary lists from the sources.
+GBENCH_BINS=()
+PLAIN_BINS=()
+for src in "$BENCH_SRC_DIR"/bench_*.cc; do
+    name="$(basename "$src" .cc)"
+    if grep -q '#include <benchmark/benchmark.h>' "$src"; then
+        GBENCH_BINS+=("$name")
+    else
+        PLAIN_BINS+=("$name")
+    fi
+done
+if [[ ${#GBENCH_BINS[@]} -eq 0 ]]; then
+    echo "error: no google-benchmark sources found in $BENCH_SRC_DIR" >&2
+    exit 1
+fi
+
+# Every derived binary must have been built: a bench source that vanishes
+# from the build is a rotten CMake glob, not an ignorable detail.
+MISSING=()
+for bin in ${GBENCH_BINS[@]+"${GBENCH_BINS[@]}"} \
+           ${PLAIN_BINS[@]+"${PLAIN_BINS[@]}"}; do
+    [[ -x "$BUILD_DIR/$bin" ]] || MISSING+=("$bin")
+done
+if [[ ${#MISSING[@]} -gt 0 ]]; then
+    echo "error: missing bench binaries in $BUILD_DIR:" >&2
+    printf '  %s\n' "${MISSING[@]}" >&2
+    echo "build first: cmake -B $BUILD_DIR -S . && " \
+         "cmake --build $BUILD_DIR -j" >&2
+    exit 1
+fi
 
 BENCH_FLAGS=(--benchmark_format=json)
 if [[ "$SMOKE" == 1 ]]; then
@@ -41,29 +93,30 @@ RAWS=()
 cleanup() { rm -f ${RAWS[@]+"${RAWS[@]}"}; }
 trap cleanup EXIT
 
-for bin in bench_speedup bench_dse_sweep; do
-    path="$BUILD_DIR/$bin"
-    if [[ ! -x "$path" ]]; then
-        echo "error: $path not found; build first:" >&2
-        echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
-        exit 1
-    fi
+for bin in "${GBENCH_BINS[@]}"; do
     raw="$(mktemp)"
     RAWS+=("$raw")
-    "$path" "${BENCH_FLAGS[@]}" >"$raw"
+    "$BUILD_DIR/$bin" "${BENCH_FLAGS[@]}" >"$raw"
 done
 
 if [[ "$SMOKE" == 1 ]]; then
-    python3 - "${RAWS[@]}" <<'EOF'
+    python3 - "$OUT" "${RAWS[@]}" <<'EOF'
 import json, sys
-for raw_path in sys.argv[1:]:
+out_path, raw_paths = sys.argv[1], sys.argv[2:]
+benches = {}
+for raw_path in raw_paths:
     with open(raw_path) as f:
         raw = json.load(f)
     for b in raw.get("benchmarks", []):
         if b.get("aggregate_name"):
             continue
+        benches[b["run_name"]] = {"ms_per_op": b["real_time"]}
         print(f"{b['run_name']}: {b['real_time']:.3f} ms/op")
-print("smoke run OK (no JSON written)")
+with open(out_path, "w") as f:
+    json.dump({"protocol": "smoke (1 repetition, not comparable)",
+               "benchmarks": benches}, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"smoke run OK (wrote {out_path}; trajectory JSON untouched)")
 EOF
     exit 0
 fi

@@ -52,6 +52,7 @@
 #include "sweep_flags.hh"
 #include "uarch/design_space.hh"
 #include "validate/accuracy.hh"
+#include "validate/calibrate.hh"
 #include "workloads/workload.hh"
 
 namespace {
@@ -214,14 +215,127 @@ cmdSweep(int argc, char **argv)
 }
 
 int
+cmdCalibrate(int argc, char **argv)
+{
+    CalibrationOptions copts;
+    std::string gridName = "ci";
+    std::string jsonPath;
+
+    std::vector<char *> rest;
+    for (int i = 0; i < argc; ++i) {
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", argv[i]);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        const char *v = nullptr;
+        if (!std::strcmp(argv[i], "--grid")) {
+            if (!(v = next()))
+                return 2;
+            gridName = v;
+        } else if (!std::strcmp(argv[i], "--json")) {
+            if (!(v = next()))
+                return 2;
+            jsonPath = v;
+        } else if (!std::strcmp(argv[i], "--no-phased")) {
+            copts.includePhased = false;
+        } else if (!std::strcmp(argv[i], "--no-branch-fit")) {
+            copts.fitBranch = false;
+        } else if (!std::strcmp(argv[i], "--workload")) {
+            if (!(v = next()))
+                return 2;
+            copts.workloads.push_back(v);
+        } else if (!std::strcmp(argv[i], "--rounds")) {
+            if (!(v = next()))
+                return 2;
+            copts.rounds = std::atoi(v);
+            if (copts.rounds <= 0) {
+                // atoi's silent 0 on a typo would skip the whole
+                // coefficient fit yet still print "fitted" values.
+                std::fprintf(stderr,
+                             "--rounds requires a positive integer "
+                             "(got '%s')\n", v);
+                return 2;
+            }
+        } else {
+            rest.push_back(argv[i]);
+        }
+    }
+    examples::SweepFlags flags;
+    flags.uops = copts.uops;
+    if (!flags.parse(static_cast<int>(rest.size()), rest.data(),
+                     "mipp_cli report calibrate"))
+        return 2;
+    copts.uops = flags.uops;
+    copts.threads = flags.sopts.threads;
+    copts.grid = accuracyGrid(gridName);
+
+    CalibrationReport rep = runCalibration(copts);
+
+    std::printf("calibration: %zu workloads x %zu design points "
+                "(%zu uops, grid '%s')\n",
+                rep.workloadNames.size(), rep.gridNames.size(), rep.uops,
+                gridName.c_str());
+    if (!rep.branchFits.empty()) {
+        std::printf("piecewise entropy fits "
+                    "(missRate = a*E + b + a2*max(0, E - knee)):\n");
+        for (size_t i = 0; i < rep.branchFits.size(); ++i) {
+            const BranchMissModel &m = rep.branchFits[i];
+            std::printf("  %-10s a %.4f  b %+.4f  knee %.4f  "
+                        "a2 %.4f  (r2 %.3f)\n",
+                        std::string(branchPredictorName(m.kind)).c_str(),
+                        m.slope, m.intercept, m.knee, m.kneeSlope,
+                        i < rep.branchR2.size() ? rep.branchR2[i] : 0.0);
+        }
+    }
+    std::printf("fitted coefficients (ModelCalibration::fitted()):\n"
+                "  penaltyScale %.4f  baseWindowFrac %.4f  "
+                "mlpWindowFrac %.4f\n"
+                "  shadowScale %.4f  busQueueScale %.4f  "
+                "coldInject %.4f\n",
+                rep.cal.penaltyScale, rep.cal.baseWindowFrac,
+                rep.cal.mlpWindowFrac, rep.cal.shadowScale,
+                rep.cal.busQueueScale, rep.cal.coldInject);
+    std::printf("%-8s %18s %18s\n", "metric", "before MAPE (bias)",
+                "after MAPE (bias)");
+    for (size_t k = 0; k < kNumAccuracyMetrics; ++k) {
+        auto m = static_cast<AccuracyMetric>(k);
+        std::printf("%-8s %10.2f (%+6.2f) %10.2f (%+6.2f)\n",
+                    std::string(accuracyMetricName(m)).c_str(),
+                    rep.beforeOf(m).mape, rep.beforeOf(m).meanSigned,
+                    rep.afterOf(m).mape, rep.afterOf(m).meanSigned);
+    }
+    std::printf("worst signed CPI error: before %.1f%%, after %.1f%%\n",
+                rep.beforeOf(AccuracyMetric::Cpi).minSigned,
+                rep.afterOf(AccuracyMetric::Cpi).minSigned);
+
+    if (!jsonPath.empty()) {
+        if (!writeCalibrationJson(rep, jsonPath)) {
+            std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+            return 1;
+        }
+        std::printf("report written to %s\n", jsonPath.c_str());
+    }
+    return 0;
+}
+
+int
 cmdReport(int argc, char **argv)
 {
+    if (argc >= 1 && !std::strcmp(argv[0], "calibrate"))
+        return cmdCalibrate(argc - 1, argv + 1);
     if (argc < 1 || std::strcmp(argv[0], "accuracy") != 0) {
         std::fprintf(stderr,
                      "usage: mipp_cli report accuracy [--grid "
                      "ci|default|wide] [--uops N] [--threads N] [--full] "
                      "[--no-phased] [--workload NAME]... [--json FILE] "
-                     "[--baseline FILE] [--margin PCT]\n");
+                     "[--baseline FILE] [--margin PCT]\n"
+                     "       mipp_cli report calibrate [--grid "
+                     "ci|default|wide] [--uops N] [--threads N] "
+                     "[--no-phased] [--no-branch-fit] [--rounds N] "
+                     "[--workload NAME]... [--json FILE]\n");
         return 2;
     }
 

@@ -3,10 +3,20 @@
  * Branch misprediction modeling without predictor simulation (thesis §3.5).
  *
  * Linear branch entropy E (profiled once, micro-architecture independent)
- * maps to a per-predictor miss rate through a linear fit trained offline
- * (thesis Fig 3.8/3.9): missRate = a * E + b. The branch *resolution time*
- * is computed with Michaud's leaky-bucket algorithm (thesis Alg 3.2) using
- * the average-branch-path chain length.
+ * maps to a per-predictor miss rate through a fit trained offline against
+ * simulated predictors (thesis Fig 3.8/3.9). The thesis uses a plain
+ * linear fit missRate = a * E + b; measured miss rates bend *upwards* for
+ * high-entropy mixes (predictors degrade super-linearly once history
+ * aliasing sets in), which a single line cannot capture without
+ * over-predicting the low-entropy bulk. The recalibrated fit is therefore
+ * piecewise linear with a hinge:
+ *
+ *     missRate = a * E + b + a2 * max(0, E - knee)
+ *
+ * with (a, b, a2, knee) refit per predictor by the calibration harness
+ * (validate/calibrate.cc). The branch *resolution time* is computed with
+ * Michaud's leaky-bucket algorithm (thesis Alg 3.2) using the
+ * average-branch-path chain length.
  */
 
 #ifndef MIPP_MODEL_BRANCH_MODEL_HH
@@ -19,24 +29,31 @@
 
 namespace mipp {
 
-/** Linear entropy -> miss-rate model for one predictor organization. */
+/** Piecewise-linear entropy -> miss-rate model for one predictor. */
 struct BranchMissModel {
     BranchPredictorKind kind = BranchPredictorKind::GShare;
     double slope = 0.44;
     double intercept = 0.005;
+    /** Hinge of the piecewise fit; >= 1 degenerates to the linear fit. */
+    double knee = 1.0;
+    /** Extra slope above the knee (>= 0). */
+    double kneeSlope = 0.0;
 
     /** Predicted miss rate for average entropy @p e, clamped to [0, 1]. */
     double
     missRate(double e) const
     {
         double m = slope * e + intercept;
+        if (e > knee)
+            m += kneeSlope * (e - knee);
         return m < 0 ? 0 : (m > 1 ? 1 : m);
     }
 
     /**
-     * Pre-trained coefficients per predictor kind. These were produced by
-     * the training harness in bench_fig3_9_entropy_fit over the synthetic
-     * workload suite; re-run that bench to regenerate them.
+     * Pre-trained coefficients per predictor kind, produced by the
+     * calibration harness (validate/calibrate.cc, piecewise refit over
+     * the synthetic suite against the simulated predictors); re-run
+     * `mipp_cli report calibrate` to regenerate them.
      */
     static BranchMissModel pretrained(BranchPredictorKind kind);
 };
@@ -55,7 +72,19 @@ class EntropyFitTrainer
     /** Fit y = a x + b; returns the model for @p kind. */
     BranchMissModel fit(BranchPredictorKind kind) const;
 
-    /** Coefficient of determination of the fit. */
+    /**
+     * Fit the piecewise form y = a x + b + a2 max(0, x - knee): for each
+     * candidate knee (grid over the observed entropy range) solve the
+     * two-basis least squares, keep the knee with the smallest residual.
+     * Degenerates to the linear fit when the hinge does not help (a2
+     * would be negative, or fewer than 4 points).
+     */
+    BranchMissModel fitPiecewise(BranchPredictorKind kind) const;
+
+    /** Coefficient of determination of @p m over the training points. */
+    double r2(const BranchMissModel &m) const;
+
+    /** Coefficient of determination of the plain linear fit. */
     double r2() const;
 
     size_t size() const { return xs_.size(); }

@@ -81,7 +81,8 @@ schedulePorts(const std::array<double, kNumUopTypes> &typeCounts,
 
 DispatchLimits
 dispatchLimits(const std::array<double, kNumUopTypes> &typeCounts,
-               double cp, double avgLat, const CoreConfig &cfg)
+               double cp, double avgLat, const CoreConfig &cfg,
+               double window)
 {
     DispatchLimits lim;
     lim.width = cfg.dispatchWidth;
@@ -94,9 +95,11 @@ dispatchLimits(const std::array<double, kNumUopTypes> &typeCounts,
         return lim;
     }
 
-    // (2) Dependences: ROB / (lat * CP(ROB)), Eq 3.7.
+    // (2) Dependences: W / (lat * CP(W)), Eq 3.7, at the effective
+    // instruction window (== ROB unless truncated by the caller).
+    double w = window > 0 ? window : static_cast<double>(cfg.robSize);
     lim.dependences = cp > 0 && avgLat > 0 ?
-        cfg.robSize / (avgLat * cp) : lim.width;
+        w / (avgLat * cp) : lim.width;
 
     // (3) Ports: N / busiest port.
     auto activity = schedulePorts(typeCounts, cfg);

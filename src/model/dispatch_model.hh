@@ -55,12 +55,20 @@ schedulePorts(const std::array<double, kNumUopTypes> &typeCounts,
 
 /**
  * All Eq 3.10 terms for a mix of @p typeCounts uops (summing to n) with
- * critical path length @p cp at the configured ROB and average latency
- * @p avgLat.
+ * critical path length @p cp at the effective instruction window and
+ * average latency @p avgLat.
+ *
+ * @param window  effective instruction-window size for the dependence
+ *                limit (Eq 3.7); 0 uses cfg.robSize. The recalibrated
+ *                model truncates it to the mispredict interval: a stopped
+ *                front end cannot fill the window past an unresolved
+ *                mispredicted branch, so @p cp must be the chain length
+ *                at the *same* window size.
  */
 DispatchLimits
 dispatchLimits(const std::array<double, kNumUopTypes> &typeCounts,
-               double cp, double avgLat, const CoreConfig &cfg);
+               double cp, double avgLat, const CoreConfig &cfg,
+               double window = 0);
 
 } // namespace mipp
 

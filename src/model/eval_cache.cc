@@ -54,10 +54,11 @@ mixAvgLatency(const std::array<double, kNumUopTypes> &frac,
 DispatchLimits
 ablatedLimits(const std::array<double, kNumUopTypes> &typeCounts,
               double cp, double avgLat, const CoreConfig &cfg,
-              ModelOptions::BaseLevel level)
+              ModelOptions::BaseLevel level, double window)
 {
     using Level = ModelOptions::BaseLevel;
-    DispatchLimits lim = dispatchLimits(typeCounts, cp, avgLat, cfg);
+    DispatchLimits lim = dispatchLimits(typeCounts, cp, avgLat, cfg,
+                                        window);
     switch (level) {
       case Level::Instructions:
       case Level::MicroOps:
@@ -175,19 +176,22 @@ EvalContext::windowCp(uint32_t robSize)
 
 const std::vector<DispatchLimits> &
 EvalContext::windowLimits(const CoreConfig &cfg,
-                          ModelOptions::BaseLevel level, double mrL1)
+                          ModelOptions::BaseLevel level, double mrL1,
+                          uint32_t depWindow)
 {
     // The key is the complete input material of the computation below,
-    // stored verbatim: ablation level, width, ROB, the L1D miss ratio
-    // entering the average latency, the latency-relevant cache levels,
-    // the execution-latency table, the per-port issue capabilities and
-    // the FU pools. Two configs that agree on all of it provably produce
-    // the same limits for every window.
+    // stored verbatim: ablation level, width, ROB, the truncated
+    // dependence window, the L1D miss ratio entering the average
+    // latency, the latency-relevant cache levels, the execution-latency
+    // table, the per-port issue capabilities and the FU pools. Two
+    // configs that agree on all of it provably produce the same limits
+    // for every window.
     std::vector<uint64_t> key;
-    key.reserve(14 + kNumUopTypes * 2 + cfg.ports.size());
+    key.reserve(15 + kNumUopTypes * 2 + cfg.ports.size());
     key.push_back(static_cast<uint64_t>(level));
     key.push_back(cfg.dispatchWidth);
     key.push_back(cfg.robSize);
+    key.push_back(depWindow);
     key.push_back(std::bit_cast<uint64_t>(mrL1));
     key.push_back(cfg.l1d.latency);
     key.push_back(cfg.l2.latency);
@@ -208,7 +212,9 @@ EvalContext::windowLimits(const CoreConfig &cfg,
         if (k == key)
             return v;
 
-    const std::vector<double> &cps = windowCp(cfg.robSize);
+    const uint32_t w0 = depWindow > 0 ?
+        std::min(depWindow, cfg.robSize) : cfg.robSize;
+    const std::vector<double> &cps = windowCp(w0);
     std::vector<DispatchLimits> lims;
     lims.reserve(p_.windows.size());
     for (size_t wi = 0; wi < p_.windows.size(); ++wi) {
@@ -224,7 +230,8 @@ EvalContext::windowLimits(const CoreConfig &cfg,
             fracW[t] = w.uopCounts[t] / uopsW;
         }
         double latW = mixAvgLatency(fracW, cfg, mrL1);
-        lims.push_back(ablatedLimits(countsW, cps[wi], latW, cfg, level));
+        lims.push_back(
+            ablatedLimits(countsW, cps[wi], latW, cfg, level, w0));
     }
     return windowLimits_.emplace_back(std::move(key), std::move(lims))
         .second;
@@ -247,7 +254,8 @@ EvalContext::branchResolution(const CoreConfig &cfg, double avgLat,
 }
 
 const MlpEstimate &
-EvalContext::mlpEstimate(const CoreConfig &cfg, const ModelOptions &opts)
+EvalContext::mlpEstimate(const CoreConfig &cfg, const ModelOptions &opts,
+                         uint32_t windowUops)
 {
     const bool prefetchActive =
         opts.modelPrefetcher && cfg.prefetcherEnabled;
@@ -264,12 +272,16 @@ EvalContext::mlpEstimate(const CoreConfig &cfg, const ModelOptions &opts)
     key.prefetcherEntries = prefetchActive ? cfg.prefetcherEntries : 0;
     key.width = prefetchActive ? cfg.dispatchWidth : 0;
     key.memLatency = prefetchActive ? cfg.memLatency : 0;
+    key.windowUops = windowUops;
+    key.coldInjectBits = std::bit_cast<uint64_t>(opts.cal.coldInject);
 
     for (auto &[k, v] : mlps_)
         if (k == key)
             return v;
 
     MlpOptions mo{opts.modelMshrs, opts.modelPrefetcher};
+    mo.windowUops = windowUops;
+    mo.coldInject = opts.cal.coldInject;
     MlpEstimate est;
     switch (opts.mlpMode) {
       case ModelOptions::MlpMode::ColdMiss:

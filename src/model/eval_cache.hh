@@ -76,10 +76,12 @@ double mixAvgLatency(const std::array<double, kNumUopTypes> &frac,
                      const CoreConfig &cfg, double mrL1);
 
 /** Dispatch limits honoring the base-component ablation level
- *  (thesis Fig 3.7). */
+ *  (thesis Fig 3.7). @p window truncates the dependence-limit window
+ *  (0 = cfg.robSize); @p cp must be the chain length at that window. */
 DispatchLimits ablatedLimits(
     const std::array<double, kNumUopTypes> &typeCounts, double cp,
-    double avgLat, const CoreConfig &cfg, ModelOptions::BaseLevel level);
+    double avgLat, const CoreConfig &cfg, ModelOptions::BaseLevel level,
+    double window = 0);
 
 /** Memoized per-workload evaluation state (see file comment). */
 class EvalContext
@@ -137,7 +139,7 @@ class EvalContext
      */
     const std::vector<DispatchLimits> &
     windowLimits(const CoreConfig &cfg, ModelOptions::BaseLevel level,
-                 double mrL1);
+                 double mrL1, uint32_t depWindow);
 
     /** Memoized branchResolutionTime (thesis Alg 3.2). */
     double branchResolution(const CoreConfig &cfg, double avgLat,
@@ -147,10 +149,12 @@ class EvalContext
      * Memoized MLP estimate (thesis Ch. 4). The key covers exactly the
      * configuration fields the selected MLP model reads, so e.g. a
      * pipeline-width sweep with the prefetcher disabled hits a single
-     * entry.
+     * entry. @p windowUops is the mispredict-interval-truncated overlap
+     * window (0 = full ROB; ModelCalibration::mlpWindowFrac).
      */
     const MlpEstimate &mlpEstimate(const CoreConfig &cfg,
-                                   const ModelOptions &opts);
+                                   const ModelOptions &opts,
+                                   uint32_t windowUops);
 
   private:
     struct RatioEntry {
@@ -177,6 +181,10 @@ class EvalContext
         /** Zero unless the prefetcher path is active (the only reader
          *  of width / memLatency / table size in the MLP models). */
         uint32_t prefetcherEntries, width, memLatency;
+        /** Truncated overlap window (0 = full ROB) and the cold-miss
+         *  shortfall injection fraction (bit pattern). */
+        uint32_t windowUops;
+        uint64_t coldInjectBits;
         bool operator==(const MlpKey &) const = default;
     };
 

@@ -37,6 +37,9 @@ struct Scratch {
     double prefetchFactor = 1.0;
     const MlpEstimate *mlpEst = nullptr;
     size_t ri = 0;
+    /** Mispredict-interval-truncated window (== robSize uncalibrated):
+     *  bounds the work available to drain in any stall shadow. */
+    double window = 0;
 
     Scratch(EvalContext &ec, const CoreConfig &config,
             const ModelOptions &options)
@@ -56,21 +59,36 @@ struct Scratch {
     }
 
     /**
-     * Visible per-miss branch penalty. When the back end is contention
-     * limited (Deff < D), the front end runs ahead and buffers work that
-     * keeps draining during branch resolution, hiding part of the
-     * penalty: the slack is the extra time the buffered half-ROB takes to
-     * drain at Deff compared to D.
+     * Visible per-miss branch penalty. The naive penalty is the
+     * resolution time plus the front-end refill; two mechanisms hide
+     * part of it, both charged elsewhere by the simulator's
+     * one-component-per-cycle attribution:
+     *  - resolution overlapping older long-latency work is charged to
+     *    that work (cal.penaltyScale < 1);
+     *  - when the back end is contention limited (Deff < D) the front
+     *    end runs ahead and buffers work that keeps draining during
+     *    resolution — the slack is the extra time the buffered
+     *    half-ROB takes to drain at Deff compared to D.
      */
     double
     visibleBranchPenalty(double deff) const
     {
-        double full = cres + cfg.frontendDepth;
+        double full = opts.cal.penaltyScale * (cres + cfg.frontendDepth);
         double d = cfg.dispatchWidth;
         if (deff >= d)
             return full;
-        double slack = (cfg.robSize / 2.0) * (1.0 / deff - 1.0 / d);
-        return std::max(0.0, full - slack);
+        // The drainable in-flight work at a mispredict is bounded by the
+        // truncated window: the front end never filled past the previous
+        // mispredicted branch. Under truncation the penalty is floored
+        // (mirroring the DRAM path's floor): a collapsing Deff at tiny
+        // windows would otherwise zero the penalty and make the branch
+        // component non-monotone in the miss rate, and the refetch
+        // pipeline delay after resolution always stalls dispatch for a
+        // little while anyway. With truncation off (uncalibrated), the
+        // floor is off too, recovering the thesis formulation exactly.
+        double slack = (window / 2.0) * (1.0 / deff - 1.0 / d);
+        double floor = opts.cal.baseWindowFrac > 0 ? 0.2 * full : 0.0;
+        return std::max(full - slack, floor);
     }
 
     /**
@@ -78,6 +96,10 @@ struct Scratch {
      * window keeps executing; when execution is contention limited
      * (Deff < D) that shadow hides more of the miss than the balanced
      * interval assumption, so subtract the extra drain time.
+     * cal.shadowScale scales the subtraction: in bandwidth-limited
+     * windows the work in the shadow is itself memory-bound, so only a
+     * fraction of the nominal slack is really hidden (the rest of the
+     * "shadow" is just the next miss's latency).
      */
     double
     dramLatencyPerMiss(const DispatchLimits &lim) const
@@ -90,7 +112,8 @@ struct Scratch {
         double d = cfg.dispatchWidth;
         if (deffC >= d)
             return full;
-        double slack = cfg.robSize * (1.0 / deffC - 1.0 / d);
+        double slack = opts.cal.shadowScale * window *
+                       (1.0 / deffC - 1.0 / d);
         return std::max(full - slack, 0.2 * full);
     }
 
@@ -126,10 +149,29 @@ struct Scratch {
 DispatchLimits
 limitsFor(const Scratch &ctx,
           const std::array<double, kNumUopTypes> &typeCounts, double cp,
-          double avgLat)
+          double avgLat, double window)
 {
     return ablatedLimits(typeCounts, cp, avgLat, ctx.cfg,
-                         ctx.opts.baseLevel);
+                         ctx.opts.baseLevel, window);
+}
+
+/**
+ * Mispredict-interval-truncated instruction window (recalibration): the
+ * front end stops at a mispredicted branch, so on average the window
+ * holds min(ROB, frac * N_i) uops, N_i being the predicted interval
+ * between mispredicts. Quantized to whole uops so the memoized
+ * per-window computations key on a small set of values; floor of 16
+ * matches the smallest profiled chain size.
+ */
+uint32_t
+truncatedWindow(double frac, double uopsPerMispredict, uint32_t rob)
+{
+    if (frac <= 0 || uopsPerMispredict <= 0)
+        return rob;
+    double w = frac * uopsPerMispredict;
+    if (w >= rob)
+        return rob;
+    return static_cast<uint32_t>(std::max(w, 16.0));
 }
 
 } // namespace
@@ -175,7 +217,7 @@ evaluateModel(EvalContext &ec, const CoreConfig &cfg,
     res.uops = ctx.totalUops;
     res.instructions = ctx.totalInsts;
 
-    // --- Global mix / latency / dispatch limits ----------------------------
+    // --- Global mix / latency ----------------------------------------------
     std::array<double, kNumUopTypes> globalFrac{};
     std::array<double, kNumUopTypes> globalCounts{};
     for (int t = 0; t < kNumUopTypes; ++t) {
@@ -184,22 +226,32 @@ evaluateModel(EvalContext &ec, const CoreConfig &cfg,
     }
     const double avgLat = ctx.avgLatency(globalFrac);
     res.avgLatency = avgLat;
-    const double cpGlobal = p.chains.cp(cfg.robSize);
-    res.limits = limitsFor(ctx, globalCounts, cpGlobal, avgLat);
-    res.deff = res.limits.effective();
 
-    // --- Branch component (thesis §3.5) ------------------------------------
+    // --- Branch misses first (thesis §3.5): the predicted mispredict
+    // interval truncates the instruction window for both the dependence
+    // limit and the MLP overlap walk (recalibration). ---------------------
     res.branchMissRate = ctx.bm.missRate(p.branch.entropy());
     const double branches = static_cast<double>(p.branch.branches);
     res.branchMisses = res.branchMissRate * branches;
-    if (res.branchMisses > 0.5) {
-        ctx.cres = ec.branchResolution(
-            cfg, avgLat, ctx.totalUops / res.branchMisses);
-    }
+    const double uopsPerMiss = res.branchMisses > 0.5 ?
+        ctx.totalUops / res.branchMisses : 0;
+    const uint32_t depWindow = truncatedWindow(
+        opts.cal.baseWindowFrac, uopsPerMiss, cfg.robSize);
+    const uint32_t mlpWindow = truncatedWindow(
+        opts.cal.mlpWindowFrac, uopsPerMiss, cfg.robSize);
+    ctx.window = depWindow;
+
+    // --- Dispatch limits (Eq 3.10) at the truncated window -----------------
+    const double cpGlobal = p.chains.cp(depWindow);
+    res.limits = limitsFor(ctx, globalCounts, cpGlobal, avgLat, depWindow);
+    res.deff = res.limits.effective();
+
+    if (res.branchMisses > 0.5)
+        ctx.cres = ec.branchResolution(cfg, avgLat, uopsPerMiss);
     res.branchResolution = ctx.cres;
 
     // --- MLP (thesis Ch. 4) -------------------------------------------------
-    ctx.mlpEst = &ec.mlpEstimate(cfg, opts);
+    ctx.mlpEst = &ec.mlpEstimate(cfg, opts, mlpWindow);
     ctx.mlp = ctx.mlpEst->mlp;
     ctx.prefetchFactor = ctx.mlpEst->dramMisses > 0 ?
         ctx.mlpEst->latWeighted / ctx.mlpEst->dramMisses : 1.0;
@@ -212,10 +264,20 @@ evaluateModel(EvalContext &ec, const CoreConfig &cfg,
 
     const double llcLoadMisses = res.loadMissesL3;
     const double llcStoreMisses = res.storeMissesL3;
-    ctx.cbus = opts.modelBus ?
-        busCycles(busMlp(ctx.mlp, llcLoadMisses, llcStoreMisses),
-                  cfg.busTransferCycles) :
-        cfg.busTransferCycles;
+    if (opts.modelBus) {
+        // Thesis Eq 4.5 queueing, with the *excess* over the single
+        // transfer scaled by cal.busQueueScale: measured bus waits grow
+        // slower with MLP' than the (MLP'+1)/2 arrival model because
+        // transfers pipeline behind the leading access.
+        double naive = busCycles(
+            busMlp(ctx.mlp, llcLoadMisses, llcStoreMisses),
+            cfg.busTransferCycles);
+        ctx.cbus = cfg.busTransferCycles +
+                   opts.cal.busQueueScale *
+                       (naive - cfg.busTransferCycles);
+    } else {
+        ctx.cbus = cfg.busTransferCycles;
+    }
     res.busCyclesPerMiss = ctx.cbus;
 
     // --- I-cache component ---------------------------------------------------
@@ -244,7 +306,7 @@ evaluateModel(EvalContext &ec, const CoreConfig &cfg,
         double eNorm = eMean > 1e-9 ? p.branch.entropy() / eMean : 1.0;
 
         const std::vector<DispatchLimits> &limWindows =
-            ec.windowLimits(cfg, opts.baseLevel, ctx.mrL1);
+            ec.windowLimits(cfg, opts.baseLevel, ctx.mrL1, depWindow);
 
         CpiStack stack;
         double profiledCycles = 0, profiledUops = 0;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "model/branch_model.hh"
+#include "model/calibration.hh"
 #include "model/dispatch_model.hh"
 #include "model/mlp_model.hh"
 #include "profiler/profile.hh"
@@ -60,6 +61,11 @@ struct ModelOptions {
     /** Entropy->missrate fit; defaults to the pretrained fit for the
      *  configured predictor. */
     std::optional<BranchMissModel> branchModel;
+
+    /** Recalibration coefficients (model/calibration.hh); defaults to
+     *  the fitted values, ModelCalibration::uncalibrated() recovers the
+     *  plain thesis formulation. */
+    ModelCalibration cal = ModelCalibration::fitted();
 };
 
 /** Full model output for one (profile, configuration) pair. */

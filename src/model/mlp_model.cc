@@ -40,7 +40,9 @@ coldMissMlp(const Profile &p, const CoreConfig &cfg, const StatStack &ss,
             const MlpOptions &opt)
 {
     MlpEstimate est;
-    const size_t ri = p.robIndex(cfg.robSize);
+    const uint32_t window = opt.windowUops > 0 ?
+        std::min(opt.windowUops, cfg.robSize) : cfg.robSize;
+    const size_t ri = p.robIndex(window);
 
     const double llcLines = cfg.l3.numLines();
     const double mrLlc = ss.missRatio(p.reuseLoads, llcLines);
@@ -55,9 +57,9 @@ coldMissMlp(const Profile &p, const CoreConfig &cfg, const StatStack &ss,
     if (misses <= 0)
         return est;
 
-    // Average loads per ROB window.
+    // Average loads per effective instruction window.
     const double loadFrac = p.uopFraction(UopType::Load);
-    const double loadsPerRob = loadFrac * cfg.robSize;
+    const double loadsPerRob = loadFrac * window;
     const double coldPerDirtyRob = p.cold.coldPerDirtyWindow(ri);
 
     // Independence via the inter-load dependence distribution f(l):
@@ -118,6 +120,10 @@ strideMlp(const Profile &p, const CoreConfig &cfg, const StatStack &ss,
     const double mrLlcGlobal = ss.missRatio(p.reuseLoads, llcLines);
     const double mtSize = static_cast<double>(p.sampling.microTraceSize);
     const bool prefetch = opt.modelPrefetcher && cfg.prefetcherEnabled;
+    // Overlap window: the ROB, truncated to the mispredict interval when
+    // the caller models the front-end stop at mispredicted branches.
+    const uint32_t window = opt.windowUops > 0 ?
+        std::min(opt.windowUops, cfg.robSize) : cfg.robSize;
 
     // Per-op derived model inputs.
     std::vector<OpModel> ops(p.memOps.size());
@@ -252,12 +258,13 @@ strideMlp(const Profile &p, const CoreConfig &cfg, const StatStack &ss,
                       return a.pos < b.pos;
                   });
 
-        // (3) Step ROB-sized windows over the stream.
+        // (3) Step effective-window-sized windows over the stream.
         WindowMlp wm;
+        double serialTimeW = 0;
         double maxPos = stream.back().pos + 1;
         size_t cursor = 0;
-        for (double lo = 0; lo < maxPos; lo += cfg.robSize) {
-            double hi = lo + cfg.robSize;
+        for (double lo = 0; lo < maxPos; lo += window) {
+            double hi = lo + window;
             double misses = 0, weighted = 0;
             double serialMisses = 0;   // on deep dependence chains
             double indepParallel = 0;  // parallelism of the free misses
@@ -288,15 +295,58 @@ strideMlp(const Profile &p, const CoreConfig &cfg, const StatStack &ss,
                 mlp = mshrCappedMlp(mlp, misses, cfg.mshrs);
             wm.dramMisses += misses;
             wm.latWeighted += weighted;
-            serialTime += weighted / mlp;
-            // Track a window-average MLP for reporting.
-            wm.mlp += mlp * misses;
+            serialTimeW += weighted / mlp;
         }
-        if (wm.dramMisses > 0)
-            wm.mlp /= wm.dramMisses;
+        // Per-window MLP as the latency-weighted harmonic mean over the
+        // walked sub-windows: latWeighted / mlp then reproduces the
+        // window's serialized drain time exactly (the global est.mlp has
+        // always been this quotient; the per-window value used to be an
+        // arithmetic miss-weighted mean, slightly over-weighting bursty
+        // sub-windows).
+        wm.mlp = serialTimeW > 0 ? wm.latWeighted / serialTimeW : 0;
+        serialTime += serialTimeW;
         totalMisses += wm.dramMisses;
         totalWeighted += wm.latWeighted;
         est.windows.push_back(wm);
+    }
+
+    // (4) Re-inject the marking shortfall (ModelCalibration::coldInject).
+    // Per-op error diffusion preserves totals op by op, but every op whose
+    // expected misses in the *sampled* stream stay below one whole miss
+    // contributes nothing — on low-miss-rate workloads that is the entire
+    // scattered cold/footprint population and the DRAM component collapses
+    // to zero. Re-inject the shortfall, spread over the profile windows by
+    // their profiled cold-miss counts, at the profiled cold-burst MLP
+    // (thesis §4.4), MSHR-capped like every other overlap estimate.
+    double shortfall = std::max(expTotal - totalMisses, 0.0);
+    double inject = opt.coldInject * shortfall;
+    if (inject > 1e-9 && !est.windows.empty()) {
+        double coldTotal = 0, uopsTotal = 0;
+        for (const auto &w : p.windows) {
+            coldTotal += w.coldMisses;
+            uopsTotal += w.uops();
+        }
+        const size_t ri = p.robIndex(window);
+        double burst = std::max(p.cold.coldPerDirtyWindow(ri), 1.0);
+        double mlpInj = opt.modelMshrs ?
+            mshrCappedMlp(burst, burst, cfg.mshrs) : burst;
+        for (size_t wi = 0; wi < est.windows.size(); ++wi) {
+            double share = coldTotal > 0 ?
+                p.windows[wi].coldMisses / coldTotal :
+                (uopsTotal > 0 ? p.windows[wi].uops() / uopsTotal : 0.0);
+            double add = inject * share;
+            if (add <= 0)
+                continue;
+            WindowMlp &wm = est.windows[wi];
+            double timeW = wm.mlp > 0 ? wm.latWeighted / wm.mlp : 0;
+            wm.dramMisses += add;
+            wm.latWeighted += add;   // cold misses are not prefetchable
+            timeW += add / mlpInj;
+            wm.mlp = timeW > 0 ? wm.latWeighted / timeW : 0;
+            totalMisses += add;
+            totalWeighted += add;
+            serialTime += add / mlpInj;
+        }
     }
 
     est.dramMisses = totalMisses;

@@ -55,6 +55,22 @@ struct MlpOptions {
     /** Shift the StatStack-average misses towards windows with profiled
      *  cold-miss bursts (thesis §4.4 burstiness observation). */
     bool redistributeCold = false;
+    /**
+     * Effective instruction-window size for the overlap walk; 0 uses
+     * cfg.robSize. The recalibrated model truncates it to the mispredict
+     * interval: misses separated by a mispredicted branch cannot overlap
+     * because the stopped front end never brings the second miss into
+     * the window (ModelCalibration::mlpWindowFrac).
+     */
+    uint32_t windowUops = 0;
+    /**
+     * Fraction of the marked-miss shortfall to re-inject (stride model).
+     * Per-static-op error diffusion drops expected misses that never
+     * accumulate to a whole miss per op — the scattered cold/footprint
+     * misses of low-miss workloads. The injected misses carry the
+     * profiled cold-burst MLP (ModelCalibration::coldInject).
+     */
+    double coldInject = 0.0;
 };
 
 /**

@@ -317,13 +317,14 @@ Core::dispatch()
             lsqOccupancy_++;
         iqOccupancy_++;
         rob_.push_back(e);
+        // pop_front() invalidates p; account through the ROB copy.
         feBuffer_.pop_front();
         dispatched++;
 
         res_.activity.robWrites++;
         res_.activity.iqWrites++;
         res_.activity.uops++;
-        res_.activity.instructions += p.op.instBoundary ? 1 : 0;
+        res_.activity.instructions += e.op.instBoundary ? 1 : 0;
     }
 }
 

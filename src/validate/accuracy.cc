@@ -13,11 +13,15 @@
 #include "profiler/profiler.hh"
 #include "uarch/design_space.hh"
 #include "util/thread_pool.hh"
+#include "validate/json_util.hh"
 #include "workloads/workload.hh"
 
 namespace mipp {
 
 namespace {
+
+using jsonutil::jescape;
+using jsonutil::jnum;
 
 constexpr std::array<const char *, kNumAccuracyMetrics> kMetricNames = {
     "cpi",  "base", "branch", "icache", "l2hit", "llcHit",
@@ -38,17 +42,6 @@ fmt(const char *f, double a, double b = 0, double c = 0)
     return buf;
 }
 
-/** JSON number: finite doubles at full-enough precision, else null. */
-std::string
-jnum(double v)
-{
-    if (!std::isfinite(v))
-        return "null";
-    char buf[48];
-    std::snprintf(buf, sizeof buf, "%.8g", v);
-    return buf;
-}
-
 void
 jstack(std::ostringstream &os, const CpiStack &s)
 {
@@ -56,22 +49,6 @@ jstack(std::ostringstream &os, const CpiStack &s)
        << jnum(s.branch) << ", \"icache\": " << jnum(s.icache)
        << ", \"l2hit\": " << jnum(s.l2hit) << ", \"llcHit\": "
        << jnum(s.llcHit) << ", \"dram\": " << jnum(s.dram) << "}";
-}
-
-std::string
-jescape(const std::string &s)
-{
-    std::string out;
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        if (static_cast<unsigned char>(c) < 0x20) {
-            out += ' ';
-            continue;
-        }
-        out += c;
-    }
-    return out;
 }
 
 void
@@ -247,27 +224,24 @@ checkModelConsistency(const ModelResult &m, double stackTolerance)
     return v;
 }
 
-AccuracyReport
-runAccuracy(const AccuracyOptions &opts)
+void
+buildAccuracySuite(size_t uops, bool includePhased,
+                   const std::vector<std::string> &filter,
+                   std::vector<std::string> &names,
+                   std::vector<Trace> &traces)
 {
-    std::vector<CoreConfig> grid =
-        opts.grid.empty() ? accuracyGrid("default") : opts.grid;
-
     auto wants = [&](const std::string &n) {
-        return opts.workloads.empty() ||
-               std::find(opts.workloads.begin(), opts.workloads.end(),
-                         n) != opts.workloads.end();
+        return filter.empty() ||
+               std::find(filter.begin(), filter.end(), n) != filter.end();
     };
 
-    std::vector<std::string> names;
-    std::vector<Trace> traces;
     for (const auto &s : workloadSuite()) {
         if (!wants(s.name))
             continue;
         names.push_back(s.name);
-        traces.push_back(generateWorkload(s, opts.uops));
+        traces.push_back(generateWorkload(s, uops));
     }
-    if (opts.includePhased) {
+    if (includePhased) {
         for (PhasedSpec p : phasedSuite()) {
             if (!wants(p.name))
                 continue;
@@ -275,7 +249,7 @@ runAccuracy(const AccuracyOptions &opts)
             // requested length: reduced runs (CI) stay fast and phased
             // points stay comparable to the suite traces.
             size_t segUops = std::max<size_t>(
-                opts.uops / std::max<size_t>(p.segments.size(), 1), 1000);
+                uops / std::max<size_t>(p.segments.size(), 1), 1000);
             for (auto &seg : p.segments)
                 seg.second = segUops;
             names.push_back(p.name);
@@ -285,11 +259,97 @@ runAccuracy(const AccuracyOptions &opts)
     // A filter entry that matched nothing is a typo (or a phased name
     // with includePhased off): an empty/partial report would otherwise
     // sail through the baseline gate with trivially low MAPEs.
-    for (const auto &w : opts.workloads) {
+    for (const auto &w : filter) {
         if (std::find(names.begin(), names.end(), w) == names.end())
             throw std::invalid_argument(
                 "accuracy filter matched no workload named '" + w + "'");
     }
+}
+
+PointAccuracy
+scoreAccuracyPoint(const SimResult &sim, const ModelResult &mod,
+                   const CoreConfig &cfg, const Profile &profile,
+                   const std::string &workload)
+{
+    PointAccuracy pa;
+    pa.workload = workload;
+    pa.config = cfg.name;
+    pa.simCpi = sim.cpiPerUop();
+    pa.modelCpi = mod.cpiPerUop();
+    pa.simWatts = computePower(sim.activity, cfg).total();
+    pa.modelWatts = computePower(mod.activity, cfg).total();
+    double su = sim.uops ? double(sim.uops) : 1.0;
+    double mu = mod.uops > 0 ? mod.uops : 1.0;
+    pa.simStack = sim.stack.scaled(1.0 / su);
+    pa.modelStack = mod.stack.scaled(1.0 / mu);
+
+    const MemoryStats &ms = sim.mem;
+    double demandLoads =
+        std::max<double>(1.0, double(ms.l1d.loadAccesses));
+    double mLoads =
+        std::max<double>(1.0, double(profile.reuseLoads.total()));
+    pa.simMr = {double(ms.l1d.loadMisses) / demandLoads,
+                double(ms.l2.loadMisses) / demandLoads,
+                double(ms.l3.loadMisses) / demandLoads};
+    pa.modelMr = {mod.loadMissesL1 / mLoads, mod.loadMissesL2 / mLoads,
+                  mod.loadMissesL3 / mLoads};
+
+    double sc = pa.simCpi > 0 ? pa.simCpi : 1.0;
+    auto &e = pa.err;
+    e[mi(AccuracyMetric::Cpi)] = 100.0 * (pa.modelCpi - pa.simCpi) / sc;
+    e[mi(AccuracyMetric::Base)] =
+        100.0 * (pa.modelStack.base - pa.simStack.base) / sc;
+    e[mi(AccuracyMetric::Branch)] =
+        100.0 * (pa.modelStack.branch - pa.simStack.branch) / sc;
+    e[mi(AccuracyMetric::Icache)] =
+        100.0 * (pa.modelStack.icache - pa.simStack.icache) / sc;
+    e[mi(AccuracyMetric::L2Hit)] =
+        100.0 * (pa.modelStack.l2hit - pa.simStack.l2hit) / sc;
+    e[mi(AccuracyMetric::LlcHit)] =
+        100.0 * (pa.modelStack.llcHit - pa.simStack.llcHit) / sc;
+    e[mi(AccuracyMetric::Dram)] =
+        100.0 * (pa.modelStack.dram - pa.simStack.dram) / sc;
+    for (int l = 0; l < 3; ++l)
+        e[mi(AccuracyMetric::MrL1) + l] =
+            100.0 * (pa.modelMr[l] - pa.simMr[l]);
+    e[mi(AccuracyMetric::Power)] =
+        100.0 * (pa.modelWatts - pa.simWatts) /
+        (pa.simWatts > 0 ? pa.simWatts : 1.0);
+    return pa;
+}
+
+std::array<MetricSummary, kNumAccuracyMetrics>
+summarizeAccuracy(const std::vector<PointAccuracy> &points)
+{
+    std::array<MetricSummary, kNumAccuracyMetrics> summary{};
+    for (size_t k = 0; k < kNumAccuracyMetrics; ++k) {
+        MetricSummary &s = summary[k];
+        for (const PointAccuracy &pa : points) {
+            double err = pa.err[k];
+            s.mape += std::abs(err);
+            s.meanSigned += err;
+            s.maxAbs = std::max(s.maxAbs, std::abs(err));
+            s.minSigned = std::min(s.minSigned, err);
+            s.maxSigned = std::max(s.maxSigned, err);
+        }
+        if (!points.empty()) {
+            s.mape /= double(points.size());
+            s.meanSigned /= double(points.size());
+        }
+    }
+    return summary;
+}
+
+AccuracyReport
+runAccuracy(const AccuracyOptions &opts)
+{
+    std::vector<CoreConfig> grid =
+        opts.grid.empty() ? accuracyGrid("default") : opts.grid;
+
+    std::vector<std::string> names;
+    std::vector<Trace> traces;
+    buildAccuracySuite(opts.uops, opts.includePhased, opts.workloads,
+                       names, traces);
 
     std::vector<ProfilerConfig> pcfgs(names.size());
     for (size_t i = 0; i < names.size(); ++i)
@@ -308,61 +368,13 @@ runAccuracy(const AccuracyOptions &opts)
     parallelForShared(nw, opts.threads, [&](size_t begin, size_t end) {
         for (size_t wi = begin; wi < end; ++wi) {
             EvalContext ctx(profiles[wi]);
-            const Profile &p = profiles[wi];
-            double mLoads =
-                std::max<double>(1.0, double(p.reuseLoads.total()));
             for (size_t ci = 0; ci < nc; ++ci) {
                 const CoreConfig &cfg = grid[ci];
                 SimResult sim = simulate(traces[wi], cfg);
                 ModelResult mod = evaluateModel(ctx, cfg, opts.mopts);
 
-                PointAccuracy &pa = rep.points[wi * nc + ci];
-                pa.workload = names[wi];
-                pa.config = cfg.name;
-                pa.simCpi = sim.cpiPerUop();
-                pa.modelCpi = mod.cpiPerUop();
-                pa.simWatts = computePower(sim.activity, cfg).total();
-                pa.modelWatts = computePower(mod.activity, cfg).total();
-                double su = sim.uops ? double(sim.uops) : 1.0;
-                double mu = mod.uops > 0 ? mod.uops : 1.0;
-                pa.simStack = sim.stack.scaled(1.0 / su);
-                pa.modelStack = mod.stack.scaled(1.0 / mu);
-
-                const MemoryStats &ms = sim.mem;
-                double demandLoads =
-                    std::max<double>(1.0, double(ms.l1d.loadAccesses));
-                pa.simMr = {double(ms.l1d.loadMisses) / demandLoads,
-                            double(ms.l2.loadMisses) / demandLoads,
-                            double(ms.l3.loadMisses) / demandLoads};
-                pa.modelMr = {mod.loadMissesL1 / mLoads,
-                              mod.loadMissesL2 / mLoads,
-                              mod.loadMissesL3 / mLoads};
-
-                double sc = pa.simCpi > 0 ? pa.simCpi : 1.0;
-                auto &e = pa.err;
-                e[mi(AccuracyMetric::Cpi)] =
-                    100.0 * (pa.modelCpi - pa.simCpi) / sc;
-                e[mi(AccuracyMetric::Base)] =
-                    100.0 * (pa.modelStack.base - pa.simStack.base) / sc;
-                e[mi(AccuracyMetric::Branch)] =
-                    100.0 * (pa.modelStack.branch - pa.simStack.branch) /
-                    sc;
-                e[mi(AccuracyMetric::Icache)] =
-                    100.0 * (pa.modelStack.icache - pa.simStack.icache) /
-                    sc;
-                e[mi(AccuracyMetric::L2Hit)] =
-                    100.0 * (pa.modelStack.l2hit - pa.simStack.l2hit) / sc;
-                e[mi(AccuracyMetric::LlcHit)] =
-                    100.0 * (pa.modelStack.llcHit - pa.simStack.llcHit) /
-                    sc;
-                e[mi(AccuracyMetric::Dram)] =
-                    100.0 * (pa.modelStack.dram - pa.simStack.dram) / sc;
-                for (int l = 0; l < 3; ++l)
-                    e[mi(AccuracyMetric::MrL1) + l] =
-                        100.0 * (pa.modelMr[l] - pa.simMr[l]);
-                e[mi(AccuracyMetric::Power)] =
-                    100.0 * (pa.modelWatts - pa.simWatts) /
-                    (pa.simWatts > 0 ? pa.simWatts : 1.0);
+                rep.points[wi * nc + ci] = scoreAccuracyPoint(
+                    sim, mod, cfg, profiles[wi], names[wi]);
 
                 for (const auto &s :
                      checkSimConsistency(sim, opts.stackTolerance))
@@ -379,19 +391,7 @@ runAccuracy(const AccuracyOptions &opts)
     for (auto &v : viols)
         rep.violations.insert(rep.violations.end(), v.begin(), v.end());
 
-    for (size_t k = 0; k < kNumAccuracyMetrics; ++k) {
-        MetricSummary &s = rep.summary[k];
-        for (const PointAccuracy &pa : rep.points) {
-            double err = pa.err[k];
-            s.mape += std::abs(err);
-            s.meanSigned += err;
-            s.maxAbs = std::max(s.maxAbs, std::abs(err));
-        }
-        if (!rep.points.empty()) {
-            s.mape /= double(rep.points.size());
-            s.meanSigned /= double(rep.points.size());
-        }
-    }
+    rep.summary = summarizeAccuracy(rep.points);
     return rep;
 }
 
@@ -412,8 +412,9 @@ accuracyJson(const AccuracyReport &r)
         const MetricSummary &s = r.summary[k];
         os << "    \"" << kMetricNames[k] << "\": {\"mape\": "
            << jnum(s.mape) << ", \"meanSigned\": " << jnum(s.meanSigned)
-           << ", \"maxAbs\": " << jnum(s.maxAbs) << "}"
-           << (k + 1 < kNumAccuracyMetrics ? "," : "") << "\n";
+           << ", \"maxAbs\": " << jnum(s.maxAbs) << ", \"minSigned\": "
+           << jnum(s.minSigned) << ", \"maxSigned\": " << jnum(s.maxSigned)
+           << "}" << (k + 1 < kNumAccuracyMetrics ? "," : "") << "\n";
     }
     os << "  },\n  \"violations\": [";
     for (size_t i = 0; i < r.violations.size(); ++i)

@@ -116,6 +116,8 @@ struct MetricSummary {
     double mape = 0;        ///< mean |error|
     double meanSigned = 0;  ///< bias
     double maxAbs = 0;      ///< worst point
+    double minSigned = 0;   ///< most-negative point (under-prediction)
+    double maxSigned = 0;   ///< most-positive point (over-prediction)
 };
 
 /** Everything one harness run produces. */
@@ -151,6 +153,28 @@ std::vector<CoreConfig> accuracyGrid(const std::string &preset);
 /** Run the harness: profile once per workload, then simulate + model
  *  every (workload, grid point) pair and aggregate. */
 AccuracyReport runAccuracy(const AccuracyOptions &opts = {});
+
+/**
+ * Shared harness plumbing (used by runAccuracy and the calibration
+ * harness in validate/calibrate.hh):
+ *
+ * buildAccuracySuite generates the suite (+ phased) traces at @p uops,
+ * honoring a name filter; throws std::invalid_argument for filter
+ * entries matching nothing. scoreAccuracyPoint fills one PointAccuracy
+ * (errors included) from a finished sim/model pair. summarizeAccuracy
+ * aggregates the per-point error columns into per-metric summaries.
+ */
+void buildAccuracySuite(size_t uops, bool includePhased,
+                        const std::vector<std::string> &filter,
+                        std::vector<std::string> &names,
+                        std::vector<Trace> &traces);
+PointAccuracy scoreAccuracyPoint(const SimResult &sim,
+                                 const ModelResult &mod,
+                                 const CoreConfig &cfg,
+                                 const Profile &profile,
+                                 const std::string &workload);
+std::array<MetricSummary, kNumAccuracyMetrics>
+summarizeAccuracy(const std::vector<PointAccuracy> &points);
 
 /**
  * Internal-consistency checks, one list entry per violated invariant

@@ -1,0 +1,456 @@
+#include "validate/calibrate.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "model/eval_cache.hh"
+#include "profiler/profiler.hh"
+#include "util/thread_pool.hh"
+#include "validate/json_util.hh"
+#include "workloads/workload.hh"
+
+namespace mipp {
+
+namespace {
+
+using jsonutil::jescape;
+
+size_t
+mi(AccuracyMetric m)
+{
+    return static_cast<size_t>(m);
+}
+
+/** %.17g: 17 significant digits make loadCalibrationJson a lossless
+ *  inverse (the round-trip test relies on it). */
+std::string
+jnum(double v)
+{
+    return jsonutil::jnum(v, "%.17g");
+}
+
+constexpr size_t kNumKinds =
+    static_cast<size_t>(BranchPredictorKind::NumKinds);
+
+/**
+ * Shared fitting state: the profiles, the per-point simulator ground
+ * truth (simulated once), and one memoized EvalContext per workload
+ * that persists across the whole coordinate descent — every calibration
+ * value the search revisits is a cache hit.
+ */
+struct FitState {
+    const CalibrationOptions &opts;
+    std::vector<CoreConfig> grid;
+    std::vector<std::string> names;
+    std::vector<Trace> traces;
+    std::vector<Profile> profiles;
+    std::vector<SimResult> sims; ///< workload-major [wi * nc + ci]
+    std::vector<std::unique_ptr<EvalContext>> ctxs;
+    /** Piecewise fits indexed by predictor kind (empty = use pretrained). */
+    std::array<const BranchMissModel *, kNumKinds> fits{};
+
+    size_t nw() const { return names.size(); }
+    size_t nc() const { return grid.size(); }
+
+    /** Evaluate the model at @p cal for every point. */
+    std::vector<PointAccuracy>
+    evaluate(const ModelCalibration &cal)
+    {
+        std::vector<PointAccuracy> points(nw() * nc());
+        parallelForShared(nw(), opts.threads,
+                          [&](size_t begin, size_t end) {
+            for (size_t wi = begin; wi < end; ++wi) {
+                for (size_t ci = 0; ci < nc(); ++ci) {
+                    const CoreConfig &cfg = grid[ci];
+                    ModelOptions mo = opts.mopts;
+                    mo.cal = cal;
+                    size_t kind = static_cast<size_t>(cfg.predictor);
+                    if (kind < kNumKinds && fits[kind])
+                        mo.branchModel = *fits[kind];
+                    ModelResult mod =
+                        evaluateModel(*ctxs[wi], cfg, mo);
+                    points[wi * nc() + ci] = scoreAccuracyPoint(
+                        sims[wi * nc() + ci], mod, cfg, profiles[wi],
+                        names[wi]);
+                }
+            }
+        });
+        return points;
+    }
+
+    /**
+     * Objective for one component: that component's summed |error| over
+     * every (workload, config) point — the same statistic the accuracy
+     * gate tracks (suite MAPE), so the fit optimizes what CI enforces —
+     * plus a total-CPI term so corrections that merely shuffle error
+     * between components do not look free, and a small squared term as
+     * an outlier guard (the worst single point is also gated).
+     */
+    double
+    objective(const ModelCalibration &cal, AccuracyMetric metric)
+    {
+        std::vector<PointAccuracy> points = evaluate(cal);
+        double mae = 0, maeCpi = 0, sse = 0;
+        for (const PointAccuracy &pa : points) {
+            double e = pa.err[mi(metric)];
+            double ec = pa.err[mi(AccuracyMetric::Cpi)];
+            mae += std::abs(e);
+            maeCpi += std::abs(ec);
+            sse += e * e;
+        }
+        return mae + 0.25 * maeCpi + 0.005 * sse;
+    }
+};
+
+/** One fittable coefficient: location, search bracket, target metric. */
+struct CoefficientSpec {
+    const char *name;
+    double ModelCalibration::*field;
+    double lo, hi;
+    AccuracyMetric metric;
+};
+
+constexpr CoefficientSpec kCoefficients[] = {
+    {"penaltyScale", &ModelCalibration::penaltyScale, 0.2, 1.2,
+     AccuracyMetric::Branch},
+    {"baseWindowFrac", &ModelCalibration::baseWindowFrac, 0.3, 6.0,
+     AccuracyMetric::Base},
+    {"mlpWindowFrac", &ModelCalibration::mlpWindowFrac, 0.3, 6.0,
+     AccuracyMetric::Dram},
+    {"shadowScale", &ModelCalibration::shadowScale, 0.0, 1.5,
+     AccuracyMetric::Dram},
+    {"busQueueScale", &ModelCalibration::busQueueScale, 0.0, 1.5,
+     AccuracyMetric::Dram},
+    {"coldInject", &ModelCalibration::coldInject, 0.0, 1.0,
+     AccuracyMetric::Dram},
+};
+
+/**
+ * Two-level 1-D grid line search: coarse grid over [lo, hi], then a
+ * fine grid around the coarse optimum. Plain grids instead of golden
+ * section because the window-truncation coefficients quantize to whole
+ * uops, making the objective piecewise constant.
+ */
+double
+lineSearch(FitState &st, ModelCalibration cal,
+           const CoefficientSpec &spec)
+{
+    constexpr int kPoints = 13;
+    double lo = spec.lo, hi = spec.hi;
+    double bestX = cal.*(spec.field);
+    double bestF = st.objective(cal, spec.metric);
+    for (int level = 0; level < 2; ++level) {
+        double step = (hi - lo) / (kPoints - 1);
+        for (int i = 0; i < kPoints; ++i) {
+            double x = lo + i * step;
+            cal.*(spec.field) = x;
+            double f = st.objective(cal, spec.metric);
+            if (f < bestF - 1e-12) {
+                bestF = f;
+                bestX = x;
+            }
+        }
+        lo = std::max(spec.lo, bestX - step);
+        hi = std::min(spec.hi, bestX + step);
+    }
+    return bestX;
+}
+
+} // namespace
+
+CalibrationReport
+runCalibration(const CalibrationOptions &opts)
+{
+    FitState st{opts};
+    st.grid = opts.grid.empty() ? accuracyGrid("ci") : opts.grid;
+    buildAccuracySuite(opts.uops, opts.includePhased, opts.workloads,
+                       st.names, st.traces);
+
+    std::vector<ProfilerConfig> pcfgs(st.names.size());
+    for (size_t i = 0; i < st.names.size(); ++i)
+        pcfgs[i].name = st.names[i];
+    st.profiles = profileTraces(st.traces, pcfgs);
+    for (const Profile &p : st.profiles)
+        st.ctxs.push_back(std::make_unique<EvalContext>(p));
+
+    CalibrationReport rep;
+    rep.uops = opts.uops;
+    rep.workloadNames = st.names;
+    for (const auto &c : st.grid)
+        rep.gridNames.push_back(c.name);
+
+    const size_t nw = st.nw(), nc = st.nc();
+
+    // --- Stage 1: piecewise entropy fits against simulated predictors ---
+    if (opts.fitBranch) {
+        std::vector<EntropyObservation> obs(nw * kNumKinds);
+        parallelForShared(nw * kNumKinds, opts.threads,
+                          [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+                size_t wi = i / kNumKinds;
+                auto kind =
+                    static_cast<BranchPredictorKind>(i % kNumKinds);
+                CoreConfig cfg = CoreConfig::nehalemReference();
+                cfg.predictor = kind;
+                SimResult sim = simulate(st.traces[wi], cfg);
+                EntropyObservation &o = obs[i];
+                o.kind = kind;
+                o.workload = st.names[wi];
+                o.entropy = st.profiles[wi].branch.entropy();
+                o.simMissRate = sim.branches ?
+                    double(sim.branchMispredicts) / sim.branches : 0;
+            }
+        });
+        rep.branchPoints = std::move(obs);
+
+        for (size_t k = 0; k < kNumKinds; ++k) {
+            auto kind = static_cast<BranchPredictorKind>(k);
+            EntropyFitTrainer trainer;
+            for (const EntropyObservation &o : rep.branchPoints)
+                if (o.kind == kind)
+                    trainer.add(o.entropy, o.simMissRate);
+            BranchMissModel fit = trainer.fitPiecewise(kind);
+            rep.branchFits.push_back(fit);
+            rep.branchR2.push_back(trainer.r2(fit));
+        }
+        for (size_t k = 0; k < kNumKinds; ++k)
+            st.fits[k] = &rep.branchFits[k];
+    }
+
+    // --- Stage 2: simulator ground truth over the grid -------------------
+    st.sims.resize(nw * nc);
+    parallelForShared(nw, opts.threads, [&](size_t begin, size_t end) {
+        for (size_t wi = begin; wi < end; ++wi)
+            for (size_t ci = 0; ci < nc; ++ci)
+                st.sims[wi * nc + ci] =
+                    simulate(st.traces[wi], st.grid[ci]);
+    });
+
+    // "Before": the incoming calibration, incoming branch fits.
+    {
+        std::array<const BranchMissModel *, kNumKinds> saved = st.fits;
+        st.fits = {};
+        rep.before = summarizeAccuracy(st.evaluate(opts.mopts.cal));
+        st.fits = saved;
+    }
+
+    // --- Stage 3: coordinate descent over the scalar coefficients --------
+    ModelCalibration cal = opts.mopts.cal;
+    if (opts.fitCoefficients) {
+        for (int round = 0; round < opts.rounds; ++round) {
+            ModelCalibration prev = cal;
+            for (const CoefficientSpec &spec : kCoefficients)
+                cal.*(spec.field) = lineSearch(st, cal, spec);
+            if (cal == prev)
+                break; // converged early
+        }
+    }
+    rep.cal = cal;
+    rep.after = summarizeAccuracy(st.evaluate(cal));
+    return rep;
+}
+
+std::string
+calibrationJson(const CalibrationReport &r)
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"mipp-calibration-v1\",\n";
+    os << "  \"uops\": " << r.uops << ",\n";
+    os << "  \"grid\": [";
+    for (size_t i = 0; i < r.gridNames.size(); ++i)
+        os << (i ? ", " : "") << '"' << jescape(r.gridNames[i]) << '"';
+    os << "],\n  \"workloads\": [";
+    for (size_t i = 0; i < r.workloadNames.size(); ++i)
+        os << (i ? ", " : "") << '"' << jescape(r.workloadNames[i]) << '"';
+    os << "],\n  \"calibration\": {"
+       << "\"penaltyScale\": " << jnum(r.cal.penaltyScale)
+       << ", \"baseWindowFrac\": " << jnum(r.cal.baseWindowFrac)
+       << ", \"mlpWindowFrac\": " << jnum(r.cal.mlpWindowFrac)
+       << ", \"shadowScale\": " << jnum(r.cal.shadowScale)
+       << ", \"busQueueScale\": " << jnum(r.cal.busQueueScale)
+       << ", \"coldInject\": " << jnum(r.cal.coldInject) << "},\n";
+    os << "  \"branchFits\": [";
+    for (size_t i = 0; i < r.branchFits.size(); ++i) {
+        const BranchMissModel &m = r.branchFits[i];
+        os << (i ? "," : "") << "\n    {\"kind\": \""
+           << branchPredictorName(m.kind) << "\", \"slope\": "
+           << jnum(m.slope) << ", \"intercept\": " << jnum(m.intercept)
+           << ", \"knee\": " << jnum(m.knee) << ", \"kneeSlope\": "
+           << jnum(m.kneeSlope) << ", \"r2\": "
+           << jnum(i < r.branchR2.size() ? r.branchR2[i] : 0) << "}";
+    }
+    os << (r.branchFits.empty() ? "" : "\n  ") << "],\n";
+    os << "  \"branchPoints\": [";
+    for (size_t i = 0; i < r.branchPoints.size(); ++i) {
+        const EntropyObservation &o = r.branchPoints[i];
+        os << (i ? "," : "") << "\n    {\"kind\": \""
+           << branchPredictorName(o.kind) << "\", \"workload\": \""
+           << jescape(o.workload) << "\", \"entropy\": "
+           << jnum(o.entropy) << ", \"missRate\": "
+           << jnum(o.simMissRate) << "}";
+    }
+    os << (r.branchPoints.empty() ? "" : "\n  ") << "],\n";
+    auto emitSummary = [&](const char *name, const auto &summary,
+                           const char *tail) {
+        os << "  \"" << name << "\": {\n";
+        for (size_t k = 0; k < kNumAccuracyMetrics; ++k) {
+            const MetricSummary &s = summary[k];
+            os << "    \""
+               << accuracyMetricName(static_cast<AccuracyMetric>(k))
+               << "\": {\"mape\": " << jnum(s.mape)
+               << ", \"meanSigned\": " << jnum(s.meanSigned)
+               << ", \"maxAbs\": " << jnum(s.maxAbs)
+               << ", \"minSigned\": " << jnum(s.minSigned)
+               << ", \"maxSigned\": " << jnum(s.maxSigned) << "}"
+               << (k + 1 < kNumAccuracyMetrics ? "," : "") << "\n";
+        }
+        os << "  }" << tail << "\n";
+    };
+    emitSummary("before", r.before, ",");
+    emitSummary("after", r.after, "");
+    os << "}\n";
+    return os.str();
+}
+
+bool
+writeCalibrationJson(const CalibrationReport &r, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << calibrationJson(r);
+    return static_cast<bool>(out);
+}
+
+namespace {
+
+/** Value of `"key": <number>` after @p from; NaN when absent. */
+double
+findNum(const std::string &text, const std::string &key, size_t from,
+        size_t limit = std::string::npos)
+{
+    size_t p = text.find("\"" + key + "\"", from);
+    if (p == std::string::npos || p >= limit)
+        return std::nan("");
+    p = text.find(':', p);
+    if (p == std::string::npos)
+        return std::nan("");
+    return std::strtod(text.c_str() + p + 1, nullptr);
+}
+
+MetricSummary
+parseSummaryEntry(const std::string &text, size_t sectionPos,
+                  size_t sectionEnd, std::string_view metric)
+{
+    MetricSummary s;
+    size_t p = text.find("\"" + std::string(metric) + "\"", sectionPos);
+    if (p == std::string::npos || p >= sectionEnd)
+        return s;
+    size_t end = text.find('}', p);
+    auto get = [&](const char *k) {
+        double v = findNum(text, k, p, end);
+        return std::isnan(v) ? 0.0 : v;
+    };
+    s.mape = get("mape");
+    s.meanSigned = get("meanSigned");
+    s.maxAbs = get("maxAbs");
+    s.minSigned = get("minSigned");
+    s.maxSigned = get("maxSigned");
+    return s;
+}
+
+} // namespace
+
+CalibrationReport
+loadCalibrationJson(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot read calibration " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    if (text.find("mipp-calibration-v1") == std::string::npos)
+        throw std::runtime_error(path + " is not a calibration report");
+
+    CalibrationReport r;
+    if (double u = findNum(text, "uops", 0); !std::isnan(u))
+        r.uops = static_cast<size_t>(u);
+
+    size_t calPos = text.find("\"calibration\"");
+    if (calPos == std::string::npos)
+        throw std::runtime_error(path + " has no calibration section");
+    size_t calEnd = text.find('}', calPos);
+    auto coef = [&](const char *k, double fallback) {
+        double v = findNum(text, k, calPos, calEnd);
+        return std::isnan(v) ? fallback : v;
+    };
+    r.cal.penaltyScale = coef("penaltyScale", 1.0);
+    r.cal.baseWindowFrac = coef("baseWindowFrac", 0.0);
+    r.cal.mlpWindowFrac = coef("mlpWindowFrac", 0.0);
+    r.cal.shadowScale = coef("shadowScale", 1.0);
+    r.cal.busQueueScale = coef("busQueueScale", 1.0);
+    r.cal.coldInject = coef("coldInject", 0.0);
+
+    // Branch fits: scan the array's objects in order.
+    size_t fitsPos = text.find("\"branchFits\"");
+    if (fitsPos != std::string::npos) {
+        size_t fitsEnd = text.find(']', fitsPos);
+        size_t p = fitsPos;
+        while (true) {
+            size_t obj = text.find('{', p);
+            if (obj == std::string::npos || obj >= fitsEnd)
+                break;
+            size_t end = text.find('}', obj);
+            BranchMissModel m;
+            size_t kq = text.find("\"kind\"", obj);
+            if (kq != std::string::npos && kq < end) {
+                size_t q1 = text.find('"', text.find(':', kq));
+                size_t q2 = text.find('"', q1 + 1);
+                std::string kindName = text.substr(q1 + 1, q2 - q1 - 1);
+                for (size_t k = 0; k < kNumKinds; ++k) {
+                    auto kind = static_cast<BranchPredictorKind>(k);
+                    if (branchPredictorName(kind) == kindName)
+                        m.kind = kind;
+                }
+            }
+            auto num = [&](const char *k, double fb) {
+                double v = findNum(text, k, obj, end);
+                return std::isnan(v) ? fb : v;
+            };
+            m.slope = num("slope", m.slope);
+            m.intercept = num("intercept", m.intercept);
+            m.knee = num("knee", m.knee);
+            m.kneeSlope = num("kneeSlope", m.kneeSlope);
+            r.branchFits.push_back(m);
+            r.branchR2.push_back(num("r2", 0.0));
+            p = end + 1;
+        }
+    }
+
+    auto parseSection = [&](const char *name, auto &out) {
+        size_t pos = text.find("\"" + std::string(name) + "\"");
+        if (pos == std::string::npos)
+            return;
+        // The section closes before the next top-level summary; bound
+        // the per-metric search by the following section or the end.
+        size_t bound = text.find("\"after\"", pos + 1);
+        if (bound == std::string::npos || std::string(name) == "after")
+            bound = text.size();
+        for (size_t k = 0; k < kNumAccuracyMetrics; ++k)
+            out[k] = parseSummaryEntry(
+                text, pos, bound,
+                accuracyMetricName(static_cast<AccuracyMetric>(k)));
+    };
+    parseSection("before", r.before);
+    parseSection("after", r.after);
+    return r;
+}
+
+} // namespace mipp

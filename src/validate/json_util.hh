@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Tiny JSON-emission helpers shared by the validation harnesses'
+ * hand-rolled writers (accuracy.cc, calibrate.cc). One definition so
+ * escaping and NaN handling cannot drift between the two emitters.
+ */
+
+#ifndef MIPP_VALIDATE_JSON_UTIL_HH
+#define MIPP_VALIDATE_JSON_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace mipp::jsonutil {
+
+/**
+ * JSON number: finite doubles at the given precision, else null.
+ * Reports use %.8g (compact); the calibration report uses %.17g so its
+ * loader is a lossless inverse (round-trip tested).
+ */
+inline std::string
+jnum(double v, const char *format = "%.8g")
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[48];
+    std::snprintf(buf, sizeof buf, format, v);
+    return buf;
+}
+
+/** Escape quotes/backslashes; control characters become spaces. */
+inline std::string
+jescape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            out += ' ';
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+} // namespace mipp::jsonutil
+
+#endif // MIPP_VALIDATE_JSON_UTIL_HH

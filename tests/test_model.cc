@@ -158,7 +158,10 @@ TEST(BranchModel, PretrainedFitsExistForAllKinds)
          ++k) {
         auto m = BranchMissModel::pretrained(
             static_cast<BranchPredictorKind>(k));
-        EXPECT_GT(m.slope, 0.0);
+        // Piecewise fits may be flat below the knee (slope == 0), but
+        // must never decrease and must rise above the knee.
+        EXPECT_GE(m.slope, 0.0);
+        EXPECT_GT(m.slope + m.kneeSlope, 0.0);
         EXPECT_GT(m.missRate(1.0), 0.3);
         EXPECT_LT(m.missRate(0.05), 0.15);
     }
