@@ -12,21 +12,27 @@
 # google-benchmark binary someone forgets to wire up, fails the run
 # instead of being silently skipped.
 #
-# Usage: bench/run_benchmarks.sh [--smoke] [build-dir] [output-json]
+# Usage: bench/run_benchmarks.sh [--smoke] [--skip-slow] [build-dir] \
+#                                [output-json]
 #   --smoke   one repetition with a short min-time, for CI plumbing
 #             checks (this is the same path the build-and-test CI job
 #             runs — there is deliberately no separate filtered
 #             invocation). Numbers are noisy, so smoke runs write
 #             bench_smoke.json (or the given output path) and never
 #             touch BENCH_speedup.json — the recorded trajectory only
-#             ever holds the full 5-repetition protocol.
+#             ever holds the full 5-repetition protocol. Implies
+#             --skip-slow: a smoke check must not sweep 2^20 points.
+#   --skip-slow  exclude benchmarks tagged slow by name (BM_*Million —
+#             ~1 s per iteration x 5 repetitions) from a full run.
 set -euo pipefail
 
 SMOKE=0
+SKIP_SLOW=0
 ARGS=()
 for a in "$@"; do
     case "$a" in
-      --smoke) SMOKE=1 ;;
+      --smoke) SMOKE=1; SKIP_SLOW=1 ;;
+      --skip-slow) SKIP_SLOW=1 ;;
       *) ARGS+=("$a") ;;
     esac
 done
@@ -76,6 +82,11 @@ if [[ ${#MISSING[@]} -gt 0 ]]; then
 fi
 
 BENCH_FLAGS=(--benchmark_format=json)
+if [[ "$SKIP_SLOW" == 1 ]]; then
+    # Slow-tagged benchmarks are excluded by naming convention: anything
+    # matching BM_.*Million (the 2^20-point generated sweep).
+    BENCH_FLAGS+=(--benchmark_filter=-BM_.*Million)
+fi
 if [[ "$SMOKE" == 1 ]]; then
     # One repetition, short min-time: proves the binaries run and emit
     # parseable JSON without occupying a CI runner for minutes.
@@ -169,7 +180,8 @@ for key in ("baseline", "speedup"):
         out[key] = old[key]
 
 # In-binary baseline/optimized pairs: derive speedups automatically.
-pairs = {"BM_EvalCached": "BM_EvalUncached"}
+pairs = {"BM_EvalCached": "BM_EvalUncached",
+         "BM_DseSweepBatched": "BM_DseSweepModelOnly"}
 for fast, slow in pairs.items():
     if fast in benches and slow in benches:
         out.setdefault("speedup", {})[fast + "_vs_" + slow] = round(

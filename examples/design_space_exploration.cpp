@@ -12,6 +12,10 @@
  *                   (the paper's §7 prune-then-validate workflow)
  *   --mode paired   simulate + model every point (ground-truth reference;
  *                   slow — O(points x sim))
+ *   --streaming     batched streaming sweep (ModelOnlyPareto): results
+ *                   fold into per-workload Pareto accumulators as they
+ *                   are produced, so the point grid is never materialized
+ *                   and memory stays O(front) however large the space
  *
  * Other flags:
  *   --threads N     sweep concurrency (0 = all cores, 1 = serial)
@@ -84,36 +88,42 @@ main(int argc, char **argv)
     const char *modeName =
         sopts.mode == SweepMode::ModelOnly
             ? "model-only"
-            : (sopts.mode == SweepMode::Paired ? "paired"
-                                               : "model+sim-pareto");
+            : (sopts.mode == SweepMode::Paired
+                   ? "paired"
+                   : (sopts.mode == SweepMode::ModelOnlyPareto
+                          ? "streaming-pareto"
+                          : "model+sim-pareto"));
+    size_t points = r.nWorkloads * r.nConfigs;
     std::printf("swept %zu points (%zu workloads x %zu configs) in "
                 "%.1f ms [%s]\n",
-                r.points.size(), r.nWorkloads, r.nConfigs, ms, modeName);
+                points, r.nWorkloads, r.nConfigs, ms, modeName);
     std::printf("detailed simulations spent: %zu of %zu points "
                 "(%.3f ms per point overall)\n\n",
-                r.simInvocations, r.points.size(),
-                r.points.empty() ? 0 : ms / r.points.size());
+                r.simInvocations, points, points ? ms / points : 0);
 
     for (size_t wi = 0; wi < r.nWorkloads; ++wi) {
-        // In Paired mode fronts are not precomputed; derive the model
-        // front here so every mode prints the same report.
-        std::vector<size_t> front;
-        if (wi < r.modelFronts.size() && !r.modelFronts.empty() &&
+        // Model-front modes (including streaming, which never
+        // materializes the point grid) deliver the front points
+        // directly; Paired derives them here so every mode prints the
+        // same report.
+        std::vector<SweepPoint> front;
+        if (wi < r.frontPoints.size() &&
             sopts.mode != SweepMode::Paired) {
-            front = r.modelFronts[wi];
+            front = r.frontPoints[wi];
         } else {
             std::vector<Objective> obj;
             for (size_t ci = 0; ci < r.nConfigs; ++ci)
                 obj.push_back({r.at(wi, ci).modelCpi,
                                r.at(wi, ci).modelWatts});
-            front = paretoFront(obj);
+            for (size_t ci : paretoFront(obj))
+                front.push_back(r.at(wi, ci));
         }
         std::printf("%s — predicted Pareto front (%zu of %zu designs):\n",
                     names[wi].c_str(), front.size(), r.nConfigs);
-        for (size_t ci : front) {
-            const SweepPoint &pt = r.at(wi, ci);
-            std::printf("  %-30s CPI %7.3f  W %6.2f", space[ci].name.c_str(),
-                        pt.modelCpi, pt.modelWatts);
+        for (const SweepPoint &pt : front) {
+            std::printf("  %-30s CPI %7.3f  W %6.2f",
+                        space[pt.configIdx].name.c_str(), pt.modelCpi,
+                        pt.modelWatts);
             if (pt.simulated)
                 std::printf("   (sim: %7.3f / %6.2f, err %+.1f%%)",
                             pt.simCpi, pt.simWatts, 100 * pt.cpiError());

@@ -174,7 +174,8 @@ cmdSweep(int argc, char **argv)
         flags.full ? DesignSpace() : DesignSpace::small();
     std::vector<Profile> profiles{std::move(p)};
     std::vector<Trace> traces;
-    if (sopts.mode != SweepMode::ModelOnly) {
+    if (sopts.mode != SweepMode::ModelOnly &&
+        sopts.mode != SweepMode::ModelOnlyPareto) {
         // Simulation needs the instruction stream; regenerate the suite
         // workload the profile was collected from, at the profiled
         // length unless overridden (a length mismatch would skew the
@@ -189,23 +190,28 @@ cmdSweep(int argc, char **argv)
 
     SweepResult r = sweepEx(traces, profiles, space.configs(), {}, sopts);
 
-    std::vector<size_t> front =
-        r.modelFronts.empty() ? std::vector<size_t>{} : r.modelFronts[0];
-    if (front.empty()) {
+    // Model-front modes (including streaming, which never materializes
+    // the point grid) deliver the front directly; Paired computes it
+    // here from the full grid.
+    std::vector<SweepPoint> front =
+        r.frontPoints.empty() ? std::vector<SweepPoint>{}
+                              : r.frontPoints[0];
+    if (front.empty() && !r.points.empty()) {
         std::vector<Objective> obj;
         for (size_t ci = 0; ci < r.nConfigs; ++ci)
             obj.push_back(
                 {r.at(0, ci).modelCpi, r.at(0, ci).modelWatts});
-        front = paretoFront(obj);
+        for (size_t ci : paretoFront(obj))
+            front.push_back(r.at(0, ci));
     }
     std::printf("predicted Pareto frontier for %s (%zu of %zu designs, "
                 "%zu simulations spent):\n",
                 profiles[0].name.c_str(), front.size(), space.size(),
                 r.simInvocations);
-    for (size_t ci : front) {
-        const SweepPoint &pt = r.at(0, ci);
-        std::printf("  %-30s CPI %7.3f  W %6.2f", space[ci].name.c_str(),
-                    pt.modelCpi, pt.modelWatts);
+    for (const SweepPoint &pt : front) {
+        std::printf("  %-30s CPI %7.3f  W %6.2f",
+                    space[pt.configIdx].name.c_str(), pt.modelCpi,
+                    pt.modelWatts);
         if (pt.simulated)
             std::printf("   (sim: %7.3f, err %+.1f%%)", pt.simCpi,
                         100 * pt.cpiError());
@@ -247,6 +253,10 @@ cmdCalibrate(int argc, char **argv)
             if (!(v = next()))
                 return 2;
             copts.workloads.push_back(v);
+        } else if (!std::strcmp(argv[i], "--check-grid")) {
+            if (!(v = next()))
+                return 2;
+            copts.checkGrids.push_back(v);
         } else if (!std::strcmp(argv[i], "--rounds")) {
             if (!(v = next()))
                 return 2;
@@ -310,6 +320,17 @@ cmdCalibrate(int argc, char **argv)
     std::printf("worst signed CPI error: before %.1f%%, after %.1f%%\n",
                 rep.beforeOf(AccuracyMetric::Cpi).minSigned,
                 rep.afterOf(AccuracyMetric::Cpi).minSigned);
+    for (const CalibrationReport::GridCheck &gc : rep.gridChecks) {
+        std::printf("cross-check on grid '%s' (fitted coefficients, "
+                    "no refit):\n", gc.grid.c_str());
+        for (size_t k = 0; k < kNumAccuracyMetrics; ++k) {
+            auto m = static_cast<AccuracyMetric>(k);
+            const MetricSummary &s = gc.summary[k];
+            std::printf("  %-8s %10.2f (%+6.2f)\n",
+                        std::string(accuracyMetricName(m)).c_str(),
+                        s.mape, s.meanSigned);
+        }
+    }
 
     if (!jsonPath.empty()) {
         if (!writeCalibrationJson(rep, jsonPath)) {

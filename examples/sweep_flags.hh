@@ -4,6 +4,8 @@
  * (design_space_exploration and mipp_cli's `sweep` subcommand):
  *
  *   --mode model|pareto|paired   SweepMode selection
+ *   --streaming                  batched streaming sweep (ModelOnlyPareto:
+ *                                O(front) memory, no point grid)
  *   --threads N                  sweep concurrency (0 = all cores)
  *   --validate N                 off-front validation simulations per
  *                                workload (ModelThenSimPareto)
@@ -64,6 +66,8 @@ struct SweepFlags {
                         m.c_str());
                     return false;
                 }
+            } else if (!std::strcmp(argv[i], "--streaming")) {
+                sopts.mode = SweepMode::ModelOnlyPareto;
             } else if (!std::strcmp(argv[i], "--threads")) {
                 if (!(v = next()))
                     return false;
@@ -82,8 +86,8 @@ struct SweepFlags {
             } else {
                 std::fprintf(stderr,
                              "usage: %s [--mode model|pareto|paired] "
-                             "[--threads N] [--validate N] [--full] "
-                             "[--uops N]\n",
+                             "[--streaming] [--threads N] [--validate N] "
+                             "[--full] [--uops N]\n",
                              prog);
                 return false;
             }

@@ -1,13 +1,78 @@
 #include "dse/explorer.hh"
 
 #include <algorithm>
+#include <array>
 #include <utility>
 
 #include "dse/pareto.hh"
 #include "model/eval_cache.hh"
+#include "power/power_model.hh"
 #include "util/thread_pool.hh"
 
 namespace mipp {
+
+namespace {
+
+/** Pool-slot identity: options under which a cached BatchEval was built.
+ *  A custom branch model is never treated as poolable — model equality
+ *  would need a deep compare, and the override is a test-only escape
+ *  hatch — so its presence always rebuilds. */
+bool
+sameOptions(const ModelOptions &a, const ModelOptions &b)
+{
+    return a.baseLevel == b.baseLevel && a.mlpMode == b.mlpMode &&
+           a.modelMshrs == b.modelMshrs && a.modelBus == b.modelBus &&
+           a.modelLlcChaining == b.modelLlcChaining &&
+           a.modelPrefetcher == b.modelPrefetcher &&
+           a.perWindow == b.perWindow && !a.branchModel &&
+           !b.branchModel &&
+           a.cal.penaltyScale == b.cal.penaltyScale &&
+           a.cal.baseWindowFrac == b.cal.baseWindowFrac &&
+           a.cal.mlpWindowFrac == b.cal.mlpWindowFrac &&
+           a.cal.shadowScale == b.cal.shadowScale &&
+           a.cal.busQueueScale == b.cal.busQueueScale &&
+           a.cal.coldInject == b.cal.coldInject;
+}
+
+} // namespace
+
+struct ModelEvalPool::Slot {
+    const Profile *profile = nullptr;
+    ModelOptions opts;
+    std::unique_ptr<EvalContext> ctx;
+    std::unique_ptr<BatchEval> be;
+};
+
+ModelEvalPool::ModelEvalPool() = default;
+ModelEvalPool::~ModelEvalPool() = default;
+
+void
+ModelEvalPool::reserve(size_t nWorkloads)
+{
+    if (slots_.size() < nWorkloads)
+        slots_.resize(nWorkloads);
+}
+
+BatchEval &
+ModelEvalPool::get(size_t wi, const Profile &profile,
+                   const ModelOptions &mopts)
+{
+    reserve(wi + 1);
+    Slot &s = slots_[wi];
+    if (!s.be || s.profile != &profile || !sameOptions(s.opts, mopts)) {
+        s.ctx = std::make_unique<EvalContext>(profile);
+        s.be = std::make_unique<BatchEval>(*s.ctx, mopts);
+        s.profile = &profile;
+        s.opts = mopts;
+    }
+    return *s.be;
+}
+
+void
+ModelEvalPool::clear()
+{
+    slots_.clear();
+}
 
 PairEval
 evaluatePair(const Trace &trace, const Profile &profile,
@@ -113,6 +178,7 @@ void
 extractModelFronts(SweepResult &res)
 {
     res.modelFronts.assign(res.nWorkloads, {});
+    res.frontPoints.assign(res.nWorkloads, {});
     for (size_t wi = 0; wi < res.nWorkloads; ++wi) {
         std::vector<Objective> obj;
         obj.reserve(res.nConfigs);
@@ -122,6 +188,144 @@ extractModelFronts(SweepResult &res)
         }
         // paretoFront indices are config indices: obj is in ci order.
         res.modelFronts[wi] = paretoFront(obj);
+        for (size_t ci : res.modelFronts[wi])
+            res.frontPoints[wi].push_back(res.at(wi, ci));
+    }
+}
+
+/**
+ * Chunking for the streaming model pass: one shard per workload unless
+ * extra streams are idle. Model-only points cost near-uniform time, so
+ * grains finer than the stream count only multiply cold evaluator
+ * builds (and defeat the eval pool's whole-workload reuse).
+ */
+std::vector<Span>
+streamingChunks(size_t nw, size_t nc, unsigned streams)
+{
+    std::vector<Span> spans;
+    if (nw == 0 || nc == 0)
+        return spans;
+    size_t target = std::max<size_t>(1, streams);
+    size_t perWorkload = std::max<size_t>(1, (target + nw - 1) / nw);
+    perWorkload = std::min(perWorkload, nc);
+    size_t grain = (nc + perWorkload - 1) / perWorkload;
+    for (size_t wi = 0; wi < nw; ++wi)
+        for (size_t c0 = 0; c0 < nc; c0 += grain)
+            spans.push_back({wi, c0, std::min(nc, c0 + grain)});
+    return spans;
+}
+
+/**
+ * Streaming batched model pass (SweepMode::ModelOnlyPareto): evaluate
+ * every point through BatchEval in fixed-size batches and fold the
+ * (CPI, watts) objectives straight into per-shard Pareto accumulators —
+ * no SweepPoint grid. Shard accumulators merge per workload at the end;
+ * since the batched values are bitwise identical to the scalar path's,
+ * the merged fronts equal ModelOnly's paretoFront() output exactly.
+ *
+ * Exactly one of @p configs / @p gen is non-null: explicit config spans
+ * are evaluated in place, generated spaces one scratch batch at a time.
+ */
+void
+streamingModelPass(const std::vector<Profile> &profiles,
+                   const std::vector<CoreConfig> *configs,
+                   const ConfigGenerator *gen, SweepResult &res,
+                   const ModelOptions &mopts, const SweepOptions &sopts)
+{
+    const size_t nw = res.nWorkloads;
+    const size_t nc = res.nConfigs;
+    auto spans = streamingChunks(nw, nc, streamCount(sopts.threads));
+
+    // Power parameters are workload-independent; precompute them once
+    // for explicit multi-workload spaces so every workload shares the
+    // voltage/leakage pow() chain. Generated spaces derive them per
+    // point — materializing per-config state is what a generator avoids.
+    std::vector<PowerParams> pp;
+    if (configs && nw > 1) {
+        pp.reserve(nc);
+        for (const CoreConfig &cfg : *configs)
+            pp.push_back(powerParams(cfg));
+    }
+
+    // The pool is consulted only in the one-shard-per-workload regime:
+    // concurrent shards then touch disjoint, pre-reserved slots.
+    const bool wholeSpans = sopts.evalPool && spans.size() == nw;
+    if (wholeSpans)
+        sopts.evalPool->reserve(nw);
+
+    std::vector<ParetoAccumulator> accs(spans.size());
+    parallelForShared(
+        spans.size(), sopts.threads, [&](size_t begin, size_t end) {
+            for (size_t s = begin; s < end; ++s) {
+                const Span &sp = spans[s];
+                std::unique_ptr<EvalContext> localCtx;
+                std::unique_ptr<BatchEval> localBe;
+                BatchEval *be;
+                if (wholeSpans) {
+                    be = &sopts.evalPool->get(sp.wi, profiles[sp.wi],
+                                              mopts);
+                } else {
+                    localCtx =
+                        std::make_unique<EvalContext>(profiles[sp.wi]);
+                    localBe =
+                        std::make_unique<BatchEval>(*localCtx, mopts);
+                    be = localBe.get();
+                }
+
+                constexpr size_t kBatch = 256;
+                std::array<BatchEval::Output, kBatch> out;
+                std::vector<CoreConfig> genBuf;
+                if (gen)
+                    genBuf.resize(kBatch);
+                ParetoAccumulator &acc = accs[s];
+                for (size_t c0 = sp.c0; c0 < sp.c1; c0 += kBatch) {
+                    const size_t n = std::min(kBatch, sp.c1 - c0);
+                    const CoreConfig *cfgs;
+                    if (gen) {
+                        for (size_t j = 0; j < n; ++j)
+                            (*gen)(c0 + j, genBuf[j]);
+                        cfgs = genBuf.data();
+                    } else {
+                        cfgs = configs->data() + c0;
+                    }
+                    be->evaluate(cfgs, n, out.data(),
+                                 pp.empty() ? nullptr : pp.data() + c0);
+                    for (size_t j = 0; j < n; ++j)
+                        acc.insert({out[j].modelCpi, out[j].modelWatts},
+                                   c0 + j);
+                }
+            }
+        });
+
+    // Merge shard accumulators per workload; expose the surviving fronts
+    // in ascending config order (paretoFront()'s order).
+    res.modelFronts.assign(nw, {});
+    res.frontPoints.assign(nw, {});
+    for (size_t s = 0; s < spans.size(); ++s) {
+        // Chunks of one workload are contiguous in spans.
+        size_t e = s;
+        while (e + 1 < spans.size() && spans[e + 1].wi == spans[s].wi)
+            ++e;
+        ParetoAccumulator &merged = accs[s];
+        for (size_t t = s + 1; t <= e; ++t)
+            merged.merge(accs[t]);
+        const size_t wi = spans[s].wi;
+        res.modelFronts[wi] = merged.indices();
+        std::vector<SweepPoint> &fps = res.frontPoints[wi];
+        fps.reserve(merged.size());
+        for (const ParetoAccumulator::Entry &en : merged.entries()) {
+            SweepPoint pt;
+            pt.configIdx = en.idx;
+            pt.workloadIdx = wi;
+            pt.modelCpi = en.obj.first;
+            pt.modelWatts = en.obj.second;
+            fps.push_back(pt);
+        }
+        std::sort(fps.begin(), fps.end(),
+                  [](const SweepPoint &a, const SweepPoint &b) {
+                      return a.configIdx < b.configIdx;
+                  });
+        s = e;
     }
 }
 
@@ -163,6 +367,14 @@ sweepEx(const std::vector<Trace> &traces,
     SweepResult res;
     res.nWorkloads = profiles.size();
     res.nConfigs = configs.size();
+
+    if (sopts.mode == SweepMode::ModelOnlyPareto) {
+        // Streaming: no point grid is ever materialized (O(front)).
+        streamingModelPass(profiles, &configs, nullptr, res, mopts,
+                           sopts);
+        return res;
+    }
+
     // Pre-sized, index-addressed (see SweepResult::points doc).
     res.points.assign(res.nWorkloads * res.nConfigs, {});
 
@@ -187,7 +399,21 @@ sweepEx(const std::vector<Trace> &traces,
         simPass(traces, configs, pairs, res, sopts.threads);
         break;
       }
+      case SweepMode::ModelOnlyPareto:
+        break;  // handled above (early return)
     }
+    return res;
+}
+
+SweepResult
+sweepGenerated(const std::vector<Profile> &profiles, size_t nConfigs,
+               const ConfigGenerator &gen, const ModelOptions &mopts,
+               const SweepOptions &sopts)
+{
+    SweepResult res;
+    res.nWorkloads = profiles.size();
+    res.nConfigs = nConfigs;
+    streamingModelPass(profiles, nullptr, &gen, res, mopts, sopts);
     return res;
 }
 

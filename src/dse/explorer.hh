@@ -14,17 +14,28 @@
  *    everywhere, the *model-side* Pareto front is extracted per workload,
  *    and detailed simulation runs only on front candidates plus a
  *    configurable validation sample. O(points × model + front × sim).
+ *  - ModelOnlyPareto: ModelOnly evaluated through the batched BatchEval
+ *    engine with *streaming* Pareto accumulation: results flow straight
+ *    into an online per-workload ParetoAccumulator and are discarded, so
+ *    peak memory is O(front), independent of the point count. The
+ *    surviving fronts are bitwise identical to ModelOnly's (same model
+ *    values, same tie handling). This is the mode that makes a
+ *    million-point space practical; sweepGenerated() extends it to
+ *    spaces too large to materialize even as a config vector.
  *
  * Sweeps are workload-major: points for one workload are contiguous and
  * each worker chunk holds a single memoized EvalContext, so per-workload
  * state (StatStacks, chain weights, MLP walks) is built once per chunk
- * instead of once per point.
+ * instead of once per point. Streaming sweeps can additionally reuse the
+ * batched evaluators across calls via ModelEvalPool.
  */
 
 #ifndef MIPP_DSE_EXPLORER_HH
 #define MIPP_DSE_EXPLORER_HH
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "model/interval_model.hh"
@@ -69,6 +80,48 @@ enum class SweepMode {
     Paired,             ///< simulate + model every point
     ModelOnly,          ///< model every point, simulate nothing
     ModelThenSimPareto, ///< model everywhere, simulate model-front + sample
+    ModelOnlyPareto,    ///< batched model pass, streaming O(front) fronts
+};
+
+class EvalContext;
+class BatchEval;
+
+/**
+ * Reusable per-workload batched evaluators for repeated streaming sweeps
+ * against pinned profiles: the profile-level memo tables (StatStacks,
+ * stride-MLP walks, dispatch-limit entries...) stay warm across sweep
+ * calls instead of being rebuilt per call. Entries are keyed by workload
+ * index and validated against the profile identity and the model options;
+ * any mismatch rebuilds the entry.
+ *
+ * Lifetime: pooled entries pin their Profile like EvalContext does — the
+ * profiles must outlive the pool, unmutated. Thread safety: a streaming
+ * sweep consults the pool only when each workload maps to exactly one
+ * shard (it calls reserve() up front, so concurrent get() calls touch
+ * disjoint slots); direct users must serialize access themselves.
+ */
+class ModelEvalPool
+{
+  public:
+    ModelEvalPool();
+    ~ModelEvalPool();
+    ModelEvalPool(const ModelEvalPool &) = delete;
+    ModelEvalPool &operator=(const ModelEvalPool &) = delete;
+
+    /** Pre-size the slot table so get() never reallocates (required
+     *  before concurrent use). */
+    void reserve(size_t nWorkloads);
+
+    /** Pooled evaluator for workload @p wi pinned to @p profile under
+     *  @p mopts; (re)built on first use or identity mismatch. */
+    BatchEval &get(size_t wi, const Profile &profile,
+                   const ModelOptions &mopts);
+
+    void clear();
+
+  private:
+    struct Slot;
+    std::vector<Slot> slots_;
 };
 
 /** Sweep configuration. */
@@ -86,6 +139,11 @@ struct SweepOptions {
      * config axis (deterministic).
      */
     size_t validationSamples = 0;
+
+    /** Streaming modes: optional cross-call evaluator pool (see
+     *  ModelEvalPool). The pool must outlive the sweep call; profiles
+     *  must outlive the pool. Ignored by non-streaming modes. */
+    ModelEvalPool *evalPool = nullptr;
 };
 
 /** One record of a design-space sweep. */
@@ -128,9 +186,18 @@ struct SweepResult {
     size_t simInvocations = 0;
 
     /** Per workload, config indices of the model-predicted Pareto front
-     *  over (model CPI, model watts). Filled in ModelOnly and
-     *  ModelThenSimPareto modes. */
+     *  over (model CPI, model watts). Filled in ModelOnly,
+     *  ModelThenSimPareto and ModelOnlyPareto modes. */
     std::vector<std::vector<size_t>> modelFronts;
+
+    /**
+     * Per workload, the front points themselves (ascending configIdx,
+     * mirroring modelFronts). In streaming ModelOnlyPareto mode this is
+     * the only per-point output — `points` stays empty so the sweep runs
+     * in O(front) memory — but it is filled by the materializing
+     * model-front modes too, so consumers can read fronts uniformly.
+     */
+    std::vector<std::vector<SweepPoint>> frontPoints;
 
     const SweepPoint &
     at(size_t wi, size_t ci) const
@@ -145,6 +212,29 @@ SweepResult sweepEx(const std::vector<Trace> &traces,
                     const std::vector<CoreConfig> &configs,
                     const ModelOptions &mopts = {},
                     const SweepOptions &sopts = {});
+
+/**
+ * Writes design point @p ci into @p out. The target is a reused scratch
+ * slot: it keeps whatever configuration it held on the previous call, so
+ * a generator must set every field it varies (and may exploit the reuse
+ * to skip re-initializing fields it does not). Must be a pure function
+ * of @p ci — shards may generate any index in any order.
+ */
+using ConfigGenerator = std::function<void(size_t ci, CoreConfig &out)>;
+
+/**
+ * Streaming model-only sweep over a *generated* design space: the
+ * nConfigs points are produced on the fly by @p gen, evaluated through
+ * the batched engine and folded into per-workload Pareto accumulators —
+ * neither the config vector nor the result grid is ever materialized, so
+ * memory is O(front) + O(batch) however large the space. Runs in
+ * SweepMode::ModelOnlyPareto regardless of sopts.mode; the returned
+ * result carries modelFronts/frontPoints only.
+ */
+SweepResult sweepGenerated(const std::vector<Profile> &profiles,
+                           size_t nConfigs, const ConfigGenerator &gen,
+                           const ModelOptions &mopts = {},
+                           const SweepOptions &sopts = {});
 
 /**
  * Compatibility wrapper: Paired sweep over all pairs, returning the bare

@@ -26,6 +26,55 @@ paretoFront(const std::vector<Objective> &points)
     return front;
 }
 
+void
+ParetoAccumulator::insert(const Objective &o, size_t idx)
+{
+    auto pos = std::lower_bound(
+        entries_.begin(), entries_.end(), o.first,
+        [](const Entry &e, double d) { return e.obj.first < d; });
+    if (pos != entries_.begin()) {
+        // Every earlier survivor has strictly smaller delay and power
+        // >= the predecessor's, so one check decides domination.
+        const Entry &pred = *(pos - 1);
+        if (pred.obj.second <= o.second)
+            return;
+    }
+    // Survivors tied with o in delay are exact duplicates of each other
+    // (a tied-but-cheaper point would have evicted them already).
+    if (pos != entries_.end() && pos->obj.first == o.first) {
+        if (pos->obj.second < o.second)
+            return;  // the tied run dominates o
+        if (pos->obj.second == o.second) {
+            entries_.insert(pos, Entry{o, idx});
+            return;  // exact duplicates all stay on the front
+        }
+        // o dominates the whole tied run; the eviction loop removes it.
+    }
+    auto last = pos;
+    while (last != entries_.end() && last->obj.second >= o.second)
+        ++last;
+    auto at = entries_.erase(pos, last);
+    entries_.insert(at, Entry{o, idx});
+}
+
+void
+ParetoAccumulator::merge(const ParetoAccumulator &other)
+{
+    for (const Entry &e : other.entries_)
+        insert(e.obj, e.idx);
+}
+
+std::vector<size_t>
+ParetoAccumulator::indices() const
+{
+    std::vector<size_t> out;
+    out.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        out.push_back(e.idx);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
 double
 hypervolume(const std::vector<Objective> &points,
             const std::vector<size_t> &front, const Objective &ref)

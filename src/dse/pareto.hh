@@ -28,6 +28,41 @@ std::vector<size_t> paretoFront(const std::vector<Objective> &points);
 /** @return true if a dominates b (<= in both, < in one). */
 bool dominates(const Objective &a, const Objective &b);
 
+/**
+ * Online Pareto front over a stream of (objective, index) points:
+ * insert() keeps O(front) state by rejecting dominated arrivals and
+ * evicting points a new arrival dominates, so a sweep never has to
+ * materialize the full point set. The surviving set is exactly
+ * paretoFront() of everything inserted, including its treatment of
+ * ties: exact-duplicate objectives all stay on the front, while a
+ * point tied in one objective and worse in the other is dominated.
+ *
+ * Internal order: ascending delay; across distinct objectives power is
+ * strictly decreasing, and equal-delay survivors are exact duplicates.
+ */
+class ParetoAccumulator {
+  public:
+    struct Entry {
+        Objective obj;
+        size_t idx;  ///< caller's point index (e.g. config index)
+    };
+
+    void insert(const Objective &obj, size_t idx);
+    /** Fold another accumulator's survivors in (per-shard merge). */
+    void merge(const ParetoAccumulator &other);
+
+    /** Survivors, sorted by ascending delay. */
+    const std::vector<Entry> &entries() const { return entries_; }
+    /** Surviving point indices, ascending (paretoFront() order). */
+    std::vector<size_t> indices() const;
+    size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+    void clear() { entries_.clear(); }
+
+  private:
+    std::vector<Entry> entries_;
+};
+
 /** Pruning-quality summary (thesis §7.4). */
 struct ParetoMetrics {
     double sensitivity = 0;  ///< true Pareto points found

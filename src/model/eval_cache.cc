@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 
 #include "model/branch_model.hh"
 #include "model/mlp_model.hh"
+#include "power/power_model.hh"
 
 namespace mipp {
 
@@ -295,6 +297,612 @@ EvalContext::mlpEstimate(const CoreConfig &cfg, const ModelOptions &opts,
         break;
     }
     return mlps_.emplace_back(key, std::move(est)).second;
+}
+
+const EvalContext::WindowStatics &
+EvalContext::windowStatics()
+{
+    if (staticsBuilt_)
+        return statics_;
+    WindowStatics &ws = statics_;
+    const size_t nw = p_.windows.size();
+    ws.uops.reserve(nw);
+    ws.maxUops.reserve(nw);
+    ws.insts.reserve(nw);
+    ws.entropyEff.reserve(nw);
+    ws.uopShare.reserve(nw);
+    ws.loadCounts.reserve(nw);
+    ws.loadFrac.reserve(nw);
+    ws.counts.reserve(nw);
+    ws.fracs.reserve(nw);
+
+    double eSum = 0, bSum = 0;
+    for (const WindowProfile &w : p_.windows) {
+        eSum += static_cast<double>(w.branches) * w.branchEntropy;
+        bSum += w.branches;
+    }
+    double eMean = bSum > 0 ? eSum / bSum : 0;
+    ws.eNorm = eMean > 1e-9 ? p_.branch.entropy() / eMean : 1.0;
+
+    for (const WindowProfile &w : p_.windows) {
+        double uopsW = w.uops();
+        ws.uops.push_back(uopsW);
+        ws.maxUops.push_back(std::max(uopsW, 1.0));
+        ws.insts.push_back(static_cast<double>(w.insts));
+        ws.entropyEff.push_back(std::min(1.0, w.branchEntropy * ws.eNorm));
+        ws.uopShare.push_back(
+            p_.profiledUops ? uopsW / p_.profiledUops : 0.0);
+        std::array<double, kNumUopTypes> fracW{}, countsW{};
+        if (uopsW > 0) {
+            for (int t = 0; t < kNumUopTypes; ++t) {
+                countsW[t] = w.uopCounts[t];
+                fracW[t] = w.uopCounts[t] / uopsW;
+            }
+        }
+        ws.loadCounts.push_back(countsW[static_cast<int>(UopType::Load)]);
+        ws.loadFrac.push_back(fracW[static_cast<int>(UopType::Load)]);
+        ws.counts.push_back(countsW);
+        ws.fracs.push_back(fracW);
+    }
+
+    ws.totalUops = static_cast<double>(p_.totalUops);
+    ws.totalInsts = ws.totalUops / std::max(p_.uopsPerInst(), 1.0);
+    for (int t = 0; t < kNumUopTypes; ++t) {
+        ws.globalFrac[t] = p_.uopFraction(static_cast<UopType>(t));
+        ws.globalCounts[t] = ws.globalFrac[t] * ws.totalUops;
+    }
+    ws.loads = static_cast<double>(p_.reuseLoads.total());
+    ws.stores = static_cast<double>(p_.reuseStores.total());
+    ws.iAccesses = static_cast<double>(p_.reuseInsts.total());
+    ws.globalBranches = static_cast<double>(p_.branch.branches);
+    ws.globalEntropy = p_.branch.entropy();
+    staticsBuilt_ = true;
+    return statics_;
+}
+
+// ===========================================================================
+// BatchEval
+// ===========================================================================
+
+namespace {
+
+/** FNV-1a over the memo key words; buckets only narrow the candidate
+ *  list — an exact key compare still decides, so collisions are safe. */
+uint64_t
+hashWords(const std::vector<uint64_t> &v)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (uint64_t w : v) {
+        h ^= w;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace
+
+void
+BatchEval::ChainInterp::build(const DependenceChains &chains, bool useAbp)
+{
+    const std::vector<uint32_t> &sizes = chains.robSizes();
+    empty = sizes.empty();
+    if (empty)
+        return;
+    if (sizes.size() == 1) {
+        single = true;
+        singleValue = useAbp ? chains.abpAt(0) : chains.cpAt(0);
+        return;
+    }
+    hiSizes.reserve(sizes.size() - 1);
+    segs.reserve(sizes.size() - 1);
+    for (size_t hi = 1; hi < sizes.size(); ++hi) {
+        size_t lo = hi - 1;
+        double x0 = std::log(static_cast<double>(sizes[lo]));
+        double x1 = std::log(static_cast<double>(sizes[hi]));
+        double y0 = useAbp ? chains.abpAt(lo) : chains.cpAt(lo);
+        double y1 = useAbp ? chains.abpAt(hi) : chains.cpAt(hi);
+        Seg s;
+        s.zero = y0 == 0 && y1 == 0;
+        s.a = (y1 - y0) / (x1 - x0);
+        s.b = y0 - s.a * x0;
+        hiSizes.push_back(static_cast<double>(sizes[hi]));
+        segs.push_back(s);
+    }
+}
+
+double
+BatchEval::ChainInterp::eval(double rob) const
+{
+    if (empty)
+        return 0;
+    if (single)
+        return singleValue;
+    rob = std::max(rob, 2.0);
+    const size_t n = hiSizes.size() + 1;
+    size_t hi = 1;
+    while (hi + 1 < n && hiSizes[hi - 1] < rob)
+        ++hi;
+    const Seg &s = segs[hi - 1];
+    if (s.zero)
+        return 0;
+    double v = s.a * std::log(rob) + s.b;
+    return std::max(v, 1.0);
+}
+
+BatchEval::BatchEval(EvalContext &ec, const ModelOptions &opts)
+    : ec_(ec), opts_(opts)
+{
+    cpInterp_.build(ec_.profile().chains, false);
+    abpInterp_.build(ec_.profile().chains, true);
+    ratioTable_.reserve(64);
+}
+
+BatchEval::~BatchEval() = default;
+
+const BatchEval::Ratios &
+BatchEval::ratios(const CoreConfig &cfg)
+{
+    const uint64_t k0 =
+        uint64_t{cfg.l1d.numLines()} << 32 | cfg.l2.numLines();
+    const uint64_t k1 =
+        uint64_t{cfg.l3.numLines()} << 32 | cfg.l1i.numLines();
+    for (RatioSlot &s : ratioTable_)
+        if (s.k0 == k0 && s.k1 == k1)
+            return s.r;
+    const Profile &p = ec_.profile();
+    const double l1L = cfg.l1d.numLines();
+    const double l2L = cfg.l2.numLines();
+    const double l3L = cfg.l3.numLines();
+    Ratios r;
+    r.l1 = ec_.dataMissRatio(p.reuseLoads, l1L);
+    r.l2 = ec_.dataMissRatio(p.reuseLoads, l2L);
+    r.l3 = ec_.dataMissRatio(p.reuseLoads, l3L);
+    r.s1 = ec_.dataMissRatio(p.reuseStores, l1L);
+    r.s2 = ec_.dataMissRatio(p.reuseStores, l2L);
+    r.s3 = ec_.dataMissRatio(p.reuseStores, l3L);
+    r.i1 = ec_.instMissRatio(p.reuseInsts, cfg.l1i.numLines());
+    r.i2 = ec_.instMissRatio(p.reuseInsts, l2L);
+    r.i3 = ec_.instMissRatio(p.reuseInsts, l3L);
+    ratioTable_.push_back({k0, k1, r});
+    return ratioTable_.back().r;
+}
+
+void
+BatchEval::buildLimitsKey(const CoreConfig &cfg, uint32_t depWindow,
+                          uint64_t mrL1Bits)
+{
+    // Complete input material of a LimitsEntry: everything
+    // EvalContext::windowLimits keys on (the ablation level is pinned in
+    // opts_). The global limits add no inputs beyond it — their counts
+    // and chain length are profile + depWindow functions.
+    std::vector<uint64_t> &key = keyBuf_;
+    key.clear();
+    key.push_back(cfg.dispatchWidth);
+    key.push_back(cfg.robSize);
+    key.push_back(depWindow);
+    key.push_back(mrL1Bits);
+    key.push_back(cfg.l1d.latency);
+    key.push_back(cfg.l2.latency);
+    for (int t = 0; t < kNumUopTypes; ++t)
+        key.push_back(cfg.lat.cycles[t]);
+    for (const IssuePort &port : cfg.ports) {
+        // Same bit-per-supported-type mask canIssue() would produce,
+        // built by walking the (short) supports list once instead of
+        // probing canIssue per type (it scans the list per probe).
+        uint64_t mask = 1;
+        for (UopType s : port.supports)
+            mask |= uint64_t{2} << static_cast<int>(s);
+        key.push_back(mask);
+    }
+    for (int t = 0; t < kNumUopTypes; ++t)
+        key.push_back(cfg.fus[t].count |
+                      (uint64_t{cfg.fus[t].pipelined} << 32));
+}
+
+const BatchEval::PortsEntry &
+BatchEval::portsEntry(const CoreConfig &cfg)
+{
+    std::vector<uint64_t> key;
+    key.reserve(cfg.ports.size());
+    for (const IssuePort &port : cfg.ports) {
+        uint64_t mask = 1;
+        for (UopType s : port.supports)
+            mask |= uint64_t{2} << static_cast<int>(s);
+        key.push_back(mask);
+    }
+    for (PortsEntry &e : portsTable_)
+        if (e.key == key)
+            return e;
+
+    const EvalContext::WindowStatics &ws = ec_.windowStatics();
+    PortsEntry e;
+    e.key = std::move(key);
+    e.windowMaxAct.reserve(ws.uops.size());
+    for (size_t wi = 0; wi < ws.uops.size(); ++wi) {
+        double maxAct = 0;
+        if (ws.uops[wi] > 0) {
+            auto activity = schedulePorts(ws.counts[wi], cfg);
+            for (double a : activity)
+                maxAct = std::max(maxAct, a);
+        }
+        e.windowMaxAct.push_back(maxAct);
+    }
+    auto activity = schedulePorts(ws.globalCounts, cfg);
+    for (double a : activity)
+        e.globalMaxAct = std::max(e.globalMaxAct, a);
+    portsTable_.push_back(std::move(e));
+    return portsTable_.back();
+}
+
+const BatchEval::FuEntry &
+BatchEval::fuEntry(const CoreConfig &cfg)
+{
+    std::vector<uint64_t> key;
+    key.reserve(kNumUopTypes * 2);
+    for (int t = 0; t < kNumUopTypes; ++t)
+        key.push_back(cfg.fus[t].count |
+                      (uint64_t{cfg.fus[t].pipelined} << 32));
+    for (int t = 0; t < kNumUopTypes; ++t)
+        key.push_back(cfg.lat.cycles[t]);
+    for (FuEntry &e : fuTable_)
+        if (e.key == key)
+            return e;
+
+    const EvalContext::WindowStatics &ws = ec_.windowStatics();
+    // The per-type rate n*u/count (or /count*lat) is width independent,
+    // so the min over types memoizes; the final min against width*4
+    // happens at combine time (min is exact either way).
+    auto minRate = [&cfg](const std::array<double, kNumUopTypes> &counts,
+                          double n) {
+        double best = std::numeric_limits<double>::infinity();
+        for (int t = 0; t < kNumUopTypes; ++t) {
+            if (counts[t] <= 0)
+                continue;
+            const FuPool &pool = cfg.fus[t];
+            double u = std::max<double>(pool.count, 1);
+            double rate = pool.pipelined ?
+                n * u / counts[t] :
+                n * u /
+                    (counts[t] * cfg.lat.of(static_cast<UopType>(t)));
+            best = std::min(best, rate);
+        }
+        return best;
+    };
+    FuEntry e;
+    e.key = std::move(key);
+    e.windowMinRate.reserve(ws.uops.size());
+    for (size_t wi = 0; wi < ws.uops.size(); ++wi)
+        e.windowMinRate.push_back(
+            ws.uops[wi] > 0 ? minRate(ws.counts[wi], ws.uops[wi]) : 0.0);
+    double nGlobal = 0;
+    for (double c : ws.globalCounts)
+        nGlobal += c;
+    e.globalMinRate = minRate(ws.globalCounts, nGlobal);
+    fuTable_.push_back(std::move(e));
+    return fuTable_.back();
+}
+
+BatchEval::LimitsEntry
+BatchEval::buildLimits(const CoreConfig &cfg, double mrL1,
+                       uint32_t depWindow)
+{
+    const Profile &p = ec_.profile();
+    const EvalContext::WindowStatics &ws = ec_.windowStatics();
+    const PortsEntry &pe = portsEntry(cfg);
+    const FuEntry &fe = fuEntry(cfg);
+    const uint32_t w0 = depWindow > 0 ?
+        std::min(depWindow, cfg.robSize) : cfg.robSize;
+    const std::vector<double> &cps = ec_.windowCp(w0);
+
+    using Level = ModelOptions::BaseLevel;
+    const Level level = opts_.baseLevel;
+    auto ablate = [level](DispatchLimits &lim) {
+        switch (level) {
+          case Level::Instructions:
+          case Level::MicroOps:
+            lim.dependences = lim.width;
+            lim.ports = lim.width;
+            lim.fus = lim.width;
+            break;
+          case Level::CriticalPath:
+            lim.ports = lim.width;
+            lim.fus = lim.width;
+            break;
+          case Level::Functional:
+            break;
+        }
+    };
+
+    LimitsEntry le;
+    le.windows.reserve(p.windows.size());
+    const double w0d = static_cast<double>(w0);
+    for (size_t wi = 0; wi < p.windows.size(); ++wi) {
+        double uopsW = ws.uops[wi];
+        if (uopsW <= 0) {
+            le.windows.push_back({});
+            continue;
+        }
+        // Exactly dispatchLimits() with the port/FU folds replayed from
+        // the memo: n equals the fold over counts (integer-exact sums).
+        double latW = mixAvgLatency(ws.fracs[wi], cfg, mrL1);
+        DispatchLimits lim;
+        lim.width = cfg.dispatchWidth;
+        lim.dependences = cps[wi] > 0 && latW > 0 ?
+            w0d / (latW * cps[wi]) : lim.width;
+        double maxAct = pe.windowMaxAct[wi];
+        lim.ports = maxAct > 0 ? uopsW / maxAct : lim.width;
+        lim.fus = std::min(lim.width * 4, fe.windowMinRate[wi]);
+        ablate(lim);
+        le.windows.push_back(lim);
+    }
+
+    // Global limits: same inputs (counts and chain length are pure
+    // profile/depWindow functions; the count fold is replayed verbatim
+    // because the global counts are not integers).
+    double n = 0;
+    for (double c : ws.globalCounts)
+        n += c;
+    DispatchLimits g;
+    g.width = cfg.dispatchWidth;
+    if (n <= 0) {
+        g.dependences = g.ports = g.fus = g.width;
+    } else {
+        double latG = mixAvgLatency(ws.globalFrac, cfg, mrL1);
+        double cpG = globalCp(depWindow);
+        double w = depWindow > 0 ?
+            static_cast<double>(depWindow) :
+            static_cast<double>(cfg.robSize);
+        g.dependences = cpG > 0 && latG > 0 ? w / (latG * cpG) : g.width;
+        g.ports = pe.globalMaxAct > 0 ? n / pe.globalMaxAct : g.width;
+        g.fus = std::min(g.width * 4, fe.globalMinRate);
+    }
+    ablate(g);
+    le.global = g;
+    return le;
+}
+
+const BatchEval::LimitsEntry &
+BatchEval::limits(const CoreConfig &cfg, double mrL1, uint32_t depWindow)
+{
+    buildLimitsKey(cfg, depWindow, std::bit_cast<uint64_t>(mrL1));
+    if (lastLimits_ && keyBuf_ == lastLimitsKey_)
+        return *lastLimits_;
+    const uint64_t h = hashWords(keyBuf_);
+    std::vector<uint32_t> &bucket = limitsBuckets_[h];
+    for (uint32_t idx : bucket) {
+        if (limitsTable_[idx].first == keyBuf_) {
+            lastLimitsKey_ = keyBuf_;
+            lastLimits_ = &limitsTable_[idx].second;
+            return *lastLimits_;
+        }
+    }
+    LimitsEntry le = buildLimits(cfg, mrL1, depWindow);
+    limitsTable_.emplace_back(keyBuf_, std::move(le));
+    bucket.push_back(static_cast<uint32_t>(limitsTable_.size() - 1));
+    lastLimitsKey_ = keyBuf_;
+    lastLimits_ = &limitsTable_.back().second;
+    return *lastLimits_;
+}
+
+const MlpEstimate &
+BatchEval::mlpEstimate(const CoreConfig &cfg, uint32_t windowUops)
+{
+    const bool prefetchActive =
+        opts_.modelPrefetcher && cfg.prefetcherEnabled;
+    EvalContext::MlpKey key{};
+    key.mode = static_cast<uint8_t>(opts_.mlpMode);
+    key.mshrs = opts_.modelMshrs;
+    key.prefetcher = opts_.modelPrefetcher;
+    key.l3Lines = cfg.l3.numLines();
+    key.rob = cfg.robSize;
+    key.mshrCount = cfg.mshrs;
+    key.prefetcherEntries = prefetchActive ? cfg.prefetcherEntries : 0;
+    key.width = prefetchActive ? cfg.dispatchWidth : 0;
+    key.memLatency = prefetchActive ? cfg.memLatency : 0;
+    key.windowUops = windowUops;
+    key.coldInjectBits = std::bit_cast<uint64_t>(opts_.cal.coldInject);
+
+    for (MlpSlot &s : mlpTable_)
+        if (s.key == key)
+            return s.est;
+
+    MlpOptions mo{opts_.modelMshrs, opts_.modelPrefetcher};
+    mo.windowUops = windowUops;
+    mo.coldInject = opts_.cal.coldInject;
+    MlpEstimate est;
+    switch (opts_.mlpMode) {
+      case ModelOptions::MlpMode::ColdMiss:
+        est = coldMissMlp(ec_.profile(), cfg, ec_.stats(), mo);
+        break;
+      case ModelOptions::MlpMode::Stride:
+        if (!strideCache_)
+            strideCache_ = std::make_unique<StrideMlpCache>(
+                ec_.profile(), ec_.stats());
+        est = strideCache_->estimate(cfg, mo);
+        break;
+      case ModelOptions::MlpMode::None:
+        est.mlp = 1.0;
+        break;
+    }
+    mlpTable_.push_back({key, std::move(est)});
+    return mlpTable_.back().est;
+}
+
+const std::vector<double> &
+BatchEval::opRatios(double lines)
+{
+    const uint64_t bits = std::bit_cast<uint64_t>(lines);
+    for (auto &[k, v] : opRatioTable_)
+        if (k == bits)
+            return v;
+    const Profile &p = ec_.profile();
+    const StatStack &ss = ec_.stats();
+    std::vector<double> v(p.memOps.size(), 0.0);
+    for (size_t i = 0; i < p.memOps.size(); ++i)
+        if (!p.memOps[i].isStore)
+            v[i] = ss.missRatio(p.memOps[i].reuse, lines);
+    return opRatioTable_.emplace_back(bits, std::move(v)).second;
+}
+
+const EvalContext::ChainWeights &
+BatchEval::chainWeights(double l2Lines, double l3Lines)
+{
+    EvalContext::ChainKey key{std::bit_cast<uint64_t>(l2Lines),
+                              std::bit_cast<uint64_t>(l3Lines)};
+    for (auto &[k, v] : chainTable_)
+        if (k == key)
+            return v;
+
+    const Profile &p = ec_.profile();
+    if (!depClampBuilt_) {
+        depClamp_.reserve(p.memOps.size());
+        for (const StaticMemProfile &sp : p.memOps)
+            depClamp_.push_back(
+                std::clamp(sp.avgLoadDepth() - 1.0, 0.0, 1.0));
+        for (const StaticMemProfile &sp : p.memOps)
+            if (!sp.isStore)
+                loadsSeen_ += sp.count;
+        depClampBuilt_ = true;
+    }
+    // Combine per-lines ratio vectors: one missRatio pass per distinct
+    // cache size instead of two per (L2, L3) pair. Same arithmetic in
+    // the same order as EvalContext::chainWeights.
+    const std::vector<double> &r2 = opRatios(l2Lines);
+    const std::vector<double> &r3 = opRatios(l3Lines);
+    EvalContext::ChainWeights cw;
+    cw.opWeight.assign(p.memOps.size(), 0.0);
+    for (size_t i = 0; i < p.memOps.size(); ++i) {
+        const StaticMemProfile &sp = p.memOps[i];
+        if (sp.isStore)
+            continue;
+        double hit3 = std::max(0.0, r2[i] - r3[i]);
+        cw.opWeight[i] = hit3 * depClamp_[i];
+        cw.globalSerialHits += cw.opWeight[i] * sp.count;
+    }
+    if (loadsSeen_ > 0)
+        cw.globalSerialHits /= loadsSeen_;
+
+    cw.windowSerial.assign(p.windows.size(), 0.0);
+    for (size_t wi = 0; wi < p.windows.size(); ++wi) {
+        double serialW = 0;
+        for (const auto &[opIdx, cnt] : p.windows[wi].memCounts)
+            serialW += cw.opWeight[opIdx] * cnt;
+        cw.windowSerial[wi] = serialW;
+    }
+    return chainTable_.emplace_back(key, std::move(cw)).second;
+}
+
+double
+BatchEval::fastResolutionTime(const CoreConfig &cfg, double avgLat,
+                              double uopsBetweenMispredicts) const
+{
+    // branchResolutionTime (thesis Alg 3.2) verbatim, with the chain
+    // interpolations replayed from the precomputed bracket fits.
+    const double d = cfg.dispatchWidth;
+    const double rob = cfg.robSize;
+    double ni = std::max(uopsBetweenMispredicts, 1.0);
+    double occupancy = 0;
+
+    int guard = 0;
+    while (ni > d && guard++ < 100000) {
+        double enter = std::min(d, rob - occupancy);
+        ni -= enter;
+        occupancy += enter;
+        double cp = std::max(cpInterp_.eval(std::max(occupancy, 2.0)), 1.0);
+        double leave = std::min(occupancy / (avgLat * cp), d);
+        occupancy = std::max(occupancy - leave, 0.0);
+    }
+    occupancy = std::min(occupancy + ni, rob);
+    double abp =
+        std::max(abpInterp_.eval(std::max(occupancy, 2.0)), 1.0);
+    return avgLat * abp;
+}
+
+double
+BatchEval::branchResolution(const CoreConfig &cfg, double avgLat,
+                            double uopsBetweenMispredicts)
+{
+    EvalContext::ResolutionKey key{
+        cfg.dispatchWidth, cfg.robSize, std::bit_cast<uint64_t>(avgLat),
+        std::bit_cast<uint64_t>(uopsBetweenMispredicts)};
+    if (lastResValid_ && key == lastResKey_)
+        return lastResValue_;
+    for (const auto &[k, v] : resTable_) {
+        if (k == key) {
+            lastResKey_ = key;
+            lastResValue_ = v;
+            lastResValid_ = true;
+            return v;
+        }
+    }
+    double v = fastResolutionTime(cfg, avgLat, uopsBetweenMispredicts);
+    resTable_.emplace_back(key, v);
+    lastResKey_ = key;
+    lastResValue_ = v;
+    lastResValid_ = true;
+    return v;
+}
+
+double
+BatchEval::globalCp(uint32_t depWindow)
+{
+    for (const auto &[k, v] : globalCps_)
+        if (k == depWindow)
+            return v;
+    double v = ec_.profile().chains.cp(depWindow);
+    globalCps_.emplace_back(depWindow, v);
+    return v;
+}
+
+BatchEval::BranchSlot &
+BatchEval::branchSlot(const BranchMissModel &bm)
+{
+    for (BranchSlot &s : branchTable_)
+        if (s.bm == &bm)
+            return s;
+    const Profile &p = ec_.profile();
+    const EvalContext::WindowStatics &ws = ec_.windowStatics();
+    BranchSlot s;
+    s.bm = &bm;
+    s.globalRate = bm.missRate(ws.globalEntropy);
+    s.windowMisses.reserve(p.windows.size());
+    for (size_t wi = 0; wi < p.windows.size(); ++wi)
+        s.windowMisses.push_back(
+            bm.missRate(ws.entropyEff[wi]) * p.windows[wi].branches);
+    branchTable_.push_back(std::move(s));
+    return branchTable_.back();
+}
+
+const std::vector<double> &
+BatchEval::windowBranchMisses(const BranchMissModel &bm)
+{
+    return branchSlot(bm).windowMisses;
+}
+
+double
+BatchEval::globalMissRate(const BranchMissModel &bm)
+{
+    return branchSlot(bm).globalRate;
+}
+
+void
+BatchEval::evaluate(const CoreConfig *cfgs, size_t n, Output *out,
+                    const PowerParams *power)
+{
+    for (size_t i = 0; i < n; ++i) {
+        evaluateModelInto(ec_, cfgs[i], opts_, scratch_, this);
+        out[i].modelCpi = scratch_.cpiPerUop();
+        out[i].modelWatts = power ?
+            computePower(scratch_.activity, cfgs[i], power[i]).total() :
+            computePower(scratch_.activity, cfgs[i]).total();
+    }
+}
+
+const ModelResult &
+BatchEval::evaluateOne(const CoreConfig &cfg)
+{
+    evaluateModelInto(ec_, cfg, opts_, scratch_, this);
+    return scratch_;
 }
 
 } // namespace mipp

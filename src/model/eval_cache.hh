@@ -52,12 +52,16 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "model/interval_model.hh"
 #include "statstack/statstack.hh"
 
 namespace mipp {
+
+struct PowerParams;
 
 /**
  * Pretrained BranchMissModel interned per predictor kind: one immutable
@@ -156,7 +160,33 @@ class EvalContext
                                    const ModelOptions &opts,
                                    uint32_t windowUops);
 
+    /**
+     * Configuration-independent per-window statistics hoisted out of the
+     * evaluation loop (structure-of-arrays over Profile::windows). Every
+     * value is exactly the double the per-point computation would have
+     * produced — these are pure functions of the pinned profile, computed
+     * once and shared by the scalar and batched paths alike.
+     */
+    struct WindowStatics {
+        std::vector<double> uops;        ///< w.uops() per window
+        std::vector<double> maxUops;     ///< max(uops, 1.0)
+        std::vector<double> insts;       ///< w.insts per window
+        std::vector<double> entropyEff;  ///< min(1, branchEntropy * eNorm)
+        std::vector<double> uopShare;    ///< uops / profiledUops (else 0)
+        std::vector<double> loadCounts;  ///< uopCounts[Load] per window
+        std::vector<double> loadFrac;    ///< loadCounts / uops (else 0)
+        /** Per-window uop counts / fractions by type. */
+        std::vector<std::array<double, kNumUopTypes>> counts, fracs;
+        double eNorm = 1.0;  ///< global / mean per-window branch entropy
+        std::array<double, kNumUopTypes> globalFrac{}, globalCounts{};
+        double totalUops = 0, totalInsts = 0;
+        double loads = 0, stores = 0, iAccesses = 0;
+        double globalBranches = 0, globalEntropy = 0;
+    };
+    const WindowStatics &windowStatics();
+
   private:
+    friend class BatchEval;
     struct RatioEntry {
         const LogHistogram *h;
         uint64_t linesBits;  ///< bit pattern of the double cacheLines
@@ -202,6 +232,195 @@ class EvalContext
      *  hashing: a silent collision would silently corrupt results). */
     std::deque<std::pair<std::vector<uint64_t>, std::vector<DispatchLimits>>>
         windowLimits_;
+    WindowStatics statics_;
+    bool staticsBuilt_ = false;
+};
+
+class StrideMlpCache;
+
+/**
+ * Batched structure-of-arrays evaluator over one pinned (EvalContext,
+ * ModelOptions) pair — the hot engine behind SweepMode::ModelOnlyPareto.
+ *
+ * An EvalContext alone already amortizes profile-level work, but its memo
+ * lookups were designed for correctness-first auditability: per-point key
+ * vectors rebuilt and linearly scanned on every evaluation, and per-point
+ * reconstruction of the stride-MLP virtual load stream per distinct key.
+ * BatchEval pins the options up front and layers batch-grade machinery on
+ * top: hashed memo lookups with exact-key confirmation (a hash bucket
+ * narrows the scan; the full key compare still decides, so collisions
+ * cannot corrupt results), a StrideMlpCache that rebuilds only the miss
+ * walk instead of the whole load stream, port/FU sub-memos shared across
+ * dispatch-limit keys, chain weights combined from per-cache-size miss
+ * ratio vectors, and per-branch-model window miss counts.
+ *
+ * Everything here is a bitwise-exact replay of the scalar path:
+ * evaluateOne(cfg) equals evaluateModel(ctx, cfg, opts) field for field
+ * (tests/test_eval_cache.cc proves it over the thesis grid). The class is
+ * not thread-safe; use one instance per worker, like EvalContext.
+ */
+class BatchEval
+{
+  public:
+    BatchEval(EvalContext &ec, const ModelOptions &opts);
+    ~BatchEval();
+
+    BatchEval(const BatchEval &) = delete;
+    BatchEval &operator=(const BatchEval &) = delete;
+
+    /** Sweep-facing result of one design point. */
+    struct Output {
+        double modelCpi = 0;
+        double modelWatts = 0;
+    };
+
+    /**
+     * Evaluate @p n configurations into @p out. When @p power is non-null
+     * it must hold n precomputed powerParams(cfgs[i]) entries (sharing
+     * them across workloads skips the voltage/leakage pow() chain);
+     * otherwise the power parameters are derived per point.
+     */
+    void evaluate(const CoreConfig *cfgs, size_t n, Output *out,
+                  const PowerParams *power = nullptr);
+
+    /** Full single-point evaluation (parity tests / inspection). The
+     *  reference stays valid until the next evaluate*/
+    const ModelResult &evaluateOne(const CoreConfig &cfg);
+
+    EvalContext &context() { return ec_; }
+    const ModelOptions &options() const { return opts_; }
+
+    // --- fast memo lookups consumed by the shared evaluation core ---
+
+    /** The nine miss ratios of a design point's cache hierarchy. */
+    struct Ratios {
+        double l1, l2, l3;  ///< data-load stream
+        double s1, s2, s3;  ///< store stream
+        double i1, i2, i3;  ///< instruction stream
+    };
+    const Ratios &ratios(const CoreConfig &cfg);
+
+    /** Global + per-window dispatch limits under one memo key. */
+    struct LimitsEntry {
+        DispatchLimits global;
+        std::vector<DispatchLimits> windows;
+    };
+    const LimitsEntry &limits(const CoreConfig &cfg, double mrL1,
+                              uint32_t depWindow);
+
+    const MlpEstimate &mlpEstimate(const CoreConfig &cfg,
+                                   uint32_t windowUops);
+
+    const EvalContext::ChainWeights &chainWeights(double l2Lines,
+                                                  double l3Lines);
+
+    /** Memoized branch resolution time with a last-key shortcut. */
+    double branchResolution(const CoreConfig &cfg, double avgLat,
+                            double uopsBetweenMispredicts);
+
+    /** Memoized profile().chains.cp(depWindow). */
+    double globalCp(uint32_t depWindow);
+
+    /** bm.missRate(entropyEff[wi]) * branches per window, memoized per
+     *  interned branch model (identity key: models are pinned). */
+    const std::vector<double> &windowBranchMisses(const BranchMissModel &bm);
+    /** Memoized bm.missRate(profile().branch.entropy()). */
+    double globalMissRate(const BranchMissModel &bm);
+
+  private:
+    /** Miss ratios keyed on the packed (L1D, L2, L3, L1I) line counts. */
+    struct RatioSlot {
+        uint64_t k0, k1;
+        Ratios r;
+    };
+    /** Port-scheduling walk results keyed on the issue-port signature:
+     *  the walk reads only the per-window uop counts (profile) and the
+     *  eligible-port sets, so one entry serves every width/ROB/cache
+     *  variation sharing a port layout. */
+    struct PortsEntry {
+        std::vector<uint64_t> key;  ///< canIssue mask per port
+        double globalMaxAct = 0;
+        std::vector<double> windowMaxAct;
+    };
+    /** FU rate folds keyed on the (FU pools, latency table) signature. */
+    struct FuEntry {
+        std::vector<uint64_t> key;
+        double globalMinRate = 0;
+        std::vector<double> windowMinRate;
+    };
+    struct MlpSlot {
+        EvalContext::MlpKey key;
+        MlpEstimate est;
+    };
+    /** Per-branch-model derived rates (identity keyed: models are either
+     *  process-interned or pinned inside opts_). */
+    struct BranchSlot {
+        const BranchMissModel *bm;
+        double globalRate = 0;
+        std::vector<double> windowMisses;
+    };
+    /**
+     * Bitwise-exact replay of DependenceChains::interpolate with the
+     * per-bracket fit constants precomputed: a and b are pure functions
+     * of the profiled nodes, leaving one log() per evaluation. Feeds the
+     * branch-resolution leaky-bucket walk (thesis Alg 3.2), whose inner
+     * loop otherwise dominates cold resolution lookups.
+     */
+    struct ChainInterp {
+        bool empty = true;
+        bool single = false;
+        double singleValue = 0;
+        std::vector<double> hiSizes;  ///< robSizes[hi] per bracket
+        struct Seg {
+            double a = 0, b = 0;
+            bool zero = false;  ///< y0 == 0 && y1 == 0 fallback
+        };
+        std::vector<Seg> segs;
+
+        void build(const DependenceChains &chains, bool useAbp);
+        double eval(double rob) const;
+    };
+
+    void buildLimitsKey(const CoreConfig &cfg, uint32_t depWindow,
+                        uint64_t mrL1Bits);
+    LimitsEntry buildLimits(const CoreConfig &cfg, double mrL1,
+                            uint32_t depWindow);
+    const PortsEntry &portsEntry(const CoreConfig &cfg);
+    const FuEntry &fuEntry(const CoreConfig &cfg);
+    const std::vector<double> &opRatios(double lines);
+    BranchSlot &branchSlot(const BranchMissModel &bm);
+    double fastResolutionTime(const CoreConfig &cfg, double avgLat,
+                              double uopsBetweenMispredicts) const;
+
+    EvalContext &ec_;
+    ModelOptions opts_;
+    ModelResult scratch_;
+
+    std::unique_ptr<StrideMlpCache> strideCache_;
+
+    std::vector<RatioSlot> ratioTable_;
+    std::deque<std::pair<std::vector<uint64_t>, LimitsEntry>> limitsTable_;
+    std::unordered_map<uint64_t, std::vector<uint32_t>> limitsBuckets_;
+    std::vector<uint64_t> keyBuf_;
+    const LimitsEntry *lastLimits_ = nullptr;
+    std::vector<uint64_t> lastLimitsKey_;
+    std::deque<PortsEntry> portsTable_;
+    std::deque<FuEntry> fuTable_;
+    std::deque<MlpSlot> mlpTable_;
+    std::deque<std::pair<EvalContext::ChainKey, EvalContext::ChainWeights>>
+        chainTable_;
+    /** Per-(cache lines) miss ratio across static ops, load ops only. */
+    std::deque<std::pair<uint64_t, std::vector<double>>> opRatioTable_;
+    std::vector<double> depClamp_;  ///< per static op, profile-only
+    double loadsSeen_ = 0;
+    bool depClampBuilt_ = false;
+    std::vector<std::pair<uint32_t, double>> globalCps_;
+    std::deque<BranchSlot> branchTable_;
+    ChainInterp cpInterp_, abpInterp_;
+    std::vector<std::pair<EvalContext::ResolutionKey, double>> resTable_;
+    EvalContext::ResolutionKey lastResKey_{};
+    double lastResValue_ = 0;
+    bool lastResValid_ = false;
 };
 
 /**
@@ -212,6 +431,16 @@ class EvalContext
  */
 ModelResult evaluateModel(EvalContext &ctx, const CoreConfig &cfg,
                           const ModelOptions &opts = {});
+
+/**
+ * Shared evaluation core behind evaluateModel and BatchEval: fills @p res
+ * in place (clearing reused buffers) so batch loops can recycle one
+ * ModelResult. When @p fast is non-null its hashed memos replace the
+ * EvalContext lookups; the values are bitwise identical either way.
+ */
+void evaluateModelInto(EvalContext &ctx, const CoreConfig &cfg,
+                       const ModelOptions &opts, ModelResult &res,
+                       BatchEval *fast = nullptr);
 
 } // namespace mipp
 

@@ -41,6 +41,22 @@ struct Scratch {
      *  bounds the work available to drain in any stall shadow. */
     double window = 0;
 
+    // Per-design-point constants hoisted out of the window loop by
+    // finalizePoint(); each is the identical subexpression the penalty
+    // methods previously rebuilt per call, precomputed once (values are
+    // bitwise-unchanged: same operations on the same operands).
+    double dW = 0;           ///< dispatch width as double
+    double invD = 0;         ///< 1.0 / dW
+    double fullBranch = 0;   ///< penaltyScale * (cres + frontendDepth)
+    double branchFloor = 0;  ///< 0.2 * fullBranch under truncation
+    double halfWindow = 0;   ///< window / 2.0
+    double shadowWindow = 0; ///< shadowScale * window
+    double dramFull = 0;     ///< memLatency + cbus
+    double dramFloor = 0;    ///< 0.2 * dramFull
+    double hitRatio = 0;     ///< max(0, mrL2 - mrL3)
+    double paths = 0.25;     ///< max(pathsPerWindow(ri), 0.25)
+    double lop = 0;          ///< max(loadsPerWindow(ri), paths) / paths
+
     Scratch(EvalContext &ec, const CoreConfig &config,
             const ModelOptions &options)
         : p(ec.profile()), cfg(config), opts(options), ss(ec.stats()),
@@ -48,6 +64,25 @@ struct Scratch {
           bm(options.branchModel ? *options.branchModel
                                  : internedBranchModel(config.predictor))
     {
+    }
+
+    /** Freeze the per-point constants; call after cres, cbus, window and
+     *  the miss ratios are known. */
+    void
+    finalizePoint()
+    {
+        dW = cfg.dispatchWidth;
+        invD = 1.0 / dW;
+        fullBranch = opts.cal.penaltyScale * (cres + cfg.frontendDepth);
+        branchFloor =
+            opts.cal.baseWindowFrac > 0 ? 0.2 * fullBranch : 0.0;
+        halfWindow = window / 2.0;
+        shadowWindow = opts.cal.shadowScale * window;
+        dramFull = cfg.memLatency + cbus;
+        dramFloor = 0.2 * dramFull;
+        hitRatio = std::max(0.0, mrL2 - mrL3);
+        paths = std::max(p.loadDeps.pathsPerWindow(ri), 0.25);
+        lop = std::max(p.loadDeps.loadsPerWindow(ri), paths) / paths;
     }
 
     /** Average uop latency for a given type-fraction mix (short misses
@@ -73,10 +108,8 @@ struct Scratch {
     double
     visibleBranchPenalty(double deff) const
     {
-        double full = opts.cal.penaltyScale * (cres + cfg.frontendDepth);
-        double d = cfg.dispatchWidth;
-        if (deff >= d)
-            return full;
+        if (deff >= dW)
+            return fullBranch;
         // The drainable in-flight work at a mispredict is bounded by the
         // truncated window: the front end never filled past the previous
         // mispredicted branch. Under truncation the penalty is floored
@@ -86,9 +119,8 @@ struct Scratch {
         // pipeline delay after resolution always stalls dispatch for a
         // little while anyway. With truncation off (uncalibrated), the
         // floor is off too, recovering the thesis formulation exactly.
-        double slack = (window / 2.0) * (1.0 / deff - 1.0 / d);
-        double floor = opts.cal.baseWindowFrac > 0 ? 0.2 * full : 0.0;
-        return std::max(full - slack, floor);
+        double slack = halfWindow * (1.0 / deff - invD);
+        return std::max(fullBranch - slack, branchFloor);
     }
 
     /**
@@ -104,17 +136,14 @@ struct Scratch {
     double
     dramLatencyPerMiss(const DispatchLimits &lim) const
     {
-        double full = cfg.memLatency + cbus;
         // Only *structural* contention (ports, functional units) keeps
         // producing useful work in the shadow of a miss; a dependence
         // limited window has nothing extra to run.
         double deffC = std::min({lim.width, lim.ports, lim.fus});
-        double d = cfg.dispatchWidth;
-        if (deffC >= d)
-            return full;
-        double slack = opts.cal.shadowScale * window *
-                       (1.0 / deffC - 1.0 / d);
-        return std::max(full - slack, 0.2 * full);
+        if (deffC >= dW)
+            return dramFull;
+        double slack = shadowWindow * (1.0 / deffC - invD);
+        return std::max(dramFull - slack, dramFloor);
     }
 
     /**
@@ -126,13 +155,9 @@ struct Scratch {
     double
     chainPenalty(double loadsPerRob, double deff, double serialHits) const
     {
-        double hitRatio = std::max(0.0, mrL2 - mrL3);
         double h = hitRatio * loadsPerRob;
         double lhcExp = 0;
         if (h > 0) {
-            double paths = std::max(p.loadDeps.pathsPerWindow(ri), 0.25);
-            double lop =
-                std::max(p.loadDeps.loadsPerWindow(ri), paths) / paths;
             double lhcAvg = h / paths;
             double lhcMax = std::min(h, lop);
             lhcExp = lhcAvg + std::max(lhcMax - lhcAvg, 0.0) / paths;
@@ -176,34 +201,49 @@ truncatedWindow(double frac, double uopsPerMispredict, uint32_t rob)
 
 } // namespace
 
-ModelResult
-evaluateModel(EvalContext &ec, const CoreConfig &cfg,
-              const ModelOptions &opts)
+void
+evaluateModelInto(EvalContext &ec, const CoreConfig &cfg,
+                  const ModelOptions &opts, ModelResult &res,
+                  BatchEval *fast)
 {
     const Profile &p = ec.profile();
-    ModelResult res;
+    res.windowCpi.clear();
     Scratch ctx(ec, cfg, opts);
     ctx.ri = p.robIndex(cfg.robSize);
+    const EvalContext::WindowStatics &ws = ec.windowStatics();
 
     // --- Cache miss rates from StatStack (thesis §4.2) -------------------
-    const double l1L = cfg.l1d.numLines();
     const double l2L = cfg.l2.numLines();
     const double l3L = cfg.l3.numLines();
-    ctx.mrL1 = ec.dataMissRatio(p.reuseLoads, l1L);
-    ctx.mrL2 = ec.dataMissRatio(p.reuseLoads, l2L);
-    ctx.mrL3 = ec.dataMissRatio(p.reuseLoads, l3L);
-    ctx.mrS1 = ec.dataMissRatio(p.reuseStores, l1L);
-    ctx.mrS2 = ec.dataMissRatio(p.reuseStores, l2L);
-    ctx.mrS3 = ec.dataMissRatio(p.reuseStores, l3L);
-    ctx.mrI1 = ec.instMissRatio(p.reuseInsts, cfg.l1i.numLines());
-    ctx.mrI2 = ec.instMissRatio(p.reuseInsts, l2L);
-    ctx.mrI3 = ec.instMissRatio(p.reuseInsts, l3L);
+    if (fast) {
+        const BatchEval::Ratios &r = fast->ratios(cfg);
+        ctx.mrL1 = r.l1;
+        ctx.mrL2 = r.l2;
+        ctx.mrL3 = r.l3;
+        ctx.mrS1 = r.s1;
+        ctx.mrS2 = r.s2;
+        ctx.mrS3 = r.s3;
+        ctx.mrI1 = r.i1;
+        ctx.mrI2 = r.i2;
+        ctx.mrI3 = r.i3;
+    } else {
+        const double l1L = cfg.l1d.numLines();
+        ctx.mrL1 = ec.dataMissRatio(p.reuseLoads, l1L);
+        ctx.mrL2 = ec.dataMissRatio(p.reuseLoads, l2L);
+        ctx.mrL3 = ec.dataMissRatio(p.reuseLoads, l3L);
+        ctx.mrS1 = ec.dataMissRatio(p.reuseStores, l1L);
+        ctx.mrS2 = ec.dataMissRatio(p.reuseStores, l2L);
+        ctx.mrS3 = ec.dataMissRatio(p.reuseStores, l3L);
+        ctx.mrI1 = ec.instMissRatio(p.reuseInsts, cfg.l1i.numLines());
+        ctx.mrI2 = ec.instMissRatio(p.reuseInsts, l2L);
+        ctx.mrI3 = ec.instMissRatio(p.reuseInsts, l3L);
+    }
 
-    ctx.loads = static_cast<double>(p.reuseLoads.total());
-    ctx.stores = static_cast<double>(p.reuseStores.total());
-    ctx.iAccesses = static_cast<double>(p.reuseInsts.total());
-    ctx.totalUops = static_cast<double>(p.totalUops);
-    ctx.totalInsts = ctx.totalUops / std::max(p.uopsPerInst(), 1.0);
+    ctx.loads = ws.loads;
+    ctx.stores = ws.stores;
+    ctx.iAccesses = ws.iAccesses;
+    ctx.totalUops = ws.totalUops;
+    ctx.totalInsts = ws.totalInsts;
 
     res.loadMissesL1 = ctx.mrL1 * ctx.loads;
     res.loadMissesL2 = ctx.mrL2 * ctx.loads;
@@ -218,21 +258,18 @@ evaluateModel(EvalContext &ec, const CoreConfig &cfg,
     res.instructions = ctx.totalInsts;
 
     // --- Global mix / latency ----------------------------------------------
-    std::array<double, kNumUopTypes> globalFrac{};
-    std::array<double, kNumUopTypes> globalCounts{};
-    for (int t = 0; t < kNumUopTypes; ++t) {
-        globalFrac[t] = p.uopFraction(static_cast<UopType>(t));
-        globalCounts[t] = globalFrac[t] * ctx.totalUops;
-    }
+    const std::array<double, kNumUopTypes> &globalFrac = ws.globalFrac;
+    const std::array<double, kNumUopTypes> &globalCounts =
+        ws.globalCounts;
     const double avgLat = ctx.avgLatency(globalFrac);
     res.avgLatency = avgLat;
 
     // --- Branch misses first (thesis §3.5): the predicted mispredict
     // interval truncates the instruction window for both the dependence
     // limit and the MLP overlap walk (recalibration). ---------------------
-    res.branchMissRate = ctx.bm.missRate(p.branch.entropy());
-    const double branches = static_cast<double>(p.branch.branches);
-    res.branchMisses = res.branchMissRate * branches;
+    res.branchMissRate = fast ? fast->globalMissRate(ctx.bm) :
+                                ctx.bm.missRate(ws.globalEntropy);
+    res.branchMisses = res.branchMissRate * ws.globalBranches;
     const double uopsPerMiss = res.branchMisses > 0.5 ?
         ctx.totalUops / res.branchMisses : 0;
     const uint32_t depWindow = truncatedWindow(
@@ -242,16 +279,28 @@ evaluateModel(EvalContext &ec, const CoreConfig &cfg,
     ctx.window = depWindow;
 
     // --- Dispatch limits (Eq 3.10) at the truncated window -----------------
-    const double cpGlobal = p.chains.cp(depWindow);
-    res.limits = limitsFor(ctx, globalCounts, cpGlobal, avgLat, depWindow);
+    const std::vector<DispatchLimits> *limWindows = nullptr;
+    if (fast) {
+        const BatchEval::LimitsEntry &le =
+            fast->limits(cfg, ctx.mrL1, depWindow);
+        res.limits = le.global;
+        limWindows = &le.windows;
+    } else {
+        const double cpGlobal = p.chains.cp(depWindow);
+        res.limits =
+            limitsFor(ctx, globalCounts, cpGlobal, avgLat, depWindow);
+    }
     res.deff = res.limits.effective();
 
     if (res.branchMisses > 0.5)
-        ctx.cres = ec.branchResolution(cfg, avgLat, uopsPerMiss);
+        ctx.cres = fast ?
+            fast->branchResolution(cfg, avgLat, uopsPerMiss) :
+            ec.branchResolution(cfg, avgLat, uopsPerMiss);
     res.branchResolution = ctx.cres;
 
     // --- MLP (thesis Ch. 4) -------------------------------------------------
-    ctx.mlpEst = &ec.mlpEstimate(cfg, opts, mlpWindow);
+    ctx.mlpEst = fast ? &fast->mlpEstimate(cfg, mlpWindow) :
+                        &ec.mlpEstimate(cfg, opts, mlpWindow);
     ctx.mlp = ctx.mlpEst->mlp;
     ctx.prefetchFactor = ctx.mlpEst->dramMisses > 0 ?
         ctx.mlpEst->latWeighted / ctx.mlpEst->dramMisses : 1.0;
@@ -260,7 +309,8 @@ evaluateModel(EvalContext &ec, const CoreConfig &cfg,
     // Per-op serial-chain weights for the chained-LLC-hit bound (memoized
     // per (L2, L3) level pair): an LLC hit on a load that depends on other
     // loads cannot be overlapped.
-    const EvalContext::ChainWeights &cw = ec.chainWeights(l2L, l3L);
+    const EvalContext::ChainWeights &cw =
+        fast ? fast->chainWeights(l2L, l3L) : ec.chainWeights(l2L, l3L);
 
     const double llcLoadMisses = res.loadMissesL3;
     const double llcStoreMisses = res.storeMissesL3;
@@ -289,51 +339,46 @@ evaluateModel(EvalContext &ec, const CoreConfig &cfg,
     const bool useInsts =
         opts.baseLevel == ModelOptions::BaseLevel::Instructions;
 
+    ctx.finalizePoint();
+
     // =========================================================================
     // Per-window evaluation (TC'16): evaluate each micro-trace separately
     // and scale the profiled total to the whole program.
     // =========================================================================
     const bool perWindow = opts.perWindow && !p.windows.empty();
     if (perWindow) {
-        // Normalize window entropies so their branch-weighted mean matches
-        // the (longer-history) global entropy.
-        double eSum = 0, bSum = 0;
-        for (const auto &w : p.windows) {
-            eSum += static_cast<double>(w.branches) * w.branchEntropy;
-            bSum += w.branches;
-        }
-        double eMean = bSum > 0 ? eSum / bSum : 0;
-        double eNorm = eMean > 1e-9 ? p.branch.entropy() / eMean : 1.0;
-
-        const std::vector<DispatchLimits> &limWindows =
-            ec.windowLimits(cfg, opts.baseLevel, ctx.mrL1, depWindow);
+        // Window entropies come pre-normalized from the statics: their
+        // branch-weighted mean matches the (longer-history) global
+        // entropy (ws.eNorm).
+        if (!limWindows)
+            limWindows =
+                &ec.windowLimits(cfg, opts.baseLevel, ctx.mrL1, depWindow);
+        const std::vector<double> *fastMisses =
+            fast ? &fast->windowBranchMisses(ctx.bm) : nullptr;
+        const double icacheScaled =
+            p.profiledUops ? icacheCycles / p.scale() : 0.0;
 
         CpiStack stack;
         double profiledCycles = 0, profiledUops = 0;
         for (size_t wi = 0; wi < p.windows.size(); ++wi) {
-            const WindowProfile &w = p.windows[wi];
-            double uopsW = w.uops();
+            double uopsW = ws.uops[wi];
             if (uopsW <= 0)
                 continue;
 
-            std::array<double, kNumUopTypes> fracW{}, countsW{};
-            for (int t = 0; t < kNumUopTypes; ++t) {
-                countsW[t] = w.uopCounts[t];
-                fracW[t] = w.uopCounts[t] / uopsW;
-            }
-            const DispatchLimits &limW = limWindows[wi];
+            const DispatchLimits &limW = (*limWindows)[wi];
             double deffW = limW.effective();
-            double nW = useInsts ? static_cast<double>(w.insts) : uopsW;
+            double nW = useInsts ? ws.insts[wi] : uopsW;
             double baseW = nW / deffW;
 
             // Branch component with window-local entropy.
-            double eW = std::min(1.0, w.branchEntropy * eNorm);
-            double missesW = ctx.bm.missRate(eW) * w.branches;
+            double missesW = fastMisses ?
+                (*fastMisses)[wi] :
+                ctx.bm.missRate(ws.entropyEff[wi]) *
+                    p.windows[wi].branches;
             double branchW = missesW * ctx.visibleBranchPenalty(deffW);
 
             // I-cache cycles distributed by uop share.
-            double icacheW = p.profiledUops ?
-                icacheCycles / p.scale() * (uopsW / p.profiledUops) : 0;
+            double icacheW = icacheScaled * ws.uopShare[wi];
 
             // DRAM component.
             double dramLat = ctx.dramLatencyPerMiss(limW);
@@ -344,8 +389,7 @@ evaluateModel(EvalContext &ec, const CoreConfig &cfg,
                 double mlpW = std::max(wm.mlp, 1.0);
                 dramW = wm.latWeighted * dramLat / mlpW;
             } else {
-                double loadsW =
-                    countsW[static_cast<int>(UopType::Load)];
+                double loadsW = ws.loadCounts[wi];
                 dramW = loadsW * ctx.mrL3 * ctx.prefetchFactor * dramLat /
                         ctx.mlp;
             }
@@ -354,10 +398,10 @@ evaluateModel(EvalContext &ec, const CoreConfig &cfg,
             // from this window's static-load population.
             double chainW = 0;
             if (opts.modelLlcChaining) {
-                double serialW = cw.windowSerial[wi];
-                serialW *= static_cast<double>(cfg.robSize) /
-                           std::max(uopsW, 1.0);
-                double loadFracW = fracW[static_cast<int>(UopType::Load)];
+                double serialW =
+                    cw.windowSerial[wi] *
+                    (static_cast<double>(cfg.robSize) / ws.maxUops[wi]);
+                double loadFracW = ws.loadFrac[wi];
                 chainW = ctx.chainPenalty(loadFracW * cfg.robSize, deffW,
                                           serialW) *
                          (uopsW / cfg.robSize);
@@ -427,6 +471,14 @@ evaluateModel(EvalContext &ec, const CoreConfig &cfg,
         res.loadMissesL2 + res.storeMissesL2 + res.ifetchMissesL2);
     a.dramAccesses = static_cast<uint64_t>(
         res.loadMissesL3 + res.storeMissesL3 + res.ifetchMissesL3);
+}
+
+ModelResult
+evaluateModel(EvalContext &ec, const CoreConfig &cfg,
+              const ModelOptions &opts)
+{
+    ModelResult res;
+    evaluateModelInto(ec, cfg, opts, res, nullptr);
     return res;
 }
 

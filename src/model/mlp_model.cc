@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <numeric>
 
 namespace mipp {
 
@@ -341,6 +343,269 @@ strideMlp(const Profile &p, const CoreConfig &cfg, const StatStack &ss,
             double timeW = wm.mlp > 0 ? wm.latWeighted / wm.mlp : 0;
             wm.dramMisses += add;
             wm.latWeighted += add;   // cold misses are not prefetchable
+            timeW += add / mlpInj;
+            wm.mlp = timeW > 0 ? wm.latWeighted / timeW : 0;
+            totalMisses += add;
+            totalWeighted += add;
+            serialTime += add / mlpInj;
+        }
+    }
+
+    est.dramMisses = totalMisses;
+    est.latWeighted = totalWeighted;
+    est.mlp = serialTime > 0 ?
+        std::max(totalWeighted / serialTime, 1.0) : 1.0;
+    return est;
+}
+
+StrideMlpCache::StrideMlpCache(const Profile &p, const StatStack &ss)
+    : p_(p), ss_(ss)
+{
+    const double mtSize = static_cast<double>(p.sampling.microTraceSize);
+
+    ops_.resize(p.memOps.size());
+    for (size_t i = 0; i < p.memOps.size(); ++i) {
+        const StaticMemProfile &sp = p.memOps[i];
+        if (sp.isStore)
+            continue;
+        staticLoads_++;
+        OpStatics &m = ops_[i];
+        m.isLoad = true;
+        m.chase = sp.isPointerChase();
+        m.depth = std::max(sp.avgLoadDepth(), 1.0);
+        m.gap = std::max(sp.avgGap(), 1.0);
+        m.serialChain = m.chase && m.depth >= 3.0;
+        if (!m.chase) {
+            StrideClass sc = sp.strideClass();
+            bool strided = sc == StrideClass::SingleStride ||
+                           sc == StrideClass::TwoStride ||
+                           sc == StrideClass::ThreeStride ||
+                           sc == StrideClass::FourStride;
+            if (strided) {
+                auto dom = sp.dominantStrides();
+                m.stridedInPage = !dom.empty() &&
+                                  std::llabs(dom.front()) < 4096;
+            }
+        }
+    }
+
+    if (!p.windows.empty()) {
+        for (const auto &w : p.windows)
+            coldAvg_ += w.coldMisses;
+        coldAvg_ /= p.windows.size();
+    }
+    for (const auto &w : p.windows) {
+        coldTotal_ += w.coldMisses;
+        uopsTotal_ += w.uops();
+    }
+
+    // Stream skeleton: event positions and the sorted order are pure
+    // functions of the profile, so build (and sort) them exactly once.
+    windows_.resize(p.windows.size());
+    for (size_t wi = 0; wi < p.windows.size(); ++wi) {
+        const WindowProfile &w = p.windows[wi];
+        WindowSkeleton &sk = windows_[wi];
+        for (const auto &[opIdx, count] : w.memCounts) {
+            const StaticMemProfile &sp = p.memOps[opIdx];
+            if (sp.isStore)
+                continue;
+            double first = std::min(sp.avgFirstPos(), mtSize - 1.0);
+            double gap = ops_[opIdx].gap;
+            for (uint32_t k = 0; k < count; ++k) {
+                sk.buildOp.push_back(opIdx);
+                sk.buildPos.push_back(first + k * gap);
+            }
+        }
+        if (sk.buildPos.empty())
+            continue;
+        // std::sort's swap decisions are a function of the comparison
+        // outcomes alone, so sorting indices by pos applies the same
+        // permutation strideMlp's sort of the full events does.
+        sk.perm.resize(sk.buildPos.size());
+        std::iota(sk.perm.begin(), sk.perm.end(), 0u);
+        std::sort(sk.perm.begin(), sk.perm.end(),
+                  [&sk](uint32_t a, uint32_t b) {
+                      return sk.buildPos[a] < sk.buildPos[b];
+                  });
+        sk.maxPos = sk.buildPos[sk.perm.back()] + 1;
+    }
+}
+
+const StrideMlpCache::L3State &
+StrideMlpCache::l3State(uint32_t l3Lines, bool redistributeCold)
+{
+    for (const L3State &s : l3States_)
+        if (s.l3Lines == l3Lines && s.redistributeCold == redistributeCold)
+            return s;
+
+    l3States_.emplace_back();
+    L3State &st = l3States_.back();
+    st.l3Lines = l3Lines;
+    st.redistributeCold = redistributeCold;
+    const double llcLines = l3Lines;
+
+    st.mrLlcGlobal = ss_.missRatio(p_.reuseLoads, llcLines);
+    st.mrLlc.assign(ops_.size(), 0.0);
+    st.indepProb.assign(ops_.size(), 1.0);
+    for (size_t i = 0; i < ops_.size(); ++i) {
+        if (!ops_[i].isLoad)
+            continue;
+        st.mrLlc[i] = ss_.missRatio(p_.memOps[i].reuse, llcLines);
+        double mrPred = ops_[i].chase ?
+            std::max(st.mrLlcGlobal, st.mrLlc[i]) : st.mrLlcGlobal;
+        st.indepProb[i] = std::pow(
+            std::clamp(1.0 - mrPred, 0.0, 1.0), ops_[i].depth - 1.0);
+    }
+
+    std::vector<double> expMissesW(p_.windows.size(), 0.0);
+    std::vector<double> adjMissesW(p_.windows.size(), 0.0);
+    double expTotal = 0, adjTotal = 0;
+    for (size_t wi = 0; wi < p_.windows.size(); ++wi) {
+        const WindowProfile &w = p_.windows[wi];
+        double exp = 0;
+        for (const auto &[opIdx, count] : w.memCounts) {
+            if (!p_.memOps[opIdx].isStore)
+                exp += count * st.mrLlc[opIdx];
+        }
+        expMissesW[wi] = exp;
+        adjMissesW[wi] =
+            std::max(0.0, exp + (w.coldMisses - coldAvg_));
+        expTotal += exp;
+        adjTotal += adjMissesW[wi];
+    }
+    st.expTotal = expTotal;
+    const double renorm = adjTotal > 1e-9 ? expTotal / adjTotal : 1.0;
+
+    // Replay strideMlp's error-diffusion marking: per-op accumulators
+    // persist across windows in build order, so a single pass over all
+    // windows reproduces every miss flag. Store the misses in sorted
+    // order — the overlap walk never reads the hits.
+    std::vector<double> missAcc(ops_.size(), 0.0);
+    std::vector<char> flag;
+    st.missEvents.resize(p_.windows.size());
+    for (size_t wi = 0; wi < p_.windows.size(); ++wi) {
+        const WindowSkeleton &sk = windows_[wi];
+        double factor = (redistributeCold && expMissesW[wi] > 1e-9) ?
+            adjMissesW[wi] * renorm / expMissesW[wi] : 1.0;
+        flag.assign(sk.buildOp.size(), 0);
+        for (size_t e = 0; e < sk.buildOp.size(); ++e) {
+            uint32_t op = sk.buildOp[e];
+            double missProb = std::min(st.mrLlc[op] * factor, 1.0);
+            missAcc[op] += missProb;
+            if (missAcc[op] >= 1.0) {
+                missAcc[op] -= 1.0;
+                flag[e] = 1;
+            }
+        }
+        std::vector<MissEvent> &mev = st.missEvents[wi];
+        for (uint32_t e : sk.perm) {
+            if (flag[e])
+                mev.push_back({sk.buildPos[e], sk.buildOp[e]});
+        }
+    }
+    return st;
+}
+
+MlpEstimate
+StrideMlpCache::estimate(const CoreConfig &cfg, const MlpOptions &opt)
+{
+    MlpEstimate est;
+    const bool prefetch = opt.modelPrefetcher && cfg.prefetcherEnabled;
+    const uint32_t window = opt.windowUops > 0 ?
+        std::min(opt.windowUops, cfg.robSize) : cfg.robSize;
+    const L3State &st = l3State(cfg.l3.numLines(), opt.redistributeCold);
+
+    // Residual latency per op after prefetching; 1.0 when the prefetcher
+    // is off or its table cannot hold the static loads (strideMlp's
+    // latFactor, hoisted out of the event loop — it is per-op constant).
+    const bool tableHolds = staticLoads_ <= cfg.prefetcherEntries;
+    std::vector<double> latFactor;
+    if (prefetch && tableHolds) {
+        latFactor.assign(ops_.size(), 1.0);
+        for (size_t i = 0; i < ops_.size(); ++i) {
+            const OpStatics &m = ops_[i];
+            if (!m.isLoad || m.chase || !m.stridedInPage)
+                continue;
+            if (m.gap >= cfg.robSize) {
+                latFactor[i] = 0.0;
+            } else {
+                double hidden = m.gap / cfg.dispatchWidth;
+                latFactor[i] = std::max(
+                    0.0, (cfg.memLatency - hidden) / cfg.memLatency);
+            }
+        }
+    }
+
+    double serialTime = 0;
+    double totalMisses = 0;
+    double totalWeighted = 0;
+    est.windows.reserve(p_.windows.size());
+    for (size_t wi = 0; wi < windows_.size(); ++wi) {
+        const WindowSkeleton &sk = windows_[wi];
+        if (sk.buildPos.empty()) {
+            est.windows.push_back({});
+            continue;
+        }
+        const std::vector<MissEvent> &mev = st.missEvents[wi];
+        WindowMlp wm;
+        double serialTimeW = 0;
+        size_t cursor = 0;
+        // Same bucket boundaries as strideMlp (lo accumulated by
+        // repeated addition); buckets past the last miss contribute
+        // nothing there, so stopping early is exact.
+        for (double lo = 0; lo < sk.maxPos && cursor < mev.size();
+             lo += window) {
+            double hi = lo + window;
+            double misses = 0, weighted = 0;
+            double serialMisses = 0;
+            double indepParallel = 0;
+            while (cursor < mev.size() && mev[cursor].pos < hi) {
+                const MissEvent &v = mev[cursor++];
+                misses += 1;
+                weighted += latFactor.empty() ? 1.0 : latFactor[v.opIdx];
+                if (ops_[v.opIdx].serialChain)
+                    serialMisses += 1;
+                else
+                    indepParallel += st.indepProb[v.opIdx];
+            }
+            if (misses <= 0)
+                continue;
+            double freeMisses = misses - serialMisses;
+            double parTime = freeMisses / std::max(indepParallel, 1.0);
+            double time = std::max({serialMisses, parTime, 1.0});
+            double mlp = std::max(misses / time, 1.0);
+            if (opt.modelMshrs)
+                mlp = mshrCappedMlp(mlp, misses, cfg.mshrs);
+            wm.dramMisses += misses;
+            wm.latWeighted += weighted;
+            serialTimeW += weighted / mlp;
+        }
+        wm.mlp = serialTimeW > 0 ? wm.latWeighted / serialTimeW : 0;
+        serialTime += serialTimeW;
+        totalMisses += wm.dramMisses;
+        totalWeighted += wm.latWeighted;
+        est.windows.push_back(wm);
+    }
+
+    double shortfall = std::max(st.expTotal - totalMisses, 0.0);
+    double inject = opt.coldInject * shortfall;
+    if (inject > 1e-9 && !est.windows.empty()) {
+        const size_t ri = p_.robIndex(window);
+        double burst = std::max(p_.cold.coldPerDirtyWindow(ri), 1.0);
+        double mlpInj = opt.modelMshrs ?
+            mshrCappedMlp(burst, burst, cfg.mshrs) : burst;
+        for (size_t wi = 0; wi < est.windows.size(); ++wi) {
+            double share = coldTotal_ > 0 ?
+                p_.windows[wi].coldMisses / coldTotal_ :
+                (uopsTotal_ > 0 ? p_.windows[wi].uops() / uopsTotal_
+                                : 0.0);
+            double add = inject * share;
+            if (add <= 0)
+                continue;
+            WindowMlp &wm = est.windows[wi];
+            double timeW = wm.mlp > 0 ? wm.latWeighted / wm.mlp : 0;
+            wm.dramMisses += add;
+            wm.latWeighted += add;
             timeW += add / mlpInj;
             wm.mlp = timeW > 0 ? wm.latWeighted / timeW : 0;
             totalMisses += add;

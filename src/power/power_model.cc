@@ -72,18 +72,59 @@ executionSeconds(double cycles, const CoreConfig &cfg)
     return cycles / (cfg.freqGHz * 1e9);
 }
 
+PowerParams
+powerParams(const CoreConfig &cfg)
+{
+    const Energies e = energiesFor(cfg);
+    PowerParams pp;
+    pp.fetchPerUop = e.fetchPerUop;
+    pp.robEvent = e.robEvent;
+    pp.iqEvent = e.iqEvent;
+    pp.rfRead = e.rfRead;
+    pp.rfWrite = e.rfWrite;
+    pp.bpLookup = e.bpLookup;
+    for (int t = 0; t < kNumUopTypes; ++t)
+        pp.fuOp[t] = e.fuOp[t];
+    pp.l1Access = e.l1Access;
+    pp.l2Access = e.l2Access;
+    pp.l3Access = e.l3Access;
+    pp.dramAccess = e.dramAccess;
+    // Dynamic energy scales with Vdd^2 (thesis Eq 2.2).
+    pp.vScale = (cfg.vdd / kRefVdd) * (cfg.vdd / kRefVdd);
+
+    // Leakage: proportional to structure capacity, superlinear in Vdd
+    // (thesis Eq 2.1; leakage current itself grows with voltage).
+    const double lScale = std::pow(cfg.vdd / kRefVdd, 3.0);
+    double s = 0;
+    s += 1.20 * (cfg.dispatchWidth / 4.0);              // core logic
+    s += 0.50 * (cfg.robSize / 128.0);                  // ROB + IQ + RF
+    s += 0.05 * (cfg.predictorBytes / 4096.0);          // predictor
+    s += 0.15 * (cfg.l1i.sizeBytes / (32.0 * 1024));
+    s += 0.15 * (cfg.l1d.sizeBytes / (32.0 * 1024));
+    s += 0.30 * (cfg.l2.sizeBytes / (256.0 * 1024));
+    s += 2.40 * (cfg.l3.sizeBytes / (8.0 * 1024 * 1024));
+    pp.staticPower = s * lScale;
+    return pp;
+}
+
 PowerBreakdown
 computePower(const ActivityCounts &a, const CoreConfig &cfg)
+{
+    if (a.cycles == 0)
+        return {};
+    return computePower(a, cfg, powerParams(cfg));
+}
+
+PowerBreakdown
+computePower(const ActivityCounts &a, const CoreConfig &cfg,
+             const PowerParams &e)
 {
     PowerBreakdown p;
     if (a.cycles == 0)
         return p;
 
-    const Energies e = energiesFor(cfg);
     const double seconds = executionSeconds(a.cycles, cfg);
-    // Dynamic energy scales with Vdd^2 (thesis Eq 2.2).
-    const double vScale = (cfg.vdd / kRefVdd) * (cfg.vdd / kRefVdd);
-    const double toWatts = 1e-9 * vScale / seconds;
+    const double toWatts = 1e-9 * e.vScale / seconds;
 
     p.frontend = a.uops * e.fetchPerUop * toWatts;
     p.rob = (a.robWrites + a.robReads) * e.robEvent * toWatts;
@@ -99,19 +140,7 @@ computePower(const ActivityCounts &a, const CoreConfig &cfg)
     p.l2 = a.l2Accesses * e.l2Access * toWatts;
     p.l3 = a.l3Accesses * e.l3Access * toWatts;
     p.dram = a.dramAccesses * e.dramAccess * toWatts;
-
-    // Leakage: proportional to structure capacity, superlinear in Vdd
-    // (thesis Eq 2.1; leakage current itself grows with voltage).
-    const double lScale = std::pow(cfg.vdd / kRefVdd, 3.0);
-    double s = 0;
-    s += 1.20 * (cfg.dispatchWidth / 4.0);              // core logic
-    s += 0.50 * (cfg.robSize / 128.0);                  // ROB + IQ + RF
-    s += 0.05 * (cfg.predictorBytes / 4096.0);          // predictor
-    s += 0.15 * (cfg.l1i.sizeBytes / (32.0 * 1024));
-    s += 0.15 * (cfg.l1d.sizeBytes / (32.0 * 1024));
-    s += 0.30 * (cfg.l2.sizeBytes / (256.0 * 1024));
-    s += 2.40 * (cfg.l3.sizeBytes / (8.0 * 1024 * 1024));
-    p.staticPower = s * lScale;
+    p.staticPower = e.staticPower;
     return p;
 }
 

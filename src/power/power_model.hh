@@ -58,9 +58,43 @@ struct PowerBreakdown {
     double cachePower() const { return l1i + l1d + l2 + l3; }
 };
 
+/**
+ * Everything computePower derives from the configuration alone: per-event
+ * dynamic energies (nJ at the reference voltage), the Vdd^2 dynamic
+ * scale and the summed leakage. Deriving these is std::pow-heavy, so a
+ * batched sweep computes them once per design point and reuses them
+ * across workloads; computePower(a, cfg) is bitwise identical to
+ * computePower(a, cfg, powerParams(cfg)).
+ */
+struct PowerParams {
+    double fetchPerUop = 0;
+    double robEvent = 0;
+    double iqEvent = 0;
+    double rfRead = 0;
+    double rfWrite = 0;
+    double bpLookup = 0;
+    double fuOp[kNumUopTypes] = {};
+    double l1Access = 0;
+    double l2Access = 0;
+    double l3Access = 0;
+    double dramAccess = 0;
+    /** (Vdd / Vref)^2 dynamic-energy scale. */
+    double vScale = 1.0;
+    /** Total leakage in watts (capacity sum times the Vdd^3 scale). */
+    double staticPower = 0;
+};
+
+/** Derive the configuration-only power inputs (see PowerParams). */
+PowerParams powerParams(const CoreConfig &cfg);
+
 /** Compute power from activity factors and a configuration. */
 PowerBreakdown computePower(const ActivityCounts &activity,
                             const CoreConfig &cfg);
+
+/** Same, with the configuration-derived inputs precomputed. */
+PowerBreakdown computePower(const ActivityCounts &activity,
+                            const CoreConfig &cfg,
+                            const PowerParams &params);
 
 /** Execution time in seconds for @p cycles at the configured frequency. */
 double executionSeconds(double cycles, const CoreConfig &cfg);

@@ -253,6 +253,27 @@ runCalibration(const CalibrationOptions &opts)
     }
     rep.cal = cal;
     rep.after = summarizeAccuracy(st.evaluate(cal));
+
+    // --- Stage 4: cross-check the fit on other grid presets --------------
+    // Fresh ground truth per preset, same fitted coefficients and branch
+    // fits, no refit: a fit that only works on its own grid shows up
+    // here as a summary far off the "after" column.
+    for (const std::string &preset : opts.checkGrids) {
+        st.grid = accuracyGrid(preset);
+        const size_t cn = st.nc();
+        st.sims.assign(nw * cn, {});
+        parallelForShared(nw, opts.threads,
+                          [&](size_t begin, size_t end) {
+            for (size_t wi = begin; wi < end; ++wi)
+                for (size_t ci = 0; ci < cn; ++ci)
+                    st.sims[wi * cn + ci] =
+                        simulate(st.traces[wi], st.grid[ci]);
+        });
+        CalibrationReport::GridCheck gc;
+        gc.grid = preset;
+        gc.summary = summarizeAccuracy(st.evaluate(cal));
+        rep.gridChecks.push_back(std::move(gc));
+    }
     return rep;
 }
 
@@ -296,12 +317,10 @@ calibrationJson(const CalibrationReport &r)
            << jnum(o.simMissRate) << "}";
     }
     os << (r.branchPoints.empty() ? "" : "\n  ") << "],\n";
-    auto emitSummary = [&](const char *name, const auto &summary,
-                           const char *tail) {
-        os << "  \"" << name << "\": {\n";
+    auto emitMetrics = [&](const auto &summary, const char *indent) {
         for (size_t k = 0; k < kNumAccuracyMetrics; ++k) {
             const MetricSummary &s = summary[k];
-            os << "    \""
+            os << indent << "\""
                << accuracyMetricName(static_cast<AccuracyMetric>(k))
                << "\": {\"mape\": " << jnum(s.mape)
                << ", \"meanSigned\": " << jnum(s.meanSigned)
@@ -310,10 +329,26 @@ calibrationJson(const CalibrationReport &r)
                << ", \"maxSigned\": " << jnum(s.maxSigned) << "}"
                << (k + 1 < kNumAccuracyMetrics ? "," : "") << "\n";
         }
+    };
+    auto emitSummary = [&](const char *name, const auto &summary,
+                           const char *tail) {
+        os << "  \"" << name << "\": {\n";
+        emitMetrics(summary, "    ");
         os << "  }" << tail << "\n";
     };
     emitSummary("before", r.before, ",");
-    emitSummary("after", r.after, "");
+    emitSummary("after", r.after, r.gridChecks.empty() ? "" : ",");
+    if (!r.gridChecks.empty()) {
+        os << "  \"gridChecks\": [";
+        for (size_t i = 0; i < r.gridChecks.size(); ++i) {
+            const CalibrationReport::GridCheck &gc = r.gridChecks[i];
+            os << (i ? "," : "") << "\n    {\"grid\": \""
+               << jescape(gc.grid) << "\", \"summary\": {\n";
+            emitMetrics(gc.summary, "      ");
+            os << "    }}";
+        }
+        os << "\n  ]\n";
+    }
     os << "}\n";
     return os.str();
 }
@@ -450,6 +485,37 @@ loadCalibrationJson(const std::string &path)
     };
     parseSection("before", r.before);
     parseSection("after", r.after);
+
+    // Grid cross-checks: entries delimited by their "grid" keys (the
+    // summary objects nest braces, so scan by key rather than brace).
+    size_t gcPos = text.find("\"gridChecks\"");
+    if (gcPos != std::string::npos) {
+        size_t gcEnd = text.find(']', gcPos);
+        if (gcEnd == std::string::npos)
+            gcEnd = text.size();
+        size_t p = gcPos;
+        while (true) {
+            size_t g = text.find("\"grid\"", p);
+            if (g == std::string::npos || g >= gcEnd)
+                break;
+            size_t q1 = text.find('"', text.find(':', g) + 1);
+            size_t q2 = text.find('"', q1 + 1);
+            if (q1 == std::string::npos || q2 == std::string::npos)
+                break;
+            CalibrationReport::GridCheck gc;
+            gc.grid = text.substr(q1 + 1, q2 - q1 - 1);
+            size_t next = text.find("\"grid\"", q2);
+            size_t bound =
+                (next == std::string::npos || next > gcEnd) ? gcEnd
+                                                            : next;
+            for (size_t k = 0; k < kNumAccuracyMetrics; ++k)
+                gc.summary[k] = parseSummaryEntry(
+                    text, q2, bound,
+                    accuracyMetricName(static_cast<AccuracyMetric>(k)));
+            r.gridChecks.push_back(std::move(gc));
+            p = q2;
+        }
+    }
     return r;
 }
 

@@ -62,6 +62,14 @@ struct CalibrationOptions {
     bool fitCoefficients = true;
     /** Coordinate-descent sweeps over the coefficient set. */
     int rounds = 3;
+    /**
+     * Accuracy-grid presets (accuracyGrid() names) to cross-check the
+     * fitted coefficients on after the fit, with no refit: each preset
+     * gets its own simulator ground truth and an "after"-style summary
+     * in CalibrationReport::gridChecks. Guards against coefficients
+     * overfit to the fitting grid (e.g. fit on "ci", check on "wide").
+     */
+    std::vector<std::string> checkGrids;
 };
 
 /** One branch-fit training observation. */
@@ -87,6 +95,14 @@ struct CalibrationReport {
     /** Suite summaries with the incoming ("before") and the fitted
      *  ("after") calibration, over the same grid and workloads. */
     std::array<MetricSummary, kNumAccuracyMetrics> before{}, after{};
+
+    /** Fitted-coefficient accuracy on one cross-check grid preset. */
+    struct GridCheck {
+        std::string grid; ///< accuracyGrid() preset name
+        std::array<MetricSummary, kNumAccuracyMetrics> summary{};
+    };
+    /** One entry per CalibrationOptions::checkGrids preset, in order. */
+    std::vector<GridCheck> gridChecks;
 
     size_t uops = 0;
     std::vector<std::string> gridNames;

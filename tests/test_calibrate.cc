@@ -208,6 +208,10 @@ TEST(CalibrationReportJson, RoundTripsThroughDisk)
     r.branchR2 = {0.87};
     r.before[0] = {10.5, -3.25, 40.0, -40.0, 12.0};
     r.after[0] = {4.5, 0.25, 12.0, -12.0, 8.5};
+    CalibrationReport::GridCheck gc;
+    gc.grid = "wide";
+    gc.summary[0] = {6.25, -1.5, 20.0, -20.0, 9.75};
+    r.gridChecks = {gc};
 
     std::string path =
         (std::filesystem::temp_directory_path() / "mipp_calib_rt.json")
@@ -231,6 +235,11 @@ TEST(CalibrationReportJson, RoundTripsThroughDisk)
     EXPECT_NEAR(got.before[0].minSigned, -40.0, 1e-6);
     EXPECT_NEAR(got.after[0].mape, 4.5, 1e-6);
     EXPECT_NEAR(got.after[0].maxSigned, 8.5, 1e-6);
+    ASSERT_EQ(got.gridChecks.size(), 1u);
+    EXPECT_EQ(got.gridChecks[0].grid, "wide");
+    EXPECT_NEAR(got.gridChecks[0].summary[0].mape, 6.25, 1e-6);
+    EXPECT_NEAR(got.gridChecks[0].summary[0].meanSigned, -1.5, 1e-6);
+    EXPECT_NEAR(got.gridChecks[0].summary[0].maxSigned, 9.75, 1e-6);
 }
 
 TEST(CalibrationReportJson, RejectsForeignJson)
@@ -260,6 +269,11 @@ TEST(CalibrationHarness, SmallRunFitsAndImproves)
     opts.workloads = {"branchy", "stream_add", "dense_compute"};
     opts.rounds = 1;
     opts.mopts.cal = ModelCalibration::uncalibrated();
+    // Cross-check the fit on the same preset it fits on ("ci" is the
+    // default grid): the re-simulated ground truth and re-evaluated
+    // model are deterministic, so the check summary must reproduce the
+    // "after" column exactly — pinning the no-refit semantics.
+    opts.checkGrids = {"ci"};
     CalibrationReport rep = runCalibration(opts);
 
     EXPECT_EQ(rep.workloadNames.size(), 3u);
@@ -277,6 +291,13 @@ TEST(CalibrationHarness, SmallRunFitsAndImproves)
     auto dram = static_cast<size_t>(AccuracyMetric::Dram);
     EXPECT_LE(rep.after[cpi].mape, rep.before[cpi].mape + 2.0);
     EXPECT_LE(rep.after[dram].mape, rep.before[dram].mape + 1e-9);
+    ASSERT_EQ(rep.gridChecks.size(), 1u);
+    EXPECT_EQ(rep.gridChecks[0].grid, "ci");
+    for (size_t k = 0; k < kNumAccuracyMetrics; ++k) {
+        EXPECT_EQ(rep.gridChecks[0].summary[k].mape, rep.after[k].mape);
+        EXPECT_EQ(rep.gridChecks[0].summary[k].meanSigned,
+                  rep.after[k].meanSigned);
+    }
     // Round-trip the generated report.
     std::string path =
         (std::filesystem::temp_directory_path() / "mipp_calib_e2e.json")

@@ -92,6 +92,89 @@ TEST(Pareto, BiasedButConsistentPredictionStillPerfect)
     EXPECT_NEAR(m.hvr, 1.0, 1e-9);
 }
 
+TEST(Pareto, AccumulatorMatchesPostHocFrontOnRandomSets)
+{
+    // The streaming sweep's contract: inserting a stream of points one
+    // at a time must leave exactly paretoFront() of the whole set.
+    // Coarse-grid coordinates force plenty of single-axis ties.
+    uint64_t s = 0x9e3779b97f4a7c15ull;
+    auto rnd = [&s] {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<double>((s >> 33) & 63) / 8.0;
+    };
+    for (int trial = 0; trial < 8; ++trial) {
+        std::vector<Objective> pts;
+        for (int i = 0; i < 300; ++i)
+            pts.push_back({rnd(), rnd()});
+        // Exact duplicates (all survive together or not at all) and a
+        // one-axis tie that is strictly worse on the other axis.
+        pts.push_back(pts[0]);
+        pts.push_back(pts[7]);
+        pts.push_back({pts[3].first, pts[3].second + 0.125});
+
+        ParetoAccumulator acc;
+        for (size_t i = 0; i < pts.size(); ++i)
+            acc.insert(pts[i], i);
+        EXPECT_EQ(acc.indices(), paretoFront(pts));
+
+        // Survivors carry their original coordinates.
+        for (const ParetoAccumulator::Entry &e : acc.entries())
+            EXPECT_EQ(e.obj, pts[e.idx]);
+    }
+}
+
+TEST(Pareto, AccumulatorDuplicateAndTieSemantics)
+{
+    // Exact-duplicate objectives all stay on the front; a point tied in
+    // one objective and worse in the other is dominated — the same tie
+    // treatment as paretoFront().
+    std::vector<Objective> pts = {
+        {1, 5}, {1, 5},   // duplicates: both survive
+        {1, 6},           // delay tie, worse power: dominated
+        {2, 5},           // power tie, worse delay: dominated
+        {3, 2}, {3, 2},   // second duplicate pair
+        {4, 2},           // power tie behind {3,2}: dominated
+        {5, 1},
+    };
+    ParetoAccumulator acc;
+    for (size_t i = 0; i < pts.size(); ++i)
+        acc.insert(pts[i], i);
+    std::vector<size_t> expect = {0, 1, 4, 5, 7};
+    EXPECT_EQ(acc.indices(), expect);
+    EXPECT_EQ(acc.indices(), paretoFront(pts));
+
+    // A late arrival dominating existing survivors evicts all of them.
+    acc.insert({0.5, 0.5}, 99);
+    EXPECT_EQ(acc.size(), 1u);
+    EXPECT_EQ(acc.entries()[0].idx, 99u);
+}
+
+TEST(Pareto, AccumulatorMergeEqualsSingleStream)
+{
+    // Per-shard accumulators merged afterwards must equal one
+    // accumulator fed the full stream — the sweep's shard-merge step.
+    uint64_t s = 0xdeadbeefcafef00dull;
+    auto rnd = [&s] {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<double>((s >> 33) & 127) / 16.0;
+    };
+    std::vector<Objective> pts;
+    for (int i = 0; i < 500; ++i)
+        pts.push_back({rnd(), rnd()});
+
+    ParetoAccumulator whole;
+    ParetoAccumulator shards[3];
+    for (size_t i = 0; i < pts.size(); ++i) {
+        whole.insert(pts[i], i);
+        shards[i % 3].insert(pts[i], i);
+    }
+    ParetoAccumulator merged;
+    for (const ParetoAccumulator &sh : shards)
+        merged.merge(sh);
+    EXPECT_EQ(merged.indices(), whole.indices());
+    EXPECT_EQ(merged.indices(), paretoFront(pts));
+}
+
 TEST(Ridge, RecoversLogLinearFunction)
 {
     RidgeRegression r(1e-8);

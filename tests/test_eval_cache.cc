@@ -17,6 +17,7 @@
 #include "dse/explorer.hh"
 #include "dse/pareto.hh"
 #include "model/eval_cache.hh"
+#include "power/power_model.hh"
 #include "profiler/profiler.hh"
 #include "uarch/design_space.hh"
 #include "workloads/workload.hh"
@@ -152,6 +153,52 @@ TEST(EvalCache, InternedBranchModelMatchesPretrained)
     // Interning hands out one stable instance per kind.
     EXPECT_EQ(&internedBranchModel(BranchPredictorKind::GShare),
               &internedBranchModel(BranchPredictorKind::GShare));
+}
+
+// ---------------------------------------------------------------------------
+// Batched (structure-of-arrays) evaluation engine
+// ---------------------------------------------------------------------------
+
+TEST(BatchEval, BatchedMatchesScalarBitwiseOnThesisGrid)
+{
+    // The streaming sweep's load-bearing guarantee, same discipline as
+    // the EvalContext tests above: the batched engine must reproduce
+    // the scalar cached path bit for bit over the full 243-point thesis
+    // grid, under both the fitted calibration and the plain thesis
+    // formulation (whose different coefficients exercise every
+    // config-dependent scalar the batch path hoists).
+    Profile p = makeProfile("balanced_mix", 60000);
+    DesignSpace space; // full 243-point thesis grid
+    const auto &grid = space.configs();
+    for (bool uncal : {false, true}) {
+        ModelOptions mo;
+        if (uncal)
+            mo.cal = ModelCalibration::uncalibrated();
+
+        EvalContext scalarCtx(p);
+        EvalContext batchCtx(p);
+        BatchEval be(batchCtx, mo);
+
+        std::vector<PowerParams> pp;
+        for (const CoreConfig &cfg : grid)
+            pp.push_back(powerParams(cfg));
+        std::vector<BatchEval::Output> out(grid.size());
+        be.evaluate(grid.data(), grid.size(), out.data(), pp.data());
+        // Without precomputed power params the engine derives them per
+        // point; both paths must agree exactly.
+        std::vector<BatchEval::Output> outDerived(grid.size());
+        be.evaluate(grid.data(), grid.size(), outDerived.data(), nullptr);
+
+        for (size_t i = 0; i < grid.size(); ++i) {
+            ModelResult scalar = evaluateModel(scalarCtx, grid[i], mo);
+            expectIdentical(be.evaluateOne(grid[i]), scalar);
+            EXPECT_EQ(out[i].modelCpi, scalar.cpiPerUop());
+            EXPECT_EQ(out[i].modelWatts,
+                      computePower(scalar.activity, grid[i]).total());
+            EXPECT_EQ(outDerived[i].modelCpi, out[i].modelCpi);
+            EXPECT_EQ(outDerived[i].modelWatts, out[i].modelWatts);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -297,6 +344,76 @@ TEST(Sweep, ModelThenSimParetoPrunesSimulationToFrontPlusSample)
     for (const SweepPoint &pt : pruned.points)
         simulatedPoints += pt.simulated;
     EXPECT_EQ(simulatedPoints, expectedSims);
+}
+
+TEST(Sweep, StreamingParetoMatchesModelOnlyWithoutMaterializing)
+{
+    SweepFixture f;
+    const size_t nw = f.profiles.size();
+
+    SweepOptions mo;
+    mo.mode = SweepMode::ModelOnly;
+    SweepResult ref = sweepEx(f.traces, f.profiles, f.configs, {}, mo);
+
+    SweepOptions so;
+    so.mode = SweepMode::ModelOnlyPareto;
+    SweepResult st = sweepEx(f.traces, f.profiles, f.configs, {}, so);
+
+    // O(front): the streaming mode never materializes the point grid.
+    EXPECT_TRUE(st.points.empty());
+    EXPECT_EQ(st.simInvocations, 0u);
+    EXPECT_EQ(st.nWorkloads, nw);
+    EXPECT_EQ(st.nConfigs, f.configs.size());
+
+    // The surviving fronts are bitwise identical to ModelOnly's.
+    ASSERT_EQ(st.modelFronts.size(), nw);
+    ASSERT_EQ(st.frontPoints.size(), nw);
+    for (size_t wi = 0; wi < nw; ++wi) {
+        EXPECT_EQ(st.modelFronts[wi], ref.modelFronts[wi]);
+        ASSERT_EQ(st.frontPoints[wi].size(), st.modelFronts[wi].size());
+        for (size_t k = 0; k < st.frontPoints[wi].size(); ++k) {
+            const SweepPoint &a = st.frontPoints[wi][k];
+            EXPECT_EQ(a.configIdx, st.modelFronts[wi][k]);
+            EXPECT_EQ(a.workloadIdx, wi);
+            const SweepPoint &b = ref.at(wi, a.configIdx);
+            EXPECT_EQ(a.modelCpi, b.modelCpi);
+            EXPECT_EQ(a.modelWatts, b.modelWatts);
+        }
+    }
+}
+
+TEST(Sweep, GeneratedSweepMatchesExplicitAndPoolReuseIsStable)
+{
+    SweepFixture f;
+    SweepOptions so;
+    so.mode = SweepMode::ModelOnlyPareto;
+    SweepResult ref = sweepEx(f.traces, f.profiles, f.configs, {}, so);
+
+    // Generator reproducing the explicit configs; evaluators pooled
+    // across calls. Generators receive a reused scratch slot, so the
+    // assignment here is the degenerate always-overwrite case.
+    ModelEvalPool pool;
+    so.evalPool = &pool;
+    ConfigGenerator gen = [&f](size_t ci, CoreConfig &out) {
+        out = f.configs[ci];
+    };
+    for (int rep = 0; rep < 2; ++rep) { // rep 1 reuses the warm pool
+        SweepResult gn =
+            sweepGenerated(f.profiles, f.configs.size(), gen, {}, so);
+        EXPECT_TRUE(gn.points.empty());
+        ASSERT_EQ(gn.modelFronts.size(), ref.modelFronts.size());
+        for (size_t wi = 0; wi < ref.modelFronts.size(); ++wi) {
+            EXPECT_EQ(gn.modelFronts[wi], ref.modelFronts[wi]);
+            ASSERT_EQ(gn.frontPoints[wi].size(),
+                      ref.frontPoints[wi].size());
+            for (size_t k = 0; k < gn.frontPoints[wi].size(); ++k) {
+                EXPECT_EQ(gn.frontPoints[wi][k].modelCpi,
+                          ref.frontPoints[wi][k].modelCpi);
+                EXPECT_EQ(gn.frontPoints[wi][k].modelWatts,
+                          ref.frontPoints[wi][k].modelWatts);
+            }
+        }
+    }
 }
 
 } // namespace
