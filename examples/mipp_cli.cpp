@@ -31,15 +31,29 @@
  *       `--baseline` gates against a golden report's MAPEs (exit 1 on
  *       regression beyond `--margin` percentage points, default 2).
  *
+ *   mipp_cli serve --socket PATH [--workers N] [--queue N]
+ *                  [--profiles N] [--deadline-ms D] [--failpoints]
+ *       Run the persistent DSE daemon on a Unix-domain socket speaking
+ *       the JSON-lines protocol (see src/serve/server.hh and the README
+ *       "Serving & fault tolerance" section). Runs until SIGINT/SIGTERM.
+ *
  *   mipp_cli list
  *       List the available suite workloads.
+ *
+ * Errors are structured: input-shaped failures (bad profile bytes,
+ * unknown workload, empty design space) print their Status code and
+ * exit 2; anything else exits 1.
  */
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include <vector>
 
@@ -49,7 +63,10 @@
 #include "power/power_model.hh"
 #include "profiler/profile_io.hh"
 #include "profiler/profiler.hh"
+#include "serve/server.hh"
 #include "sweep_flags.hh"
+#include "util/failpoint.hh"
+#include "util/status.hh"
 #include "uarch/design_space.hh"
 #include "validate/accuracy.hh"
 #include "validate/calibrate.hh"
@@ -67,6 +84,7 @@ usage()
                  "       mipp_cli evaluate <profile> [options]\n"
                  "       mipp_cli sweep <profile>\n"
                  "       mipp_cli report accuracy [options]\n"
+                 "       mipp_cli serve --socket PATH [options]\n"
                  "       mipp_cli list\n");
     return 2;
 }
@@ -488,6 +506,87 @@ cmdReport(int argc, char **argv)
     return rc;
 }
 
+std::atomic<bool> gServeStop{false};
+
+void
+onServeSignal(int)
+{
+    gServeStop.store(true);
+}
+
+int
+cmdServe(int argc, char **argv)
+{
+    serve::ServerOptions sopts;
+    for (int i = 0; i < argc; ++i) {
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", argv[i]);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        const char *v = nullptr;
+        if (!std::strcmp(argv[i], "--socket")) {
+            if (!(v = next()))
+                return 2;
+            sopts.socketPath = v;
+        } else if (!std::strcmp(argv[i], "--workers")) {
+            if (!(v = next()))
+                return 2;
+            sopts.workers = static_cast<unsigned>(std::atoi(v));
+        } else if (!std::strcmp(argv[i], "--queue")) {
+            if (!(v = next()))
+                return 2;
+            sopts.maxQueue = std::strtoull(v, nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--profiles")) {
+            if (!(v = next()))
+                return 2;
+            sopts.maxProfiles = std::strtoull(v, nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--deadline-ms")) {
+            if (!(v = next()))
+                return 2;
+            sopts.defaultDeadlineMs = std::atof(v);
+        } else if (!std::strcmp(argv[i], "--failpoints")) {
+            sopts.allowFailpoints = true;
+        } else {
+            std::fprintf(stderr, "unknown serve flag %s\n", argv[i]);
+            return 2;
+        }
+    }
+    if (sopts.socketPath.empty()) {
+        std::fprintf(stderr,
+                     "usage: mipp_cli serve --socket PATH [--workers N] "
+                     "[--queue N] [--profiles N] [--deadline-ms D] "
+                     "[--failpoints]\n");
+        return 2;
+    }
+
+    serve::Server server(sopts);
+    throwIfError(server.start());
+    std::printf("serving on %s (%u workers, queue %zu, LRU %zu%s)\n",
+                sopts.socketPath.c_str(), sopts.workers, sopts.maxQueue,
+                sopts.maxProfiles,
+                sopts.allowFailpoints ? ", failpoints ENABLED" : "");
+    std::fflush(stdout);
+
+    std::signal(SIGINT, onServeSignal);
+    std::signal(SIGTERM, onServeSignal);
+    while (!gServeStop.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    std::printf("shutting down\n");
+    server.stop();
+    serve::ServerStats st = server.stats();
+    std::printf("served %llu requests (%llu shed, %llu errors, "
+                "%llu degraded)\n",
+                static_cast<unsigned long long>(st.served),
+                static_cast<unsigned long long>(st.shed),
+                static_cast<unsigned long long>(st.errors),
+                static_cast<unsigned long long>(st.degraded));
+    return 0;
+}
+
 } // namespace
 
 int
@@ -507,6 +606,17 @@ main(int argc, char **argv)
             return cmdSweep(argc - 2, argv + 2);
         if (cmd == "report")
             return cmdReport(argc - 2, argv + 2);
+        if (cmd == "serve")
+            return cmdServe(argc - 2, argv + 2);
+    } catch (const StatusError &e) {
+        // Structured, input-shaped failure: print the code and use a
+        // distinct exit status so scripts can tell "your input" (2)
+        // from "our bug" (1).
+        std::fprintf(stderr, "error [%.*s]: %s\n",
+                     static_cast<int>(statusCodeName(e.code()).size()),
+                     statusCodeName(e.code()).data(),
+                     e.status().message().c_str());
+        return e.code() == StatusCode::Internal ? 1 : 2;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <utility>
 
 #include "dse/pareto.hh"
 #include "model/eval_cache.hh"
 #include "power/power_model.hh"
+#include "util/failpoint.hh"
 #include "util/thread_pool.hh"
 
 namespace mipp {
@@ -127,53 +129,72 @@ streamCount(unsigned threads)
     return streams;
 }
 
-/** Model every point, one EvalContext per (workload, chunk). */
+/** Model every point, one EvalContext per (workload, chunk). Stops
+ *  starting new work once @p cancel fires; untouched points keep
+ *  evaluated == false. */
 void
 modelPass(const std::vector<Profile> &profiles,
           const std::vector<CoreConfig> &configs, SweepResult &res,
-          const ModelOptions &mopts, unsigned threads)
+          const ModelOptions &mopts, unsigned threads,
+          const CancelToken &cancel)
 {
     const size_t nc = res.nConfigs;
     auto spans =
         workloadMajorChunks(res.nWorkloads, nc, streamCount(threads));
     parallelForShared(spans.size(), threads, [&](size_t begin, size_t end) {
         for (size_t s = begin; s < end; ++s) {
+            if (cancel.cancelled())
+                return;
+            // Test hook: stretch chunk execution so a deadline can be
+            // made to expire mid-sweep deterministically.
+            (void)MIPP_FAILPOINT("dse.chunk_delay");
             const Span &sp = spans[s];
             EvalContext ctx(profiles[sp.wi]);
             for (size_t ci = sp.c0; ci < sp.c1; ++ci) {
+                if (cancel.cancelled())
+                    return;
                 ModelResult m = evaluateModel(ctx, configs[ci], mopts);
                 SweepPoint &pt = res.points[sp.wi * nc + ci];
                 pt.configIdx = ci;
                 pt.workloadIdx = sp.wi;
                 pt.modelCpi = m.cpiPerUop();
                 pt.modelWatts = computePower(m.activity, configs[ci]).total();
+                pt.evaluated = true;
             }
         }
     });
 }
 
-/** Detail-simulate the selected (workload, config) pairs. */
+/** Detail-simulate the selected (workload, config) pairs. Checks the
+ *  token before every simulate() call — one detailed simulation is the
+ *  coarsest unit of work a deadline can wait out. */
 void
 simPass(const std::vector<Trace> &traces,
         const std::vector<CoreConfig> &configs,
         const std::vector<std::pair<size_t, size_t>> &pairs,
-        SweepResult &res, unsigned threads)
+        SweepResult &res, unsigned threads, const CancelToken &cancel)
 {
+    std::atomic<size_t> invoked{0};
     parallelForShared(pairs.size(), threads, [&](size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {
+            if (cancel.cancelled())
+                return;
             auto [wi, ci] = pairs[i];
             SimResult sim = simulate(traces[wi], configs[ci]);
             SweepPoint &pt = res.points[wi * res.nConfigs + ci];
             pt.simCpi = sim.cpiPerUop();
             pt.simWatts = computePower(sim.activity, configs[ci]).total();
             pt.simulated = true;
+            invoked.fetch_add(1, std::memory_order_relaxed);
         }
     });
-    // Every selected pair is simulated exactly once.
-    res.simInvocations += pairs.size();
+    res.simInvocations += invoked.load(std::memory_order_relaxed);
 }
 
-/** Per-workload Pareto fronts over the model objectives. */
+/** Per-workload Pareto fronts over the model objectives. Only points
+ *  the model pass reached participate: a degraded sweep's front is the
+ *  true front of the evaluated subset, not polluted by the zero-CPI
+ *  placeholders of never-evaluated points. */
 void
 extractModelFronts(SweepResult &res)
 {
@@ -181,13 +202,19 @@ extractModelFronts(SweepResult &res)
     res.frontPoints.assign(res.nWorkloads, {});
     for (size_t wi = 0; wi < res.nWorkloads; ++wi) {
         std::vector<Objective> obj;
+        std::vector<size_t> cis;
         obj.reserve(res.nConfigs);
         for (size_t ci = 0; ci < res.nConfigs; ++ci) {
             const SweepPoint &pt = res.at(wi, ci);
+            if (!pt.evaluated)
+                continue;
             obj.push_back({pt.modelCpi, pt.modelWatts});
+            cis.push_back(ci);
         }
-        // paretoFront indices are config indices: obj is in ci order.
-        res.modelFronts[wi] = paretoFront(obj);
+        // paretoFront indices are positions in obj; map back to config
+        // indices (identity for a completed sweep).
+        for (size_t k : paretoFront(obj))
+            res.modelFronts[wi].push_back(cis[k]);
         for (size_t ci : res.modelFronts[wi])
             res.frontPoints[wi].push_back(res.at(wi, ci));
     }
@@ -257,6 +284,9 @@ streamingModelPass(const std::vector<Profile> &profiles,
     parallelForShared(
         spans.size(), sopts.threads, [&](size_t begin, size_t end) {
             for (size_t s = begin; s < end; ++s) {
+                if (sopts.cancel.cancelled())
+                    return;
+                (void)MIPP_FAILPOINT("dse.chunk_delay");
                 const Span &sp = spans[s];
                 std::unique_ptr<EvalContext> localCtx;
                 std::unique_ptr<BatchEval> localBe;
@@ -279,6 +309,8 @@ streamingModelPass(const std::vector<Profile> &profiles,
                     genBuf.resize(kBatch);
                 ParetoAccumulator &acc = accs[s];
                 for (size_t c0 = sp.c0; c0 < sp.c1; c0 += kBatch) {
+                    if (sopts.cancel.cancelled())
+                        return;
                     const size_t n = std::min(kBatch, sp.c1 - c0);
                     const CoreConfig *cfgs;
                     if (gen) {
@@ -358,6 +390,30 @@ selectValidationPairs(const SweepResult &res, size_t validationSamples)
 
 } // namespace
 
+namespace {
+
+/** Shared input validation: an empty sweep is a caller mistake, not a
+ *  trivially-empty result that sails through downstream consumers. */
+Status
+validateSweepInputs(size_t nTraces, size_t nProfiles, size_t nConfigs,
+                    SweepMode mode)
+{
+    if (nProfiles == 0)
+        return invalidArgument("sweep: no workloads (empty profile list)");
+    if (nConfigs == 0)
+        return invalidArgument("sweep: empty design space");
+    const bool needsTraces =
+        mode == SweepMode::Paired || mode == SweepMode::ModelThenSimPareto;
+    if (needsTraces && nTraces != nProfiles)
+        return invalidArgument(
+            "sweep: simulation mode needs one trace per profile (" +
+            std::to_string(nTraces) + " traces, " +
+            std::to_string(nProfiles) + " profiles)");
+    return Status::ok();
+}
+
+} // namespace
+
 SweepResult
 sweepEx(const std::vector<Trace> &traces,
         const std::vector<Profile> &profiles,
@@ -367,18 +423,24 @@ sweepEx(const std::vector<Trace> &traces,
     SweepResult res;
     res.nWorkloads = profiles.size();
     res.nConfigs = configs.size();
+    res.status = validateSweepInputs(traces.size(), profiles.size(),
+                                     configs.size(), sopts.mode);
+    if (!res.status.isOk())
+        return res;
 
     if (sopts.mode == SweepMode::ModelOnlyPareto) {
         // Streaming: no point grid is ever materialized (O(front)).
         streamingModelPass(profiles, &configs, nullptr, res, mopts,
                            sopts);
+        res.degraded = sopts.cancel.cancelled();
         return res;
     }
 
     // Pre-sized, index-addressed (see SweepResult::points doc).
     res.points.assign(res.nWorkloads * res.nConfigs, {});
 
-    modelPass(profiles, configs, res, mopts, sopts.threads);
+    modelPass(profiles, configs, res, mopts, sopts.threads,
+              sopts.cancel);
 
     switch (sopts.mode) {
       case SweepMode::Paired: {
@@ -387,7 +449,7 @@ sweepEx(const std::vector<Trace> &traces,
         for (size_t wi = 0; wi < res.nWorkloads; ++wi)
             for (size_t ci = 0; ci < res.nConfigs; ++ci)
                 all.push_back({wi, ci});
-        simPass(traces, configs, all, res, sopts.threads);
+        simPass(traces, configs, all, res, sopts.threads, sopts.cancel);
         break;
       }
       case SweepMode::ModelOnly:
@@ -395,13 +457,18 @@ sweepEx(const std::vector<Trace> &traces,
         break;
       case SweepMode::ModelThenSimPareto: {
         extractModelFronts(res);
+        // Graceful degradation: when the deadline already fired (or
+        // fires between sims), the remaining simulation budget is
+        // dropped and the response is the model-only front — strictly
+        // less validated, never wrong.
         auto pairs = selectValidationPairs(res, sopts.validationSamples);
-        simPass(traces, configs, pairs, res, sopts.threads);
+        simPass(traces, configs, pairs, res, sopts.threads, sopts.cancel);
         break;
       }
       case SweepMode::ModelOnlyPareto:
         break;  // handled above (early return)
     }
+    res.degraded = sopts.cancel.cancelled();
     return res;
 }
 
@@ -413,7 +480,12 @@ sweepGenerated(const std::vector<Profile> &profiles, size_t nConfigs,
     SweepResult res;
     res.nWorkloads = profiles.size();
     res.nConfigs = nConfigs;
+    res.status = validateSweepInputs(0, profiles.size(), nConfigs,
+                                     SweepMode::ModelOnlyPareto);
+    if (!res.status.isOk())
+        return res;
     streamingModelPass(profiles, nullptr, &gen, res, mopts, sopts);
+    res.degraded = sopts.cancel.cancelled();
     return res;
 }
 
@@ -427,6 +499,9 @@ sweep(const std::vector<Trace> &traces,
     sopts.mode = SweepMode::Paired;
     sopts.threads = threads;
     SweepResult res = sweepEx(traces, profiles, configs, mopts, sopts);
+    // The vector-returning wrapper has no status channel; surface
+    // structured input errors as the typed exception.
+    throwIfError(res.status);
     // Preserve the historical config-major return order (point i was
     // (wi = i % nw, ci = i / nw)): consumers like the fig-7.10 bench
     // split points positionally with a seeded RNG, and reordering would

@@ -44,6 +44,8 @@
 #include "sim/ooo_core.hh"
 #include "trace/trace.hh"
 #include "uarch/core_config.hh"
+#include "util/cancel.hh"
+#include "util/status.hh"
 
 namespace mipp {
 
@@ -144,6 +146,18 @@ struct SweepOptions {
      *  ModelEvalPool). The pool must outlive the sweep call; profiles
      *  must outlive the pool. Ignored by non-streaming modes. */
     ModelEvalPool *evalPool = nullptr;
+
+    /**
+     * Cooperative cancellation / per-request deadline, checked at chunk,
+     * batch and sim-invocation boundaries. When it fires mid-sweep the
+     * sweep *degrades* instead of failing: everything already evaluated
+     * is kept, remaining work is skipped, and the result comes back with
+     * degraded = true (fronts are extracted over the evaluated subset
+     * only; ModelThenSimPareto falls back toward model-only by skipping
+     * whatever simulation budget no longer fits). A default-constructed
+     * token never cancels.
+     */
+    CancelToken cancel;
 };
 
 /** One record of a design-space sweep. */
@@ -157,6 +171,10 @@ struct SweepPoint {
     /** Whether this point was detail-simulated (always true in Paired
      *  mode; front/sample points only in ModelThenSimPareto). */
     bool simulated = false;
+    /** Whether the model pass reached this point. Always true in a
+     *  completed sweep; false only for points a cancelled (degraded)
+     *  sweep never evaluated — front extraction skips those. */
+    bool evaluated = false;
 
     double
     cpiError() const
@@ -184,6 +202,18 @@ struct SweepResult {
 
     /** Detailed-simulation invocations actually spent. */
     size_t simInvocations = 0;
+
+    /**
+     * Structured outcome. InvalidArgument (empty design space, no
+     * workloads, trace/profile count mismatch) comes back here instead
+     * of as a silently empty result; the legacy sweep() wrapper throws
+     * it as a StatusError. A degraded sweep still reports Ok.
+     */
+    Status status;
+
+    /** True when SweepOptions::cancel fired mid-sweep: the result is a
+     *  valid partial (see SweepOptions::cancel), not the full space. */
+    bool degraded = false;
 
     /** Per workload, config indices of the model-predicted Pareto front
      *  over (model CPI, model watts). Filled in ModelOnly,

@@ -1,0 +1,915 @@
+#include "serve/server.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <list>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "dse/explorer.hh"
+#include "model/eval_cache.hh"
+#include "power/power_model.hh"
+#include "uarch/design_space.hh"
+#include "util/cancel.hh"
+#include "util/failpoint.hh"
+#include "util/json.hh"
+#include "validate/accuracy.hh"
+
+namespace mipp::serve {
+
+namespace {
+
+bool
+writeAll(int fd, const char *p, size_t n)
+{
+    while (n > 0) {
+        ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w <= 0) {
+            if (w < 0 && errno == EINTR)
+                continue;
+            return false; // peer gone; response dropped
+        }
+        p += w;
+        n -= static_cast<size_t>(w);
+    }
+    return true;
+}
+
+std::string
+num(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+/** Append `"key":` to a response under construction. */
+void
+key(std::string &out, std::string_view k)
+{
+    out += '"';
+    out += k;
+    out += "\":";
+}
+
+std::string
+errorLine(const Status &st, const json::Value &id)
+{
+    std::string out = "{";
+    if (id.isNumber()) {
+        key(out, "id");
+        out += num(id.number()) + ",";
+    } else if (id.isString()) {
+        key(out, "id");
+        out += json::quote(id.str()) + ",";
+    }
+    out += "\"ok\":false,";
+    key(out, "code");
+    out += json::quote(statusCodeName(st.code())) + ",";
+    key(out, "error");
+    out += json::quote(st.message()) + "}";
+    return out;
+}
+
+/** Parse the `config` member of a request into a CoreConfig, starting
+ *  from the Nehalem reference and validating every knob. */
+Status
+parseConfigJson(const json::Value &v, CoreConfig &cfg)
+{
+    cfg = CoreConfig::nehalemReference();
+    if (v.isNull())
+        return Status();
+    if (!v.isObject())
+        return invalidArgument("config must be an object");
+
+    auto bounded = [&](std::string_view k, double lo, double hi,
+                       double fallback, double &out) -> Status {
+        double d = v.numberOr(k, fallback);
+        if (!(d >= lo && d <= hi))
+            return invalidArgument(
+                std::string("config.") + std::string(k) +
+                " out of range [" + num(lo) + ", " + num(hi) + "]");
+        out = d;
+        return Status();
+    };
+
+    double width = 0, rob = 0, l1dKb = 0, l2Kb = 0, l3Mb = 0, freq = 0;
+    Status st;
+    if (!(st = bounded("width", 1, 16, cfg.dispatchWidth, width)).isOk())
+        return st;
+    if (!(st = bounded("rob", 16, 4096, cfg.robSize, rob)).isOk())
+        return st;
+    if (!(st = bounded("l1d_kb", 1, 1024, cfg.l1d.sizeBytes / 1024.0,
+                       l1dKb))
+             .isOk())
+        return st;
+    if (!(st = bounded("l2_kb", 16, 16384, cfg.l2.sizeBytes / 1024.0,
+                       l2Kb))
+             .isOk())
+        return st;
+    if (!(st = bounded("l3_mb", 1, 256,
+                       cfg.l3.sizeBytes / 1024.0 / 1024.0, l3Mb))
+             .isOk())
+        return st;
+    if (!(st = bounded("freq_ghz", 0.1, 10, cfg.freqGHz, freq)).isOk())
+        return st;
+
+    cfg.setWidth(static_cast<uint32_t>(width));
+    scaleBackEnd(cfg, static_cast<uint32_t>(rob));
+    cfg.l1d.sizeBytes = static_cast<uint32_t>(l1dKb) * 1024;
+    cfg.l2.sizeBytes = static_cast<uint32_t>(l2Kb) * 1024;
+    cfg.l3.sizeBytes = static_cast<uint32_t>(l3Mb) * 1024 * 1024;
+    cfg.freqGHz = freq;
+    cfg.prefetcherEnabled = v.boolOr("prefetcher", cfg.prefetcherEnabled);
+    scaleCacheLatencies(cfg);
+    return Status();
+}
+
+} // namespace
+
+struct Server::Impl {
+    ServerOptions opts;
+
+    // ---- connection bookkeeping ------------------------------------
+    struct Connection {
+        int fd = -1;
+        std::mutex writeMu;             // one response line at a time
+        std::mutex mu;                  // guards tokens/open
+        std::vector<CancelToken> tokens; // queued + in-flight requests
+        bool open = true;
+
+        void
+        registerToken(const CancelToken &t)
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            tokens.push_back(t);
+            if (!open)
+                t.cancel(); // raced with disconnect
+        }
+
+        void
+        unregisterToken(const CancelToken &t)
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            std::erase_if(tokens, [&](const CancelToken &u) {
+                return u.id() == t.id();
+            });
+        }
+
+        void
+        unregisterAll()
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            open = false;
+            for (auto &t : tokens)
+                t.cancel();
+            tokens.clear();
+        }
+    };
+
+    struct Request {
+        std::shared_ptr<Connection> conn;
+        std::string line;
+        CancelToken cancel;
+    };
+
+    // ---- profile LRU ------------------------------------------------
+    struct ProfileEntry {
+        // Stored inside a 1-element vector so sweepEx can borrow it
+        // without copying (the warm ModelEvalPool is keyed on profile
+        // identity; a copy would defeat it).
+        std::vector<Profile> profile;
+        std::unique_ptr<EvalContext> ctx; // built on first evaluate
+        ModelEvalPool pool;               // warm sweep evaluators
+        std::mutex mu; // serializes model state (not thread-safe)
+    };
+
+    std::mutex lruMu;
+    std::list<std::string> lruOrder; // front = most recent
+    std::unordered_map<std::string,
+                       std::pair<std::list<std::string>::iterator,
+                                 std::shared_ptr<ProfileEntry>>>
+        profiles;
+
+    // ---- queue + threads -------------------------------------------
+    std::mutex qMu;
+    std::condition_variable qCv;
+    std::deque<Request> queue;
+    std::atomic<bool> stopping{false};
+    std::atomic<bool> started{false};
+
+    int listenFd = -1;
+    std::thread acceptThread;
+    std::vector<std::thread> executors;
+    std::mutex connMu;
+    std::vector<std::thread> readers;
+    std::vector<std::shared_ptr<Connection>> conns;
+
+    mutable std::mutex statsMu;
+    ServerStats counters;
+
+    explicit Impl(ServerOptions o) : opts(std::move(o)) {}
+
+    void
+    bump(uint64_t ServerStats::*f, uint64_t by = 1)
+    {
+        std::lock_guard<std::mutex> lk(statsMu);
+        counters.*f += by;
+    }
+
+    void
+    respond(const std::shared_ptr<Connection> &conn, std::string line)
+    {
+        line += '\n';
+        std::lock_guard<std::mutex> lk(conn->writeMu);
+        writeAll(conn->fd, line.data(), line.size());
+    }
+
+    // ---- lifecycle -------------------------------------------------
+    Status
+    start()
+    {
+        if (opts.socketPath.empty())
+            return invalidArgument("serve: socket path required");
+        if (opts.socketPath.size() >= sizeof(sockaddr_un{}.sun_path))
+            return invalidArgument("serve: socket path too long");
+        if (started)
+            return internalError("serve: already started");
+        if (opts.workers == 0)
+            opts.workers = 1;
+        if (opts.maxQueue == 0)
+            opts.maxQueue = 1;
+
+        listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listenFd < 0)
+            return internalError("serve: socket() failed");
+        ::unlink(opts.socketPath.c_str());
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, opts.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) < 0 ||
+            ::listen(listenFd, 64) < 0) {
+            ::close(listenFd);
+            listenFd = -1;
+            return internalError("serve: cannot bind " + opts.socketPath);
+        }
+
+        started = true;
+        stopping.store(false);
+        for (unsigned i = 0; i < opts.workers; ++i)
+            executors.emplace_back([this] { executorLoop(); });
+        acceptThread = std::thread([this] { acceptLoop(); });
+        return Status();
+    }
+
+    void
+    stop()
+    {
+        if (!started)
+            return;
+        stopping.store(true);
+
+        // Unblock the accept loop and every reader.
+        ::shutdown(listenFd, SHUT_RDWR);
+        {
+            std::lock_guard<std::mutex> lk(connMu);
+            for (auto &c : conns) {
+                c->unregisterAll();
+                ::shutdown(c->fd, SHUT_RDWR);
+            }
+        }
+        // Cancel queued work and wake executors.
+        {
+            std::lock_guard<std::mutex> lk(qMu);
+            for (auto &r : queue)
+                r.cancel.cancel();
+            queue.clear();
+        }
+        qCv.notify_all();
+
+        if (acceptThread.joinable())
+            acceptThread.join();
+        for (auto &t : executors)
+            t.join();
+        executors.clear();
+        {
+            std::lock_guard<std::mutex> lk(connMu);
+            for (auto &t : readers)
+                t.join();
+            readers.clear();
+            for (auto &c : conns)
+                ::close(c->fd);
+            conns.clear();
+        }
+        ::close(listenFd);
+        listenFd = -1;
+        ::unlink(opts.socketPath.c_str());
+        started = false;
+    }
+
+    void
+    acceptLoop()
+    {
+        while (!stopping.load()) {
+            int fd = ::accept(listenFd, nullptr, nullptr);
+            if (fd < 0) {
+                if (errno == EINTR)
+                    continue;
+                break; // listener shut down
+            }
+            auto conn = std::make_shared<Connection>();
+            conn->fd = fd;
+            bump(&ServerStats::connections);
+            std::lock_guard<std::mutex> lk(connMu);
+            if (stopping.load()) {
+                ::close(fd);
+                break;
+            }
+            conns.push_back(conn);
+            readers.emplace_back([this, conn] { readerLoop(conn); });
+        }
+    }
+
+    void
+    readerLoop(const std::shared_ptr<Connection> &conn)
+    {
+        std::string buf;
+        char chunk[4096];
+        bool overflow = false;
+        while (!stopping.load()) {
+            ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+            if (n <= 0) {
+                if (n < 0 && errno == EINTR)
+                    continue;
+                break; // EOF or error: disconnect
+            }
+            buf.append(chunk, static_cast<size_t>(n));
+            size_t pos;
+            while ((pos = buf.find('\n')) != std::string::npos) {
+                std::string line = buf.substr(0, pos);
+                buf.erase(0, pos + 1);
+                if (!line.empty() && line.back() == '\r')
+                    line.pop_back();
+                if (!line.empty())
+                    enqueue(conn, std::move(line));
+            }
+            if (buf.size() > opts.maxRequestBytes) {
+                // A line that can never complete within the limit:
+                // shed and drop the connection rather than buffer on.
+                bump(&ServerStats::shed);
+                respond(conn,
+                        errorLine(resourceExhausted(
+                                      "request line exceeds " +
+                                      std::to_string(
+                                          opts.maxRequestBytes) +
+                                      " bytes"),
+                                  json::Value()));
+                overflow = true;
+                break;
+            }
+        }
+        if (overflow)
+            ::shutdown(conn->fd, SHUT_RDWR);
+        // Disconnect: cancel everything this connection still has
+        // queued or running.
+        conn->unregisterAll();
+    }
+
+    void
+    enqueue(const std::shared_ptr<Connection> &conn, std::string line)
+    {
+        bump(&ServerStats::requests);
+        Request req;
+        req.conn = conn;
+        req.line = std::move(line);
+        // The token exists from enqueue time so a disconnect cancels
+        // queued requests too, not just the one being executed.
+        req.cancel = opts.defaultDeadlineMs > 0
+                         ? CancelToken::withDeadlineMs(
+                               opts.defaultDeadlineMs)
+                         : CancelToken::manual();
+        bool full = false;
+        {
+            std::lock_guard<std::mutex> lk(qMu);
+            if (queue.size() >= opts.maxQueue) {
+                full = true;
+            } else {
+                conn->registerToken(req.cancel);
+                queue.push_back(std::move(req));
+            }
+        }
+        if (full) {
+            // Shed outside the queue lock: the response write can
+            // block on a slow client and must not stall executors.
+            bump(&ServerStats::shed);
+            respond(conn, errorLine(
+                              resourceExhausted(
+                                  "request queue full (depth " +
+                                  std::to_string(opts.maxQueue) +
+                                  "); retry later"),
+                              json::Value()));
+            return;
+        }
+        qCv.notify_one();
+    }
+
+    void
+    executorLoop()
+    {
+        while (true) {
+            Request req;
+            {
+                std::unique_lock<std::mutex> lk(qMu);
+                qCv.wait(lk, [&] {
+                    return stopping.load() || !queue.empty();
+                });
+                if (stopping.load())
+                    return;
+                req = std::move(queue.front());
+                queue.pop_front();
+            }
+            (void)MIPP_FAILPOINT("serve.exec_delay");
+            if (req.cancel.cancelled()) {
+                // Client left (or the default deadline lapsed) while
+                // the request sat in the queue: drop it unexecuted.
+                bump(&ServerStats::cancelled);
+                req.conn->unregisterToken(req.cancel);
+                continue;
+            }
+            execute(req);
+            req.conn->unregisterToken(req.cancel);
+        }
+    }
+
+    // ---- request execution -----------------------------------------
+    void
+    execute(const Request &req)
+    {
+        json::Value doc;
+        Status pst = json::parse(
+            req.line, doc, {.maxBytes = opts.maxRequestBytes});
+        const json::Value id = doc["id"];
+        std::string out;
+        if (!pst.isOk()) {
+            out = errorLine(pst, id);
+        } else {
+            // Per-request deadline overrides the server default.
+            CancelToken tok = req.cancel;
+            bool extraTok = false;
+            double dl = doc.numberOr("deadline_ms", 0);
+            if (dl > 0) {
+                tok = CancelToken::withDeadlineMs(dl);
+                req.conn->registerToken(tok);
+                extraTok = true;
+            }
+            try {
+                out = dispatch(doc, id, tok);
+            } catch (const StatusError &e) {
+                out = errorLine(e.status(), id);
+            } catch (const std::exception &e) {
+                // The survivability guarantee: an unexpected throw in a
+                // handler answers *this* request with Internal and the
+                // daemon keeps serving.
+                out = errorLine(
+                    internalError(std::string("unhandled: ") + e.what()),
+                    id);
+            }
+            if (tok.cancelled())
+                bump(&ServerStats::cancelled);
+            if (extraTok)
+                req.conn->unregisterToken(tok);
+        }
+        if (out.find("\"ok\":false") != std::string::npos)
+            bump(&ServerStats::errors);
+        bump(&ServerStats::served);
+        respond(req.conn, out);
+    }
+
+    std::string
+    dispatch(const json::Value &doc, const json::Value &id,
+             const CancelToken &tok)
+    {
+        const std::string op = doc.stringOr("op", "");
+        std::string body; // "key":value,... appended per op
+
+        if (op == "ping") {
+            // nothing to add
+        } else if (op == "load-profile") {
+            Status st = opLoadProfile(doc, body);
+            if (!st.isOk())
+                return errorLine(st, id);
+        } else if (op == "evaluate") {
+            Status st = opEvaluate(doc, body);
+            if (!st.isOk())
+                return errorLine(st, id);
+        } else if (op == "sweep") {
+            Status st = opSweep(doc, tok, body);
+            if (!st.isOk())
+                return errorLine(st, id);
+        } else if (op == "accuracy") {
+            Status st = opAccuracy(doc, tok, body);
+            if (!st.isOk())
+                return errorLine(st, id);
+        } else if (op == "stats") {
+            opStats(body);
+        } else if (op == "failpoint") {
+            if (!opts.allowFailpoints)
+                return errorLine(
+                    invalidArgument("failpoints are not enabled on this "
+                                    "server (--failpoints)"),
+                    id);
+            const std::string spec = doc.stringOr("spec", "");
+            if (spec == "reset")
+                failpoint::reset();
+            else if (!failpoint::armFromString(spec))
+                return errorLine(
+                    invalidArgument("bad failpoint spec '" + spec +
+                                    "' (name[=fires[:sleepMs]])"),
+                    id);
+        } else {
+            return errorLine(
+                invalidArgument("unknown op '" + op +
+                                "' (ping|load-profile|evaluate|sweep|"
+                                "accuracy|stats|failpoint)"),
+                id);
+        }
+
+        std::string out = "{";
+        if (id.isNumber()) {
+            key(out, "id");
+            out += num(id.number()) + ",";
+        } else if (id.isString()) {
+            key(out, "id");
+            out += json::quote(id.str()) + ",";
+        }
+        out += "\"ok\":true";
+        if (!body.empty()) {
+            out += ',';
+            out += body;
+        }
+        out += '}';
+        return out;
+    }
+
+    Status
+    opLoadProfile(const json::Value &doc, std::string &body)
+    {
+        const std::string name = doc.stringOr("name", "");
+        if (name.empty())
+            return invalidArgument("load-profile: missing 'name'");
+        Profile p;
+        if (doc["data"].isString()) {
+            Status st = parseProfile(doc["data"].str(), p,
+                                     opts.profileLimits);
+            if (!st.isOk())
+                return st;
+        } else if (doc["path"].isString()) {
+            Status st = loadProfileChecked(doc["path"].str(), p,
+                                           opts.profileLimits);
+            if (!st.isOk())
+                return st;
+        } else {
+            return invalidArgument(
+                "load-profile: need 'data' (inline text) or 'path'");
+        }
+
+        auto entry = std::make_shared<ProfileEntry>();
+        entry->profile.push_back(std::move(p));
+        entry->pool.reserve(1);
+
+        std::lock_guard<std::mutex> lk(lruMu);
+        auto it = profiles.find(name);
+        if (it != profiles.end()) {
+            lruOrder.erase(it->second.first);
+            profiles.erase(it);
+        }
+        lruOrder.push_front(name);
+        profiles.emplace(name,
+                         std::make_pair(lruOrder.begin(), entry));
+        while (profiles.size() > opts.maxProfiles) {
+            profiles.erase(lruOrder.back());
+            lruOrder.pop_back();
+            bump(&ServerStats::evictions);
+        }
+
+        key(body, "profile");
+        body += json::quote(name) + ",";
+        key(body, "uops");
+        body += num(static_cast<double>(
+            entry->profile[0].totalUops));
+        return Status();
+    }
+
+    /** LRU lookup; null when absent. In-flight holders keep an evicted
+     *  entry alive via the shared_ptr. */
+    std::shared_ptr<ProfileEntry>
+    findProfile(const std::string &name)
+    {
+        std::lock_guard<std::mutex> lk(lruMu);
+        auto it = profiles.find(name);
+        if (it == profiles.end())
+            return nullptr;
+        lruOrder.splice(lruOrder.begin(), lruOrder, it->second.first);
+        return it->second.second;
+    }
+
+    Status
+    opEvaluate(const json::Value &doc, std::string &body)
+    {
+        const std::string name = doc.stringOr("profile", "");
+        auto entry = findProfile(name);
+        if (!entry)
+            return invalidArgument("unknown profile '" + name +
+                                   "' (load-profile first)");
+        CoreConfig cfg;
+        Status st = parseConfigJson(doc["config"], cfg);
+        if (!st.isOk())
+            return st;
+
+        std::lock_guard<std::mutex> lk(entry->mu);
+        if (!entry->ctx)
+            entry->ctx =
+                std::make_unique<EvalContext>(entry->profile[0]);
+        ModelResult m = evaluateModel(*entry->ctx, cfg, {});
+        PowerBreakdown pw = computePower(m.activity, cfg);
+
+        key(body, "cpi");
+        body += num(m.cpiPerUop()) + ",";
+        key(body, "watts");
+        body += num(pw.total()) + ",";
+        key(body, "cycles");
+        body += num(m.cycles) + ",";
+        double n = m.uops > 0 ? m.uops : 1;
+        key(body, "stack");
+        body += "{\"base\":" + num(m.stack.base / n) +
+                ",\"branch\":" + num(m.stack.branch / n) +
+                ",\"icache\":" + num(m.stack.icache / n) +
+                ",\"llc\":" + num(m.stack.llcHit / n) +
+                ",\"dram\":" + num(m.stack.dram / n) + "}";
+        return Status();
+    }
+
+    Status
+    opSweep(const json::Value &doc, const CancelToken &tok,
+            std::string &body)
+    {
+        const std::string name = doc.stringOr("profile", "");
+        auto entry = findProfile(name);
+        if (!entry)
+            return invalidArgument("unknown profile '" + name +
+                                   "' (load-profile first)");
+        const std::string spaceName = doc.stringOr("space", "small");
+        DesignSpace space;
+        if (spaceName == "small")
+            space = DesignSpace::small();
+        else if (spaceName == "full")
+            space = DesignSpace();
+        else
+            return invalidArgument("sweep: unknown space '" + spaceName +
+                                   "' (small|full)");
+
+        SweepOptions sopts;
+        sopts.mode = SweepMode::ModelOnlyPareto;
+        sopts.cancel = tok;
+        sopts.evalPool = &entry->pool;
+        // Model evaluation shares one memoized state per workload; the
+        // entry lock also keeps two sweeps off the same warm pool.
+        std::unique_lock<std::mutex> lk(entry->mu);
+        std::vector<Trace> traces(1);
+        SweepResult r = sweepEx(traces, entry->profile, space.configs(),
+                                {}, sopts);
+        lk.unlock();
+        if (!r.status.isOk())
+            return r.status;
+        if (r.degraded)
+            bump(&ServerStats::degraded);
+
+        key(body, "space");
+        body += num(static_cast<double>(space.size())) + ",";
+        key(body, "degraded");
+        body += r.degraded ? "true," : "false,";
+        key(body, "front");
+        body += '[';
+        if (!r.frontPoints.empty()) {
+            bool first = true;
+            for (const SweepPoint &pt : r.frontPoints[0]) {
+                if (!first)
+                    body += ',';
+                first = false;
+                body += "{\"config\":" +
+                        num(static_cast<double>(pt.configIdx)) +
+                        ",\"name\":" +
+                        json::quote(space[pt.configIdx].name) +
+                        ",\"cpi\":" + num(pt.modelCpi) +
+                        ",\"watts\":" + num(pt.modelWatts) + "}";
+            }
+        }
+        body += ']';
+        return Status();
+    }
+
+    Status
+    opAccuracy(const json::Value &doc, const CancelToken &tok,
+               std::string &body)
+    {
+        AccuracyOptions aopts;
+        aopts.grid = accuracyGrid(doc.stringOr("grid", "ci"));
+        double uops = doc.numberOr("uops", 2000);
+        if (!(uops >= 100 && uops <= 1e7))
+            return invalidArgument(
+                "accuracy: uops out of range [100, 1e7]");
+        aopts.uops = static_cast<size_t>(uops);
+        aopts.includePhased = doc.boolOr("phased", false);
+        for (const json::Value &w : doc["workloads"].array())
+            aopts.workloads.push_back(w.str());
+        aopts.cancel = tok;
+        AccuracyReport rep = runAccuracy(aopts);
+        if (rep.degraded)
+            bump(&ServerStats::degraded);
+
+        key(body, "degraded");
+        body += rep.degraded ? "true," : "false,";
+        key(body, "points");
+        body += num(static_cast<double>(rep.points.size())) + ",";
+        key(body, "violations");
+        body += num(static_cast<double>(rep.violations.size())) + ",";
+        key(body, "mape");
+        body += '{';
+        for (size_t m = 0; m < kNumAccuracyMetrics; ++m) {
+            if (m)
+                body += ',';
+            body += json::quote(std::string(accuracyMetricName(
+                        static_cast<AccuracyMetric>(m)))) +
+                    ":" + num(rep.summary[m].mape);
+        }
+        body += '}';
+        return Status();
+    }
+
+    void
+    opStats(std::string &body)
+    {
+        ServerStats s;
+        {
+            std::lock_guard<std::mutex> lk(statsMu);
+            s = counters;
+        }
+        std::vector<std::string> names;
+        {
+            std::lock_guard<std::mutex> lk(lruMu);
+            names.assign(lruOrder.begin(), lruOrder.end());
+        }
+        auto field = [&](std::string_view k, uint64_t v, bool comma) {
+            key(body, k);
+            body += num(static_cast<double>(v));
+            if (comma)
+                body += ',';
+        };
+        field("connections", s.connections, true);
+        field("requests", s.requests, true);
+        field("served", s.served, true);
+        field("shed", s.shed, true);
+        field("errors", s.errors, true);
+        field("cancelled", s.cancelled, true);
+        field("degraded", s.degraded, true);
+        field("evictions", s.evictions, true);
+        key(body, "profiles");
+        body += '[';
+        for (size_t i = 0; i < names.size(); ++i) {
+            if (i)
+                body += ',';
+            body += json::quote(names[i]);
+        }
+        body += ']';
+    }
+};
+
+Server::Server(ServerOptions opts)
+    : impl_(std::make_unique<Impl>(std::move(opts)))
+{
+}
+
+Server::~Server() { stop(); }
+
+Status
+Server::start()
+{
+    return impl_->start();
+}
+
+void
+Server::stop()
+{
+    impl_->stop();
+}
+
+bool
+Server::running() const
+{
+    return impl_->started;
+}
+
+ServerStats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lk(impl_->statsMu);
+    return impl_->counters;
+}
+
+const ServerOptions &
+Server::options() const
+{
+    return impl_->opts;
+}
+
+// ---- Client ---------------------------------------------------------
+
+Client::~Client() { close(); }
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buf_.clear();
+}
+
+Status
+Client::connect(const std::string &socketPath)
+{
+    close();
+    if (socketPath.size() >= sizeof(sockaddr_un{}.sun_path))
+        return invalidArgument("client: socket path too long");
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return internalError("client: socket() failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        close();
+        return internalError("client: cannot connect " + socketPath);
+    }
+    return Status();
+}
+
+Status
+Client::sendLine(const std::string &request)
+{
+    if (fd_ < 0)
+        return internalError("client: not connected");
+    std::string line = request;
+    line += '\n';
+    if (!writeAll(fd_, line.data(), line.size()))
+        return internalError("client: send failed (server gone?)");
+    return Status();
+}
+
+Status
+Client::recvLine(std::string &response)
+{
+    if (fd_ < 0)
+        return internalError("client: not connected");
+    size_t pos;
+    while ((pos = buf_.find('\n')) == std::string::npos) {
+        char chunk[4096];
+        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return internalError("client: connection closed");
+        buf_.append(chunk, static_cast<size_t>(n));
+    }
+    response = buf_.substr(0, pos);
+    buf_.erase(0, pos + 1);
+    return Status();
+}
+
+Status
+Client::call(const std::string &request, std::string &response)
+{
+    Status st = sendLine(request);
+    if (!st.isOk())
+        return st;
+    return recvLine(response);
+}
+
+} // namespace mipp::serve

@@ -1,0 +1,127 @@
+#include "util/failpoint.hh"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace mipp::failpoint {
+
+namespace detail {
+std::atomic<int> armed{0};
+}
+
+namespace {
+
+struct Registry {
+    std::mutex mu;
+    // Keyed by name; value.fires counts down on fired hits.
+    std::map<std::string, Spec, std::less<>> sites;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+} // namespace
+
+void
+arm(std::string_view name, Spec spec)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.sites.find(name);
+    if (it == r.sites.end())
+        r.sites.emplace(std::string(name), spec);
+    else
+        it->second = spec;
+    detail::armed.store(static_cast<int>(r.sites.size()),
+                        std::memory_order_relaxed);
+}
+
+void
+disarm(std::string_view name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.sites.find(name);
+    if (it != r.sites.end())
+        r.sites.erase(it);
+    detail::armed.store(static_cast<int>(r.sites.size()),
+                        std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.sites.clear();
+    detail::armed.store(0, std::memory_order_relaxed);
+}
+
+int
+armedCount()
+{
+    return detail::armed.load(std::memory_order_relaxed);
+}
+
+bool
+hit(std::string_view name)
+{
+    int sleepMs = 0;
+    bool fired = false;
+    {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        auto it = r.sites.find(name);
+        if (it == r.sites.end())
+            return false;
+        sleepMs = it->second.sleepMs;
+        if (it->second.fires < 0) {
+            fired = true;
+        } else if (it->second.fires > 0) {
+            --it->second.fires;
+            fired = true;
+        }
+    }
+    // Sleep outside the lock so a delaying site cannot serialize other
+    // failpoints (or block disarming) behind it.
+    if (sleepMs > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleepMs));
+    return fired;
+}
+
+bool
+armFromString(std::string_view desc)
+{
+    if (desc.empty())
+        return false;
+    std::string_view name = desc;
+    Spec spec;
+    size_t eq = desc.find('=');
+    if (eq != std::string_view::npos) {
+        name = desc.substr(0, eq);
+        std::string_view rest = desc.substr(eq + 1);
+        size_t colon = rest.find(':');
+        std::string fires(rest.substr(0, colon));
+        try {
+            if (!fires.empty())
+                spec.fires = std::stoi(fires);
+            if (colon != std::string_view::npos)
+                spec.sleepMs =
+                    std::stoi(std::string(rest.substr(colon + 1)));
+        } catch (const std::exception &) {
+            return false;
+        }
+    }
+    if (name.empty())
+        return false;
+    arm(name, spec);
+    return true;
+}
+
+} // namespace mipp::failpoint

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Failpoint registry: deterministic fault injection for recovery tests.
+ *
+ * A failpoint is a named site in library code where a test (or an
+ * operator debugging a deployment) can inject a fault: fire an error
+ * path, or delay execution to force a deadline to expire mid-operation.
+ * The recovery paths this repo promises — corrupt profile rejected while
+ * the daemon keeps serving, deadline expiry returning a degraded front,
+ * queue overflow shedding load — are exactly the paths ordinary tests
+ * cannot reach deterministically; failpoints make them reachable.
+ *
+ * Sites are compiled in unconditionally but cost one relaxed atomic load
+ * when nothing is armed (the common case everywhere outside tests):
+ *
+ *     if (MIPP_FAILPOINT("profile_io.corrupt"))
+ *         return corrupt("injected by failpoint");
+ *
+ * Arming is by name, with an optional number of fires and an optional
+ * per-hit delay:
+ *
+ *     failpoint::arm("sweep.chunk_delay", {.sleepMs = 50});   // every hit
+ *     failpoint::arm("serve.shed", {.fires = 2});             // first two
+ *
+ * A hit first sleeps spec.sleepMs (if any), then reports "fired" while
+ * fires > 0 (decrementing; fires < 0 = unlimited). A sleep-only site
+ * (fires = 0, sleepMs > 0) delays but never fires — that is how tests
+ * stretch a sweep without changing its result. All functions are
+ * thread-safe; reset() disarms everything between tests.
+ */
+
+#ifndef MIPP_UTIL_FAILPOINT_HH
+#define MIPP_UTIL_FAILPOINT_HH
+
+#include <atomic>
+#include <string>
+#include <string_view>
+
+namespace mipp::failpoint {
+
+struct Spec {
+    /** Times hit() reports fired; < 0 = every hit, 0 = never (sleep
+     *  only). */
+    int fires = -1;
+    /** Delay applied on every hit while armed, fired or not. */
+    int sleepMs = 0;
+};
+
+/** Arm @p name with @p spec (replaces any previous arming). */
+void arm(std::string_view name, Spec spec = {});
+
+/** Disarm one site. */
+void disarm(std::string_view name);
+
+/** Disarm everything (test teardown). */
+void reset();
+
+/** Number of currently armed sites (fast-path gate; see macro). */
+int armedCount();
+
+/** Slow path: look up @p name, apply its delay, consume a fire.
+ *  @return true when the site should take its injected-fault path. */
+bool hit(std::string_view name);
+
+/**
+ * Parse a CLI-style arming description "name[=fires[:sleepMs]]"
+ * (e.g. "profile_io.corrupt", "sweep.chunk_delay=0:50") and arm it.
+ * @return false on a malformed description.
+ */
+bool armFromString(std::string_view desc);
+
+namespace detail {
+extern std::atomic<int> armed;
+}
+
+} // namespace mipp::failpoint
+
+/** True when the named failpoint is armed and fires at this hit. */
+#define MIPP_FAILPOINT(name)                                              \
+    (mipp::failpoint::detail::armed.load(std::memory_order_relaxed) > 0 && \
+     mipp::failpoint::hit(name))
+
+#endif // MIPP_UTIL_FAILPOINT_HH

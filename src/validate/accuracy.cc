@@ -12,6 +12,7 @@
 #include "power/power_model.hh"
 #include "profiler/profiler.hh"
 #include "uarch/design_space.hh"
+#include "util/status.hh"
 #include "util/thread_pool.hh"
 #include "validate/json_util.hh"
 #include "workloads/workload.hh"
@@ -101,8 +102,9 @@ accuracyGrid(const std::string &preset)
     } else if (preset == "wide") {
         grid = DesignSpace::small().configs();
     } else {
-        throw std::invalid_argument("unknown accuracy grid preset '" +
-                                    preset + "' (ci|default|wide)");
+        throw StatusError(invalidArgument(
+            "unknown accuracy grid preset '" + preset +
+            "' (ci|default|wide)"));
     }
     return grid;
 }
@@ -261,8 +263,9 @@ buildAccuracySuite(size_t uops, bool includePhased,
     // sail through the baseline gate with trivially low MAPEs.
     for (const auto &w : filter) {
         if (std::find(names.begin(), names.end(), w) == names.end())
-            throw std::invalid_argument(
-                "accuracy filter matched no workload named '" + w + "'");
+            throw StatusError(invalidArgument(
+                "accuracy filter matched no workload named '" + w +
+                "'"));
     }
 }
 
@@ -367,8 +370,12 @@ runAccuracy(const AccuracyOptions &opts)
 
     parallelForShared(nw, opts.threads, [&](size_t begin, size_t end) {
         for (size_t wi = begin; wi < end; ++wi) {
+            if (opts.cancel.cancelled())
+                return;
             EvalContext ctx(profiles[wi]);
             for (size_t ci = 0; ci < nc; ++ci) {
+                if (opts.cancel.cancelled())
+                    return;
                 const CoreConfig &cfg = grid[ci];
                 SimResult sim = simulate(traces[wi], cfg);
                 ModelResult mod = evaluateModel(ctx, cfg, opts.mopts);
@@ -390,6 +397,17 @@ runAccuracy(const AccuracyOptions &opts)
 
     for (auto &v : viols)
         rep.violations.insert(rep.violations.end(), v.begin(), v.end());
+
+    if (opts.cancel.cancelled()) {
+        // Degraded partial report: keep only the comparisons that
+        // finished (an unfilled slot still has its default-constructed
+        // empty workload name), so the summaries below aggregate real
+        // points only.
+        rep.degraded = true;
+        std::erase_if(rep.points, [](const PointAccuracy &pt) {
+            return pt.workload.empty();
+        });
+    }
 
     rep.summary = summarizeAccuracy(rep.points);
     return rep;

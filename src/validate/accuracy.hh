@@ -54,6 +54,7 @@
 #include "sim/ooo_core.hh"
 #include "uarch/core_config.hh"
 #include "uarch/cpi_stack.hh"
+#include "util/cancel.hh"
 
 namespace mipp {
 
@@ -95,6 +96,13 @@ struct AccuracyOptions {
     unsigned threads = 0;
     /** |CpiStack::total() - cycles| tolerance, fraction of cycles. */
     double stackTolerance = 0.01;
+    /**
+     * Cooperative deadline/cancellation, checked per (workload, config)
+     * pair. On expiry the harness keeps every finished comparison,
+     * drops the rest and returns a report flagged degraded; summaries
+     * aggregate the evaluated subset only.
+     */
+    CancelToken cancel;
 };
 
 /** One (workload, config) comparison. */
@@ -131,6 +139,10 @@ struct AccuracyReport {
     size_t uops = 0;
     std::vector<std::string> gridNames;
     std::vector<std::string> workloadNames;
+    /** True when AccuracyOptions::cancel fired: points holds only the
+     *  comparisons that finished (compacted — the wi*nc grid indexing
+     *  does not apply to a degraded report). */
+    bool degraded = false;
 
     bool consistent() const { return violations.empty(); }
     const MetricSummary &
@@ -159,8 +171,8 @@ AccuracyReport runAccuracy(const AccuracyOptions &opts = {});
  * harness in validate/calibrate.hh):
  *
  * buildAccuracySuite generates the suite (+ phased) traces at @p uops,
- * honoring a name filter; throws std::invalid_argument for filter
- * entries matching nothing. scoreAccuracyPoint fills one PointAccuracy
+ * honoring a name filter; throws StatusError(InvalidArgument) for
+ * filter entries matching nothing. scoreAccuracyPoint fills one PointAccuracy
  * (errors included) from a finished sim/model pair. summarizeAccuracy
  * aggregates the per-point error columns into per-metric summaries.
  */

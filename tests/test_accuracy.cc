@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "util/status.hh"
 #include "validate/accuracy.hh"
 
 namespace mipp {
@@ -21,7 +22,7 @@ TEST(AccuracyGrid, PresetsHaveExpectedShapes)
     EXPECT_EQ(accuracyGrid("ci").size(), 2u);
     EXPECT_GE(accuracyGrid("default").size(), 5u);
     EXPECT_EQ(accuracyGrid("wide").size(), 27u);
-    EXPECT_THROW(accuracyGrid("nope"), std::invalid_argument);
+    EXPECT_THROW(accuracyGrid("nope"), StatusError);
 }
 
 TEST(AccuracyGrid, DefaultGridIncludesPrefetcherPoint)
@@ -213,7 +214,7 @@ TEST(AccuracyFilter, UnmatchedWorkloadNameThrows)
     opts.grid = accuracyGrid("ci");
     opts.uops = 2000;
     opts.workloads = {"stream_ad"}; // typo: must not yield an empty run
-    EXPECT_THROW(runAccuracy(opts), std::invalid_argument);
+    EXPECT_THROW(runAccuracy(opts), StatusError);
 
     // A phased name with phased workloads excluded matches nothing.
     AccuracyOptions noPhased;
@@ -221,7 +222,7 @@ TEST(AccuracyFilter, UnmatchedWorkloadNameThrows)
     noPhased.uops = 2000;
     noPhased.includePhased = false;
     noPhased.workloads = {"phase_branch_shift"};
-    EXPECT_THROW(runAccuracy(noPhased), std::invalid_argument);
+    EXPECT_THROW(runAccuracy(noPhased), StatusError);
 }
 
 TEST_F(AccuracyRun, BaselineGateRejectsMismatchedWorkloadSet)

@@ -278,5 +278,99 @@ TEST(Explorer, SweepCoversAllPairs)
     EXPECT_EQ(seen.size(), 4u);
 }
 
+TEST(Explorer, EmptyInputsAreStructuredErrorsNotEmptyResults)
+{
+    Trace t = generateWorkload(suiteWorkload("loopy_small"), 20000);
+    Profile p = profileTrace(t, {});
+    std::vector<CoreConfig> cfgs{CoreConfig::nehalemReference()};
+
+    SweepOptions model;
+    model.mode = SweepMode::ModelOnly;
+
+    SweepResult r = sweepEx({}, {}, cfgs, {}, model);
+    EXPECT_EQ(r.status.code(), StatusCode::InvalidArgument);
+    EXPECT_TRUE(r.points.empty());
+
+    r = sweepEx({t}, {p}, {}, {}, model);
+    EXPECT_EQ(r.status.code(), StatusCode::InvalidArgument);
+
+    // Paired mode must see one trace per profile.
+    r = sweepEx({}, {p}, cfgs, {}, {});
+    EXPECT_EQ(r.status.code(), StatusCode::InvalidArgument);
+
+    // The legacy wrapper surfaces the same condition as a StatusError.
+    EXPECT_THROW(sweep({t}, {p}, {}), StatusError);
+
+    r = sweepGenerated({p}, 0, [](size_t, CoreConfig &) {});
+    EXPECT_EQ(r.status.code(), StatusCode::InvalidArgument);
+    r = sweepGenerated({}, 4, [](size_t, CoreConfig &) {});
+    EXPECT_EQ(r.status.code(), StatusCode::InvalidArgument);
+}
+
+TEST(Explorer, CancelledSweepDegradesWithPartialFront)
+{
+    Trace t = generateWorkload(suiteWorkload("loopy_small"), 20000);
+    Profile p = profileTrace(t, {});
+    std::vector<CoreConfig> cfgs;
+    for (uint32_t w : {2u, 4u, 6u}) {
+        CoreConfig c = CoreConfig::nehalemReference();
+        c.setWidth(w);
+        c.name = "w" + std::to_string(w);
+        cfgs.push_back(c);
+    }
+
+    // A pre-cancelled token: the sweep must come back degraded with
+    // nothing evaluated — and an empty front, never zero-CPI points.
+    SweepOptions sopts;
+    sopts.mode = SweepMode::ModelOnly;
+    sopts.cancel = CancelToken::manual();
+    sopts.cancel.cancel();
+    SweepResult r = sweepEx({t}, {p}, cfgs, {}, sopts);
+    ASSERT_TRUE(r.status.isOk());
+    EXPECT_TRUE(r.degraded);
+    for (const auto &pt : r.points)
+        EXPECT_FALSE(pt.evaluated);
+    ASSERT_EQ(r.modelFronts.size(), 1u);
+    EXPECT_TRUE(r.modelFronts[0].empty());
+
+    // Streaming mode likewise.
+    sopts.mode = SweepMode::ModelOnlyPareto;
+    r = sweepEx({t}, {p}, cfgs, {}, sopts);
+    ASSERT_TRUE(r.status.isOk());
+    EXPECT_TRUE(r.degraded);
+
+    // An uncancelled token leaves the sweep complete and undegraded.
+    sopts.mode = SweepMode::ModelOnly;
+    sopts.cancel = CancelToken::manual();
+    r = sweepEx({t}, {p}, cfgs, {}, sopts);
+    EXPECT_FALSE(r.degraded);
+    for (const auto &pt : r.points)
+        EXPECT_TRUE(pt.evaluated);
+    EXPECT_FALSE(r.modelFronts[0].empty());
+}
+
+TEST(Explorer, DeadlineMidPairedSweepKeepsFinishedPoints)
+{
+    Trace t = generateWorkload(suiteWorkload("loopy_small"), 30000);
+    Profile p = profileTrace(t, {});
+    std::vector<CoreConfig> cfgs;
+    for (uint32_t w : {2u, 4u}) {
+        CoreConfig c = CoreConfig::nehalemReference();
+        c.setWidth(w);
+        cfgs.push_back(c);
+    }
+
+    // ModelThenSimPareto with an already-expired deadline: the model
+    // pass is skipped AND the sim budget no longer fits — the sweep
+    // falls back to a degraded result without spending simulations.
+    SweepOptions sopts;
+    sopts.mode = SweepMode::ModelThenSimPareto;
+    sopts.cancel = CancelToken::withDeadlineMs(0);
+    SweepResult r = sweepEx({t}, {p}, cfgs, {}, sopts);
+    ASSERT_TRUE(r.status.isOk());
+    EXPECT_TRUE(r.degraded);
+    EXPECT_EQ(r.simInvocations, 0u);
+}
+
 } // namespace
 } // namespace mipp

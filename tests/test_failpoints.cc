@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the failpoint registry: arming semantics (fire counts,
+ * sleep-only sites), the disarmed fast path, string specs and reset —
+ * the machinery the serve recovery tests depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "util/failpoint.hh"
+
+namespace mipp {
+namespace {
+
+class Failpoints : public ::testing::Test
+{
+  protected:
+    void SetUp() override { failpoint::reset(); }
+    void TearDown() override { failpoint::reset(); }
+};
+
+TEST_F(Failpoints, DisarmedSiteNeverFires)
+{
+    EXPECT_EQ(failpoint::armedCount(), 0);
+    EXPECT_FALSE(MIPP_FAILPOINT("no.such.site"));
+}
+
+TEST_F(Failpoints, UnlimitedFiresUntilDisarmed)
+{
+    failpoint::arm("t.unlimited");
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(MIPP_FAILPOINT("t.unlimited"));
+    failpoint::disarm("t.unlimited");
+    EXPECT_FALSE(MIPP_FAILPOINT("t.unlimited"));
+    EXPECT_EQ(failpoint::armedCount(), 0);
+}
+
+TEST_F(Failpoints, CountedFiresDecrementToZero)
+{
+    failpoint::arm("t.counted", {.fires = 2});
+    EXPECT_TRUE(MIPP_FAILPOINT("t.counted"));
+    EXPECT_TRUE(MIPP_FAILPOINT("t.counted"));
+    EXPECT_FALSE(MIPP_FAILPOINT("t.counted"));
+    EXPECT_FALSE(MIPP_FAILPOINT("t.counted"));
+}
+
+TEST_F(Failpoints, SleepOnlySiteDelaysButDoesNotFire)
+{
+    failpoint::arm("t.sleepy", {.fires = 0, .sleepMs = 30});
+    auto t0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(MIPP_FAILPOINT("t.sleepy"));
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    EXPECT_GE(ms, 25);
+}
+
+TEST_F(Failpoints, SitesAreIndependent)
+{
+    failpoint::arm("t.a");
+    failpoint::arm("t.b", {.fires = 0});
+    EXPECT_EQ(failpoint::armedCount(), 2);
+    EXPECT_TRUE(MIPP_FAILPOINT("t.a"));
+    EXPECT_FALSE(MIPP_FAILPOINT("t.b"));
+    EXPECT_FALSE(MIPP_FAILPOINT("t.c"));
+}
+
+TEST_F(Failpoints, RearmReplacesSpec)
+{
+    failpoint::arm("t.replace", {.fires = 1});
+    EXPECT_TRUE(MIPP_FAILPOINT("t.replace"));
+    EXPECT_FALSE(MIPP_FAILPOINT("t.replace"));
+    failpoint::arm("t.replace", {.fires = 1});
+    EXPECT_TRUE(MIPP_FAILPOINT("t.replace"));
+    EXPECT_EQ(failpoint::armedCount(), 1); // replaced, not duplicated
+}
+
+TEST_F(Failpoints, ResetDisarmsEverything)
+{
+    failpoint::arm("t.x");
+    failpoint::arm("t.y");
+    failpoint::reset();
+    EXPECT_EQ(failpoint::armedCount(), 0);
+    EXPECT_FALSE(MIPP_FAILPOINT("t.x"));
+}
+
+TEST_F(Failpoints, ArmFromStringForms)
+{
+    EXPECT_TRUE(failpoint::armFromString("t.plain"));
+    EXPECT_TRUE(MIPP_FAILPOINT("t.plain"));
+
+    EXPECT_TRUE(failpoint::armFromString("t.two=2"));
+    EXPECT_TRUE(MIPP_FAILPOINT("t.two"));
+    EXPECT_TRUE(MIPP_FAILPOINT("t.two"));
+    EXPECT_FALSE(MIPP_FAILPOINT("t.two"));
+
+    EXPECT_TRUE(failpoint::armFromString("t.slow=0:10"));
+    EXPECT_FALSE(MIPP_FAILPOINT("t.slow")); // sleep-only
+
+    EXPECT_FALSE(failpoint::armFromString(""));
+    EXPECT_FALSE(failpoint::armFromString("t.bad=notanumber"));
+    EXPECT_FALSE(failpoint::armFromString("t.bad=1:alsobad"));
+}
+
+} // namespace
+} // namespace mipp

@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Recovery-path tests for the DSE daemon (src/serve): the fault-injection
+ * suite the robustness guarantees are proven by. Each scenario drives the
+ * real server over a real Unix-domain socket:
+ *
+ *  - a corrupt profile upload is rejected with Corrupt while the daemon
+ *    keeps serving the next request;
+ *  - deadline expiry mid-sweep yields a degraded-but-valid response;
+ *  - queue overflow sheds load with ResourceExhausted, no deadlock;
+ *  - a client disconnect mid-request cancels the queued/in-flight work;
+ *  - oversized request lines are shed and the connection dropped;
+ *  - the profile LRU evicts and the stats op reports it all.
+ *
+ * Responses are checked with the same strict JSON parser the server uses
+ * for requests, which doubles as an end-to-end parser exercise.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "profiler/profile_io.hh"
+#include "profiler/profiler.hh"
+#include "serve/server.hh"
+#include "util/failpoint.hh"
+#include "util/json.hh"
+#include "workloads/workload.hh"
+
+namespace mipp {
+namespace {
+
+using serve::Client;
+using serve::Server;
+using serve::ServerOptions;
+using serve::ServerStats;
+
+std::string
+uniqueSocketPath(const char *tag)
+{
+    static std::atomic<int> seq{0};
+    std::ostringstream os;
+    os << "/tmp/mipp_serve_" << tag << "_" << ::getpid() << "_"
+       << seq.fetch_add(1) << ".sock";
+    return os.str();
+}
+
+/** Serialize a small suite profile to the wire text format. */
+std::string
+profileText(const char *workload = "mix_mid", size_t uops = 20000)
+{
+    Trace t = generateWorkload(suiteWorkload(workload), uops);
+    Profile p = profileTrace(t, {.name = workload});
+    std::ostringstream os;
+    writeProfile(p, os);
+    return os.str();
+}
+
+json::Value
+parsed(const std::string &line)
+{
+    json::Value v;
+    Status st = json::parse(line, v);
+    EXPECT_TRUE(st.isOk()) << st.toString() << " in: " << line;
+    return v;
+}
+
+class ServeTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        failpoint::reset();
+        opts_.socketPath = uniqueSocketPath("t");
+        opts_.workers = 2;
+        opts_.maxQueue = 8;
+        opts_.maxProfiles = 8;
+        opts_.allowFailpoints = true;
+    }
+
+    void
+    TearDown() override
+    {
+        if (server_)
+            server_->stop();
+        failpoint::reset();
+    }
+
+    void
+    startServer()
+    {
+        server_ = std::make_unique<Server>(opts_);
+        Status st = server_->start();
+        ASSERT_TRUE(st.isOk()) << st.toString();
+    }
+
+    Client
+    client()
+    {
+        Client c;
+        // stop()/start() races in tests are impossible here (the server
+        // is up before any client call), so a failure is a real bug.
+        Status st = c.connect(opts_.socketPath);
+        EXPECT_TRUE(st.isOk()) << st.toString();
+        return c;
+    }
+
+    json::Value
+    call(Client &c, const std::string &req)
+    {
+        std::string resp;
+        Status st = c.call(req, resp);
+        EXPECT_TRUE(st.isOk()) << st.toString();
+        return parsed(resp);
+    }
+
+    ServerOptions opts_;
+    std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServeTest, PingEchoesIdAndRejectsUnknownOps)
+{
+    startServer();
+    Client c = client();
+
+    json::Value r = call(c, R"({"op":"ping","id":42})");
+    EXPECT_TRUE(r["ok"].boolean());
+    EXPECT_EQ(r["id"].number(), 42);
+
+    r = call(c, R"({"op":"frobnicate","id":"x"})");
+    EXPECT_FALSE(r["ok"].boolean());
+    EXPECT_EQ(r["code"].str(), "InvalidArgument");
+    EXPECT_EQ(r["id"].str(), "x");
+}
+
+TEST_F(ServeTest, MalformedJsonGetsStructuredErrorNotDisconnect)
+{
+    startServer();
+    Client c = client();
+
+    json::Value r = call(c, "{\"op\":\"ping\",,}");
+    EXPECT_FALSE(r["ok"].boolean());
+    EXPECT_EQ(r["code"].str(), "Corrupt");
+
+    // The connection survives bad bytes.
+    r = call(c, R"({"op":"ping"})");
+    EXPECT_TRUE(r["ok"].boolean());
+}
+
+TEST_F(ServeTest, LoadEvaluateSweepHappyPath)
+{
+    startServer();
+    Client c = client();
+
+    json::Value r =
+        call(c, std::string(R"({"op":"load-profile","name":"w0",)") +
+                    "\"data\":" + json::quote(profileText()) + "}");
+    ASSERT_TRUE(r["ok"].boolean()) << r["error"].str();
+    EXPECT_GT(r["uops"].number(), 0);
+
+    r = call(c, R"({"op":"evaluate","profile":"w0",)"
+                R"("config":{"width":4,"rob":128}})");
+    ASSERT_TRUE(r["ok"].boolean()) << r["error"].str();
+    EXPECT_GT(r["cpi"].number(), 0);
+    EXPECT_GT(r["watts"].number(), 0);
+
+    r = call(c, R"({"op":"sweep","profile":"w0","space":"small"})");
+    ASSERT_TRUE(r["ok"].boolean()) << r["error"].str();
+    EXPECT_FALSE(r["degraded"].boolean());
+    EXPECT_EQ(r["space"].number(), 27);
+    ASSERT_FALSE(r["front"].array().empty());
+    for (const json::Value &pt : r["front"].array()) {
+        EXPECT_GT(pt["cpi"].number(), 0);
+        EXPECT_GT(pt["watts"].number(), 0);
+    }
+
+    // Warm pool: a second sweep against the same profile must agree.
+    json::Value again =
+        call(c, R"({"op":"sweep","profile":"w0","space":"small"})");
+    ASSERT_TRUE(again["ok"].boolean());
+    ASSERT_EQ(again["front"].array().size(), r["front"].array().size());
+    for (size_t i = 0; i < r["front"].array().size(); ++i)
+        EXPECT_EQ(again["front"].array()[i]["cpi"].number(),
+                  r["front"].array()[i]["cpi"].number());
+}
+
+TEST_F(ServeTest, EvaluateValidatesConfigAndProfileName)
+{
+    startServer();
+    Client c = client();
+
+    json::Value r = call(c, R"({"op":"evaluate","profile":"ghost"})");
+    EXPECT_FALSE(r["ok"].boolean());
+    EXPECT_EQ(r["code"].str(), "InvalidArgument");
+
+    call(c, std::string(R"({"op":"load-profile","name":"w0",)") +
+                "\"data\":" + json::quote(profileText()) + "}");
+    r = call(c, R"({"op":"evaluate","profile":"w0",)"
+                R"("config":{"width":99}})");
+    EXPECT_FALSE(r["ok"].boolean());
+    EXPECT_EQ(r["code"].str(), "InvalidArgument");
+}
+
+TEST_F(ServeTest, CorruptUploadSurvivedAndServingContinues)
+{
+    startServer();
+    Client c = client();
+
+    const std::string good = profileText();
+    json::Value r =
+        call(c, std::string(R"({"op":"load-profile","name":"w0",)") +
+                    "\"data\":" + json::quote(good) + "}");
+    ASSERT_TRUE(r["ok"].boolean());
+
+    // Bit-flipped payload: checksum must catch it.
+    std::string flipped = good;
+    flipped[good.size() / 2] ^= 0x20;
+    r = call(c, std::string(R"({"op":"load-profile","name":"bad",)") +
+                    "\"data\":" + json::quote(flipped) + "}");
+    EXPECT_FALSE(r["ok"].boolean());
+    EXPECT_EQ(r["code"].str(), "Corrupt");
+
+    // Injected corruption via the failpoint op, exercising the remote
+    // arming path the README documents.
+    r = call(c, R"({"op":"failpoint","spec":"profile_io.corrupt=1"})");
+    ASSERT_TRUE(r["ok"].boolean());
+    r = call(c, std::string(R"({"op":"load-profile","name":"w1",)") +
+                    "\"data\":" + json::quote(good) + "}");
+    EXPECT_FALSE(r["ok"].boolean());
+    EXPECT_EQ(r["code"].str(), "Corrupt");
+
+    // The daemon keeps serving: the good profile still evaluates and
+    // the failed uploads never entered the LRU.
+    r = call(c, R"({"op":"sweep","profile":"w0","space":"small"})");
+    EXPECT_TRUE(r["ok"].boolean());
+    r = call(c, R"({"op":"evaluate","profile":"bad"})");
+    EXPECT_EQ(r["code"].str(), "InvalidArgument");
+}
+
+TEST_F(ServeTest, DeadlineMidSweepReturnsDegradedFront)
+{
+    startServer();
+    Client c = client();
+    call(c, std::string(R"({"op":"load-profile","name":"w0",)") +
+                "\"data\":" + json::quote(profileText()) + "}");
+
+    // Stretch every sweep chunk so a short deadline expires mid-sweep.
+    failpoint::arm("dse.chunk_delay", {.fires = 0, .sleepMs = 30});
+    json::Value r = call(
+        c, R"({"op":"sweep","profile":"w0","deadline_ms":5,"id":7})");
+    failpoint::reset();
+
+    ASSERT_TRUE(r["ok"].boolean()) << r["error"].str();
+    EXPECT_TRUE(r["degraded"].boolean());
+    EXPECT_EQ(r["id"].number(), 7);
+
+    // Undelayed, the same request completes fully.
+    r = call(c, R"({"op":"sweep","profile":"w0","deadline_ms":60000})");
+    ASSERT_TRUE(r["ok"].boolean());
+    EXPECT_FALSE(r["degraded"].boolean());
+    EXPECT_FALSE(r["front"].array().empty());
+    EXPECT_GE(server_->stats().degraded, 1u);
+}
+
+TEST_F(ServeTest, QueueOverflowShedsLoadAndRecovers)
+{
+    opts_.workers = 1;
+    opts_.maxQueue = 1;
+    startServer();
+    Client c = client();
+
+    // Stall the lone executor so pipelined requests pile into the
+    // 1-deep queue and overflow.
+    failpoint::arm("serve.exec_delay", {.fires = 0, .sleepMs = 100});
+    const int kRequests = 6;
+    for (int i = 0; i < kRequests; ++i)
+        ASSERT_TRUE(c.sendLine(R"({"op":"ping"})").isOk());
+
+    int ok = 0, shed = 0;
+    for (int i = 0; i < kRequests; ++i) {
+        std::string line;
+        ASSERT_TRUE(c.recvLine(line).isOk()) << "response " << i;
+        json::Value r = parsed(line);
+        if (r["ok"].boolean())
+            ++ok;
+        else if (r["code"].str() == "ResourceExhausted")
+            ++shed;
+    }
+    failpoint::reset();
+
+    EXPECT_EQ(ok + shed, kRequests);
+    EXPECT_GE(shed, 1);
+    EXPECT_GE(ok, 1);
+    EXPECT_GE(server_->stats().shed, static_cast<uint64_t>(shed));
+
+    // Backpressure, not breakage: the next request sails through.
+    json::Value r = call(c, R"({"op":"ping","id":1})");
+    EXPECT_TRUE(r["ok"].boolean());
+}
+
+TEST_F(ServeTest, ClientDisconnectCancelsOutstandingWork)
+{
+    startServer();
+    {
+        Client c = client();
+        call(c, std::string(R"({"op":"load-profile","name":"w0",)") +
+                    "\"data\":" + json::quote(profileText()) + "}");
+        // Slow sweep, then vanish: the reader must cancel the token.
+        failpoint::arm("dse.chunk_delay", {.fires = 0, .sleepMs = 40});
+        ASSERT_TRUE(
+            c.sendLine(R"({"op":"sweep","profile":"w0"})").isOk());
+        // Client goes away without reading the response.
+    }
+
+    // The cancel is observed at the next chunk/queue boundary.
+    bool cancelled = false;
+    for (int i = 0; i < 100 && !cancelled; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        cancelled = server_->stats().cancelled >= 1;
+    }
+    failpoint::reset();
+    EXPECT_TRUE(cancelled);
+
+    // And the daemon is still healthy for the next client.
+    Client c2 = client();
+    json::Value r = call(c2, R"({"op":"ping"})");
+    EXPECT_TRUE(r["ok"].boolean());
+}
+
+TEST_F(ServeTest, OversizedRequestLineIsShedAndConnectionDropped)
+{
+    opts_.maxRequestBytes = 1024;
+    startServer();
+    Client c = client();
+
+    std::string huge(4096, 'a'); // no newline: can never complete
+    ASSERT_TRUE(c.sendLine(huge).isOk());
+    std::string line;
+    ASSERT_TRUE(c.recvLine(line).isOk());
+    json::Value r = parsed(line);
+    EXPECT_FALSE(r["ok"].boolean());
+    EXPECT_EQ(r["code"].str(), "ResourceExhausted");
+
+    // The server closed this connection; a fresh one still works.
+    EXPECT_FALSE(c.recvLine(line).isOk());
+    Client c2 = client();
+    r = call(c2, R"({"op":"ping"})");
+    EXPECT_TRUE(r["ok"].boolean());
+}
+
+TEST_F(ServeTest, ProfileLruEvictsLeastRecentlyUsed)
+{
+    opts_.maxProfiles = 2;
+    startServer();
+    Client c = client();
+
+    const std::string data = json::quote(profileText());
+    for (const char *name : {"p1", "p2", "p3"}) {
+        json::Value r = call(
+            c, std::string(R"({"op":"load-profile","name":")") + name +
+                   "\",\"data\":" + data + "}");
+        ASSERT_TRUE(r["ok"].boolean());
+    }
+
+    // p1 was evicted; p2/p3 still resolve.
+    json::Value r = call(c, R"({"op":"evaluate","profile":"p1"})");
+    EXPECT_EQ(r["code"].str(), "InvalidArgument");
+    r = call(c, R"({"op":"evaluate","profile":"p3"})");
+    EXPECT_TRUE(r["ok"].boolean());
+
+    r = call(c, R"({"op":"stats"})");
+    ASSERT_TRUE(r["ok"].boolean());
+    EXPECT_GE(r["evictions"].number(), 1);
+    EXPECT_EQ(r["profiles"].array().size(), 2u);
+    EXPECT_GE(r["requests"].number(), 5);
+}
+
+TEST_F(ServeTest, FailpointOpIsGatedByOptions)
+{
+    opts_.allowFailpoints = false;
+    startServer();
+    Client c = client();
+
+    json::Value r =
+        call(c, R"({"op":"failpoint","spec":"profile_io.corrupt"})");
+    EXPECT_FALSE(r["ok"].boolean());
+    EXPECT_EQ(r["code"].str(), "InvalidArgument");
+    EXPECT_EQ(failpoint::armedCount(), 0);
+}
+
+TEST_F(ServeTest, AccuracyOpRunsTinyGridAndHonorsDeadline)
+{
+    startServer();
+    Client c = client();
+
+    json::Value r = call(
+        c,
+        R"({"op":"accuracy","grid":"ci","uops":500,)"
+        R"("workloads":["stream_add"],"deadline_ms":120000})");
+    ASSERT_TRUE(r["ok"].boolean()) << r["error"].str();
+    EXPECT_FALSE(r["degraded"].boolean());
+    EXPECT_EQ(r["points"].number(), 2); // 1 workload x 2 ci configs
+    EXPECT_TRUE(r["mape"].isObject());
+
+    // An immediate deadline degrades instead of failing.
+    r = call(c, R"({"op":"accuracy","grid":"ci","uops":500,)"
+                R"("workloads":["stream_add"],"deadline_ms":0.001})");
+    ASSERT_TRUE(r["ok"].boolean()) << r["error"].str();
+    EXPECT_TRUE(r["degraded"].boolean());
+
+    // A bad grid preset comes back structured, not as a crash.
+    r = call(c, R"({"op":"accuracy","grid":"nope"})");
+    EXPECT_FALSE(r["ok"].boolean());
+    EXPECT_EQ(r["code"].str(), "InvalidArgument");
+}
+
+TEST_F(ServeTest, StopIsIdempotentAndRestartable)
+{
+    startServer();
+    {
+        Client c = client();
+        EXPECT_TRUE(call(c, R"({"op":"ping"})")["ok"].boolean());
+    }
+    server_->stop();
+    server_->stop(); // idempotent
+    EXPECT_FALSE(server_->running());
+
+    // Same path can be bound again by a fresh server.
+    Server second(opts_);
+    ASSERT_TRUE(second.start().isOk());
+    Client c;
+    ASSERT_TRUE(c.connect(opts_.socketPath).isOk());
+    std::string resp;
+    ASSERT_TRUE(c.call(R"({"op":"ping"})", resp).isOk());
+    EXPECT_TRUE(parsed(resp)["ok"].boolean());
+    second.stop();
+}
+
+} // namespace
+} // namespace mipp
