@@ -104,9 +104,11 @@ RAWS=()
 cleanup() { rm -f ${RAWS[@]+"${RAWS[@]}"}; }
 trap cleanup EXIT
 
+RAW_ARGS=() # bin=rawpath pairs so the merge can blame a binary
 for bin in "${GBENCH_BINS[@]}"; do
     raw="$(mktemp)"
     RAWS+=("$raw")
+    RAW_ARGS+=("$bin=$raw")
     "$BUILD_DIR/$bin" "${BENCH_FLAGS[@]}" >"$raw"
 done
 
@@ -121,8 +123,11 @@ for raw_path in raw_paths:
     for b in raw.get("benchmarks", []):
         if b.get("aggregate_name"):
             continue
-        benches[b["run_name"]] = {"ms_per_op": b["real_time"]}
-        print(f"{b['run_name']}: {b['real_time']:.3f} ms/op")
+        scale = {"ns": 1e-6, "us": 1e-3, "ms": 1,
+                 "s": 1e3}[b.get("time_unit", "ns")]
+        ms = b["real_time"] * scale
+        benches[b["run_name"]] = {"ms_per_op": ms}
+        print(f"{b['run_name']}: {ms:.6f} ms/op")
 with open(out_path, "w") as f:
     json.dump({"protocol": "smoke (1 repetition, not comparable)",
                "benchmarks": benches}, f, indent=2, sort_keys=True)
@@ -132,11 +137,14 @@ EOF
     exit 0
 fi
 
-python3 - "$OUT" "${RAWS[@]}" <<'EOF'
+MIPP_SKIP_SLOW="$SKIP_SLOW" python3 - "$OUT" "${RAW_ARGS[@]}" <<'EOF'
 import json
+import os
+import re
 import sys
 
-out_path, raw_paths = sys.argv[1], sys.argv[2:]
+out_path, raw_args = sys.argv[1], sys.argv[2:]
+skip_slow = os.environ.get("MIPP_SKIP_SLOW") == "1"
 
 old = {}
 try:
@@ -144,23 +152,54 @@ try:
         old = json.load(f)
 except (OSError, ValueError):
     pass
+old_names = set(old.get("benchmarks", {}))
 
 benches = {}
 context = {}
-for raw_path in raw_paths:
+empty_bins = []
+for raw_arg in raw_args:
+    bin_name, _, raw_path = raw_arg.partition("=")
     with open(raw_path) as f:
         raw = json.load(f)
     context = raw.get("context", context)
+    contributed = 0
     for b in raw.get("benchmarks", []):
         if b.get("aggregate_name"):  # keep raw repetitions only
             continue
         name = b["run_name"]
-        entry = {"ns_per_op": b["real_time"] * 1e6}  # reported in ms
+        # real_time is in the benchmark's own unit (our older binaries
+        # set kMillisecond, bench_metrics keeps the ns default).
+        scale = {"ns": 1, "us": 1e3, "ms": 1e6,
+                 "s": 1e9}[b.get("time_unit", "ns")]
+        entry = {"ns_per_op": b["real_time"] * scale}
         if "items_per_second" in b:
             entry["items_per_sec"] = b["items_per_second"]
         prev = benches.get(name)
         if prev is None or entry["ns_per_op"] < prev["ns_per_op"]:
             benches[name] = entry
+        contributed += 1
+    if contributed == 0:
+        empty_bins.append(bin_name)
+
+# Trajectory-gain guard (full protocol only): a binary that emitted no
+# entries, or a merged set that does not cover what the trajectory
+# already records, means a filter/name rot — fail instead of silently
+# writing a shrunken trajectory. A --skip-slow run carries the last
+# full measurement of the slow-tagged benchmarks forward unchanged
+# (they only update on runs without the flag) rather than dropping
+# them.
+if empty_bins:
+    sys.exit("error: no benchmark entries from: " + ", ".join(empty_bins))
+if not benches:
+    sys.exit("error: merged benchmark set is empty")
+slow_re = re.compile(r"^BM_.*Million")
+for name in old_names - set(benches):
+    if skip_slow and slow_re.match(name):
+        benches[name] = old["benchmarks"][name]
+    else:
+        sys.exit("error: trajectory entry vanished from this run: "
+                 + name + " (renamed benchmarks need the old entry "
+                 "pruned deliberately, not dropped by accident)")
 
 out = {
     "context": {
@@ -192,7 +231,7 @@ with open(out_path, "w") as f:
     f.write("\n")
 
 for name, e in sorted(benches.items()):
-    line = f"{name}: {e['ns_per_op'] / 1e6:.3f} ms/op"
+    line = f"{name}: {e['ns_per_op'] / 1e6:.6f} ms/op"
     if "items_per_sec" in e:
         line += f", {e['items_per_sec'] / 1e6:.2f} M items/s"
     print(line)

@@ -33,12 +33,23 @@
  *
  *   mipp_cli serve --socket PATH [--workers N] [--queue N]
  *                  [--profiles N] [--deadline-ms D] [--failpoints]
+ *                  [--stats-interval-ms D]
  *       Run the persistent DSE daemon on a Unix-domain socket speaking
  *       the JSON-lines protocol (see src/serve/server.hh and the README
  *       "Serving & fault tolerance" section). Runs until SIGINT/SIGTERM.
+ *       `--stats-interval-ms` logs a periodic stats line to stderr.
+ *
+ *   mipp_cli report metrics --socket PATH [--prometheus] [--out FILE]
+ *       Fetch the full metrics registry from a running daemon (the
+ *       `metrics` op) as JSON or Prometheus text exposition.
  *
  *   mipp_cli list
  *       List the available suite workloads.
+ *
+ * Any command accepts `--trace-json FILE`: a SpanRecorder is installed
+ * for the whole run and the collected spans are written as Chrome
+ * trace-event JSON on exit (including the SIGINT path of `serve`).
+ * Load the file at chrome://tracing or https://ui.perfetto.dev.
  *
  * Errors are structured: input-shaped failures (bad profile bytes,
  * unknown workload, empty design space) print their Status code and
@@ -52,6 +63,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -60,12 +73,14 @@
 #include "dse/explorer.hh"
 #include "dse/pareto.hh"
 #include "model/interval_model.hh"
+#include "obs/trace.hh"
 #include "power/power_model.hh"
 #include "profiler/profile_io.hh"
 #include "profiler/profiler.hh"
 #include "serve/server.hh"
 #include "sweep_flags.hh"
 #include "util/failpoint.hh"
+#include "util/json.hh"
 #include "util/status.hh"
 #include "uarch/design_space.hh"
 #include "validate/accuracy.hh"
@@ -84,8 +99,10 @@ usage()
                  "       mipp_cli evaluate <profile> [options]\n"
                  "       mipp_cli sweep <profile>\n"
                  "       mipp_cli report accuracy [options]\n"
+                 "       mipp_cli report metrics --socket PATH [options]\n"
                  "       mipp_cli serve --socket PATH [options]\n"
-                 "       mipp_cli list\n");
+                 "       mipp_cli list\n"
+                 "any command also accepts --trace-json FILE\n");
     return 2;
 }
 
@@ -361,10 +378,79 @@ cmdCalibrate(int argc, char **argv)
 }
 
 int
+cmdReportMetrics(int argc, char **argv)
+{
+    std::string socketPath, outPath;
+    std::string format = "json";
+    for (int i = 0; i < argc; ++i) {
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", argv[i]);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        const char *v = nullptr;
+        if (!std::strcmp(argv[i], "--socket")) {
+            if (!(v = next()))
+                return 2;
+            socketPath = v;
+        } else if (!std::strcmp(argv[i], "--out")) {
+            if (!(v = next()))
+                return 2;
+            outPath = v;
+        } else if (!std::strcmp(argv[i], "--prometheus")) {
+            format = "prometheus";
+        } else {
+            std::fprintf(stderr, "unknown report metrics flag %s\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+    if (socketPath.empty()) {
+        std::fprintf(stderr,
+                     "usage: mipp_cli report metrics --socket PATH "
+                     "[--prometheus] [--out FILE]\n");
+        return 2;
+    }
+
+    serve::Client cli;
+    throwIfError(cli.connect(socketPath));
+    std::string resp;
+    throwIfError(cli.call(
+        "{\"op\":\"metrics\",\"format\":\"" + format + "\"}", resp));
+    json::Value doc;
+    throwIfError(json::parse(resp, doc, {}));
+    if (!doc.boolOr("ok", false)) {
+        std::fprintf(stderr, "server error: %s\n",
+                     doc.stringOr("error", "malformed response").c_str());
+        return 1;
+    }
+    // JSON output is the response line itself (already a complete
+    // document); Prometheus text arrives JSON-escaped and is unwrapped.
+    std::string text =
+        format == "prometheus" ? doc.stringOr("prometheus", "") : resp;
+    if (!outPath.empty()) {
+        std::ofstream os(outPath);
+        os << text << '\n';
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+            return 1;
+        }
+        std::printf("metrics written to %s\n", outPath.c_str());
+    } else {
+        std::printf("%s\n", text.c_str());
+    }
+    return 0;
+}
+
+int
 cmdReport(int argc, char **argv)
 {
     if (argc >= 1 && !std::strcmp(argv[0], "calibrate"))
         return cmdCalibrate(argc - 1, argv + 1);
+    if (argc >= 1 && !std::strcmp(argv[0], "metrics"))
+        return cmdReportMetrics(argc - 1, argv + 1);
     if (argc < 1 || std::strcmp(argv[0], "accuracy") != 0) {
         std::fprintf(stderr,
                      "usage: mipp_cli report accuracy [--grid "
@@ -374,7 +460,9 @@ cmdReport(int argc, char **argv)
                      "       mipp_cli report calibrate [--grid "
                      "ci|default|wide] [--uops N] [--threads N] "
                      "[--no-phased] [--no-branch-fit] [--rounds N] "
-                     "[--workload NAME]... [--json FILE]\n");
+                     "[--workload NAME]... [--json FILE]\n"
+                     "       mipp_cli report metrics --socket PATH "
+                     "[--prometheus] [--out FILE]\n");
         return 2;
     }
 
@@ -549,6 +637,10 @@ cmdServe(int argc, char **argv)
             sopts.defaultDeadlineMs = std::atof(v);
         } else if (!std::strcmp(argv[i], "--failpoints")) {
             sopts.allowFailpoints = true;
+        } else if (!std::strcmp(argv[i], "--stats-interval-ms")) {
+            if (!(v = next()))
+                return 2;
+            sopts.statsIntervalMs = std::atof(v);
         } else {
             std::fprintf(stderr, "unknown serve flag %s\n", argv[i]);
             return 2;
@@ -558,7 +650,7 @@ cmdServe(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: mipp_cli serve --socket PATH [--workers N] "
                      "[--queue N] [--profiles N] [--deadline-ms D] "
-                     "[--failpoints]\n");
+                     "[--failpoints] [--stats-interval-ms D]\n");
         return 2;
     }
 
@@ -587,10 +679,8 @@ cmdServe(int argc, char **argv)
     return 0;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runCommand(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
@@ -622,4 +712,54 @@ main(int argc, char **argv)
         return 1;
     }
     return usage();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // `--trace-json FILE` is global: strip it before command dispatch,
+    // record the whole run, flush on exit (any command, any exit path
+    // short of a crash — including serve's SIGINT shutdown).
+    std::string traceJsonPath;
+    std::vector<char *> args(argv, argv + argc);
+    for (size_t i = 1; i < args.size();) {
+        if (!std::strcmp(args[i], "--trace-json")) {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "--trace-json requires a file\n");
+                return 2;
+            }
+            traceJsonPath = args[i + 1];
+            args.erase(args.begin() + static_cast<long>(i),
+                       args.begin() + static_cast<long>(i) + 2);
+        } else {
+            ++i;
+        }
+    }
+
+    std::unique_ptr<obs::SpanRecorder> recorder;
+    if (!traceJsonPath.empty()) {
+        recorder = std::make_unique<obs::SpanRecorder>();
+        recorder->install();
+    }
+
+    int rc = runCommand(static_cast<int>(args.size()), args.data());
+
+    if (recorder) {
+        obs::SpanRecorder::uninstall();
+        std::ofstream os(traceJsonPath);
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         traceJsonPath.c_str());
+            return rc ? rc : 1;
+        }
+        recorder->writeChromeTrace(os);
+        std::fprintf(stderr,
+                     "trace written to %s (%zu spans, %llu dropped)\n",
+                     traceJsonPath.c_str(), recorder->snapshot().size(),
+                     static_cast<unsigned long long>(
+                         recorder->dropped()));
+    }
+    return rc;
 }

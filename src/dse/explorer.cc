@@ -7,6 +7,7 @@
 
 #include "dse/pareto.hh"
 #include "model/eval_cache.hh"
+#include "obs/trace.hh"
 #include "power/power_model.hh"
 #include "util/failpoint.hh"
 #include "util/thread_pool.hh"
@@ -146,8 +147,11 @@ modelPass(const std::vector<Profile> &profiles,
             if (cancel.cancelled())
                 return;
             // Test hook: stretch chunk execution so a deadline can be
-            // made to expire mid-sweep deterministically.
-            (void)MIPP_FAILPOINT("dse.chunk_delay");
+            // made to expire mid-sweep deterministically. The injected
+            // delay waits on the sweep's token, so a cancelled request
+            // is not held hostage by its own fault injection.
+            (void)MIPP_FAILPOINT_C("dse.chunk_delay", &cancel);
+            MIPP_SPAN("dse.chunk");
             const Span &sp = spans[s];
             EvalContext ctx(profiles[sp.wi]);
             for (size_t ci = sp.c0; ci < sp.c1; ++ci) {
@@ -180,6 +184,7 @@ simPass(const std::vector<Trace> &traces,
             if (cancel.cancelled())
                 return;
             auto [wi, ci] = pairs[i];
+            MIPP_SPAN("dse.sim");
             SimResult sim = simulate(traces[wi], configs[ci]);
             SweepPoint &pt = res.points[wi * res.nConfigs + ci];
             pt.simCpi = sim.cpiPerUop();
@@ -286,7 +291,9 @@ streamingModelPass(const std::vector<Profile> &profiles,
             for (size_t s = begin; s < end; ++s) {
                 if (sopts.cancel.cancelled())
                     return;
-                (void)MIPP_FAILPOINT("dse.chunk_delay");
+                (void)MIPP_FAILPOINT_C("dse.chunk_delay",
+                                       &sopts.cancel);
+                MIPP_SPAN("dse.chunk");
                 const Span &sp = spans[s];
                 std::unique_ptr<EvalContext> localCtx;
                 std::unique_ptr<BatchEval> localBe;
@@ -420,6 +427,7 @@ sweepEx(const std::vector<Trace> &traces,
         const std::vector<CoreConfig> &configs, const ModelOptions &mopts,
         const SweepOptions &sopts)
 {
+    MIPP_SPAN("dse.sweep");
     SweepResult res;
     res.nWorkloads = profiles.size();
     res.nConfigs = configs.size();
@@ -477,6 +485,7 @@ sweepGenerated(const std::vector<Profile> &profiles, size_t nConfigs,
                const ConfigGenerator &gen, const ModelOptions &mopts,
                const SweepOptions &sopts)
 {
+    MIPP_SPAN("dse.sweep");
     SweepResult res;
     res.nWorkloads = profiles.size();
     res.nConfigs = nConfigs;

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Scoped-span tracing: request-scoped wall-clock attribution across the
+ * profiler → model → DSE → serve pipeline, exportable as Chrome
+ * trace-event JSON (load the file at chrome://tracing or
+ * https://ui.perfetto.dev).
+ *
+ * The instrument is a RAII timer dropped at a named site:
+ *
+ *     void Impl::execute(const Request &req) {
+ *         MIPP_SPAN("serve.exec");
+ *         ...
+ *     }
+ *
+ * When no SpanRecorder is installed (every process that is not being
+ * traced), a span costs one relaxed atomic load and nothing else — no
+ * clock read, no allocation — so spans stay compiled into release
+ * builds and hot paths alike. Installing a recorder (CLI `--trace-json
+ * out.json`, or SpanRecorder::install() in tests) turns every site on
+ * globally: each span records {site name, trace id, start, duration,
+ * thread} into a fixed-capacity ring buffer; when the ring wraps, the
+ * oldest spans are overwritten and counted as dropped — tracing is
+ * bounded-memory by construction and never blocks the traced code
+ * beyond a short mutex hold.
+ *
+ * Trace ids tie spans to requests: the serve executor (or any other
+ * entry point) allocates an id with newTraceId() and pins it to the
+ * current thread with a TraceIdScope; every span on that thread while
+ * the scope is live carries the id, so one request's parse → queue wait
+ * → eval → respond chain is selectable in the exported trace. Work
+ * handed to pool threads records under trace id 0 (attribution stops at
+ * the handoff); the pool spans still appear on their own thread tracks.
+ *
+ * Span names are expected to be string literals (the recorder stores
+ * the pointer, not a copy).
+ */
+
+#ifndef MIPP_OBS_TRACE_HH
+#define MIPP_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace mipp::obs {
+
+/** One completed span (times in ns since the process trace epoch). */
+struct SpanEvent {
+    const char *name = nullptr;
+    uint64_t traceId = 0;
+    uint64_t startNs = 0;
+    uint64_t durNs = 0;
+    uint32_t tid = 0;
+};
+
+/** Nanoseconds since the process-wide trace epoch (steady clock). */
+uint64_t nowNs();
+
+/** Allocate a fresh nonzero trace id (process-wide). */
+uint64_t newTraceId();
+
+/** The current thread's trace id (0 outside any TraceIdScope). */
+uint64_t currentTraceId();
+
+/** Pins a trace id to the current thread for the scope's lifetime;
+ *  restores the previous id on exit, so scopes nest. */
+class TraceIdScope
+{
+  public:
+    explicit TraceIdScope(uint64_t id);
+    ~TraceIdScope();
+    TraceIdScope(const TraceIdScope &) = delete;
+    TraceIdScope &operator=(const TraceIdScope &) = delete;
+
+  private:
+    uint64_t prev_;
+};
+
+/** Fixed-capacity ring of completed spans. Thread-safe. */
+class SpanRecorder
+{
+  public:
+    explicit SpanRecorder(size_t capacity = 1 << 16);
+    ~SpanRecorder(); ///< uninstalls itself if installed
+
+    SpanRecorder(const SpanRecorder &) = delete;
+    SpanRecorder &operator=(const SpanRecorder &) = delete;
+
+    void record(const char *name, uint64_t traceId, uint64_t startNs,
+                uint64_t durNs);
+
+    /** Retained spans, oldest first. */
+    std::vector<SpanEvent> snapshot() const;
+
+    /** Spans overwritten after the ring wrapped. */
+    uint64_t dropped() const;
+
+    /** Chrome trace-event JSON ("X" complete events, ts/dur in µs,
+     *  trace id in args). Safe to call while recording continues; the
+     *  export is a snapshot. */
+    void writeChromeTrace(std::ostream &os) const;
+
+    /** Make this the process-wide recorder every span reports to.
+     *  Replaces any previously installed recorder. */
+    void install();
+
+    /** Detach the process-wide recorder (spans go back to the free
+     *  disabled path). The recorder itself keeps its contents. */
+    static void uninstall();
+
+    /** Currently installed recorder, or nullptr. */
+    static SpanRecorder *current();
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<SpanEvent> ring_;
+    size_t capacity_;
+    uint64_t total_ = 0; // spans ever recorded; head = total_ % capacity_
+};
+
+namespace detail {
+extern std::atomic<SpanRecorder *> recorder;
+} // namespace detail
+
+/**
+ * RAII span. With a recorder installed it reports to the ring on
+ * destruction; independently, an optional LatencyHistogram receives the
+ * duration (ns) even when tracing is off, which is how the serve
+ * daemon's per-op latency histograms stay populated in production.
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const char *name,
+                        LatencyHistogram *hist = nullptr)
+        : rec_(detail::recorder.load(std::memory_order_acquire)),
+          hist_(hist)
+    {
+        if (rec_ || hist_) {
+            name_ = name;
+            startNs_ = nowNs();
+        }
+    }
+
+    ~ScopedSpan()
+    {
+        if (!rec_ && !hist_)
+            return;
+        uint64_t dur = nowNs() - startNs_;
+        if (hist_)
+            hist_->record(dur);
+        if (rec_)
+            rec_->record(name_, currentTraceId(), startNs_, dur);
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    SpanRecorder *rec_;
+    LatencyHistogram *hist_;
+    const char *name_ = nullptr;
+    uint64_t startNs_ = 0;
+};
+
+/** Report an externally timed interval (cross-thread spans like queue
+ *  wait, where RAII cannot straddle the handoff). No-op when tracing
+ *  is off. */
+void recordSpan(const char *name, uint64_t traceId, uint64_t startNs,
+                uint64_t durNs);
+
+} // namespace mipp::obs
+
+#define MIPP_OBS_CAT2(a, b) a##b
+#define MIPP_OBS_CAT(a, b) MIPP_OBS_CAT2(a, b)
+
+/** Time the enclosing scope under the given site name (optionally also
+ *  into a LatencyHistogram: MIPP_SPAN("serve.eval", &hist)). */
+#define MIPP_SPAN(...)                                                    \
+    mipp::obs::ScopedSpan MIPP_OBS_CAT(mippObsSpan_,                      \
+                                       __COUNTER__)(__VA_ARGS__)
+
+#endif // MIPP_OBS_TRACE_HH

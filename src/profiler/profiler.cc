@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "util/flat_map.hh"
 #include "util/thread_pool.hh"
 
@@ -822,6 +823,7 @@ Profiler::run(const Trace &trace)
 Profile
 profileTrace(const Trace &trace, const ProfilerConfig &cfg)
 {
+    MIPP_SPAN("profiler.pass");
     Profiler p(cfg);
     return p.run(trace);
 }
@@ -842,6 +844,7 @@ profileTraces(const std::vector<Trace> &traces,
                     cfgs.empty() ? kDefault
                                  : (cfgs.size() == 1 ? cfgs[0]
                                                      : cfgs.at(i));
+                MIPP_SPAN("profiler.pass");
                 Profiler p(cfg);
                 out[i] = p.run(traces[i]);
             }

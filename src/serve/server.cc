@@ -4,8 +4,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <array>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstring>
@@ -20,6 +22,8 @@
 
 #include "dse/explorer.hh"
 #include "model/eval_cache.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "power/power_model.hh"
 #include "uarch/design_space.hh"
 #include "util/cancel.hh"
@@ -183,6 +187,8 @@ struct Server::Impl {
         std::shared_ptr<Connection> conn;
         std::string line;
         CancelToken cancel;
+        uint64_t traceId = 0;   // ties this request's spans together
+        uint64_t enqueueNs = 0; // queue-wait measurement start
     };
 
     // ---- profile LRU ------------------------------------------------
@@ -217,22 +223,103 @@ struct Server::Impl {
     std::vector<std::thread> readers;
     std::vector<std::shared_ptr<Connection>> conns;
 
-    mutable std::mutex statsMu;
-    ServerStats counters;
+    // ---- metrics ----------------------------------------------------
+    // Per-server registry (deliberately not obs::globalRegistry()) so
+    // in-process test servers and restarted daemons count from zero.
+    // Handles are resolved once here; the request path only touches
+    // relaxed atomics. See server.hh for the snapshot-consistency
+    // contract on the stats/metrics ops.
+    struct Metrics {
+        obs::Registry reg;
+        obs::Counter &connections =
+            reg.counter("serve_connections_total");
+        obs::Counter &requests = reg.counter("serve_requests_total");
+        obs::Counter &served = reg.counter("serve_served_total");
+        obs::Counter &shed = reg.counter("serve_shed_total");
+        obs::Counter &errors = reg.counter("serve_errors_total");
+        obs::Counter &cancelled = reg.counter("serve_cancelled_total");
+        obs::Counter &degraded = reg.counter("serve_degraded_total");
+        obs::Counter &evictions = reg.counter("serve_evictions_total");
+        obs::Counter &lruHits =
+            reg.counter("serve_profile_lru_hits_total");
+        obs::Counter &lruMisses =
+            reg.counter("serve_profile_lru_misses_total");
+        obs::Counter &bytesIn = reg.counter("serve_bytes_read_total");
+        obs::Counter &bytesOut =
+            reg.counter("serve_bytes_written_total");
+        obs::Gauge &queueDepth = reg.gauge("serve_queue_depth");
+        obs::LatencyHistogram &queueWait =
+            reg.histogram("serve_queue_wait_ns");
+    };
+    Metrics met;
 
-    explicit Impl(ServerOptions o) : opts(std::move(o)) {}
+    /** Dispatch table row: wire op name, span site, latency histogram
+     *  (serve_op_latency_ns{op="..."}); last row catches unknown ops. */
+    struct OpInfo {
+        const char *op = nullptr;
+        const char *span = nullptr;
+        obs::LatencyHistogram *lat = nullptr;
+    };
+    std::array<OpInfo, 9> opInfo;
 
-    void
-    bump(uint64_t ServerStats::*f, uint64_t by = 1)
+    std::atomic<uint64_t> startNs{0}; // obs::nowNs() at start()
+
+    std::thread statsThread; // periodic stats log line (statsIntervalMs)
+    std::mutex stopMu;
+    std::condition_variable stopCv;
+
+    explicit Impl(ServerOptions o) : opts(std::move(o))
     {
-        std::lock_guard<std::mutex> lk(statsMu);
-        counters.*f += by;
+        static constexpr const char *kOps[] = {
+            "ping",     "load-profile", "evaluate",
+            "sweep",    "accuracy",     "stats",
+            "metrics",  "failpoint",    "other"};
+        static constexpr const char *kSpans[] = {
+            "serve.op.ping",     "serve.op.load_profile",
+            "serve.op.evaluate", "serve.op.sweep",
+            "serve.op.accuracy", "serve.op.stats",
+            "serve.op.metrics",  "serve.op.failpoint",
+            "serve.op.other"};
+        for (size_t i = 0; i < opInfo.size(); ++i)
+            opInfo[i] = {kOps[i], kSpans[i],
+                         &met.reg.histogram(
+                             "serve_op_latency_ns",
+                             std::string("op=\"") + kOps[i] + "\"")};
+    }
+
+    double
+    uptimeMsNow() const
+    {
+        uint64_t s = startNs.load(std::memory_order_relaxed);
+        return s ? static_cast<double>(obs::nowNs() - s) / 1e6 : 0.0;
+    }
+
+    ServerStats
+    snapshotStats() const
+    {
+        ServerStats s;
+        s.connections = met.connections.value();
+        s.requests = met.requests.value();
+        s.served = met.served.value();
+        s.shed = met.shed.value();
+        s.errors = met.errors.value();
+        s.cancelled = met.cancelled.value();
+        s.degraded = met.degraded.value();
+        s.evictions = met.evictions.value();
+        s.lruHits = met.lruHits.value();
+        s.lruMisses = met.lruMisses.value();
+        s.bytesIn = met.bytesIn.value();
+        s.bytesOut = met.bytesOut.value();
+        s.uptimeMs = uptimeMsNow();
+        return s;
     }
 
     void
     respond(const std::shared_ptr<Connection> &conn, std::string line)
     {
+        MIPP_SPAN("serve.respond");
         line += '\n';
+        met.bytesOut.add(line.size());
         std::lock_guard<std::mutex> lk(conn->writeMu);
         writeAll(conn->fd, line.data(), line.size());
     }
@@ -270,9 +357,12 @@ struct Server::Impl {
 
         started = true;
         stopping.store(false);
+        startNs.store(obs::nowNs(), std::memory_order_relaxed);
         for (unsigned i = 0; i < opts.workers; ++i)
             executors.emplace_back([this] { executorLoop(); });
         acceptThread = std::thread([this] { acceptLoop(); });
+        if (opts.statsIntervalMs > 0)
+            statsThread = std::thread([this] { statsLogLoop(); });
         return Status();
     }
 
@@ -300,7 +390,13 @@ struct Server::Impl {
             queue.clear();
         }
         qCv.notify_all();
+        {
+            std::lock_guard<std::mutex> lk(stopMu);
+        }
+        stopCv.notify_all();
 
+        if (statsThread.joinable())
+            statsThread.join();
         if (acceptThread.joinable())
             acceptThread.join();
         for (auto &t : executors)
@@ -333,7 +429,7 @@ struct Server::Impl {
             }
             auto conn = std::make_shared<Connection>();
             conn->fd = fd;
-            bump(&ServerStats::connections);
+            met.connections.add();
             std::lock_guard<std::mutex> lk(connMu);
             if (stopping.load()) {
                 ::close(fd);
@@ -358,6 +454,7 @@ struct Server::Impl {
                 break; // EOF or error: disconnect
             }
             buf.append(chunk, static_cast<size_t>(n));
+            met.bytesIn.add(static_cast<uint64_t>(n));
             size_t pos;
             while ((pos = buf.find('\n')) != std::string::npos) {
                 std::string line = buf.substr(0, pos);
@@ -370,7 +467,7 @@ struct Server::Impl {
             if (buf.size() > opts.maxRequestBytes) {
                 // A line that can never complete within the limit:
                 // shed and drop the connection rather than buffer on.
-                bump(&ServerStats::shed);
+                met.shed.add();
                 respond(conn,
                         errorLine(resourceExhausted(
                                       "request line exceeds " +
@@ -392,10 +489,12 @@ struct Server::Impl {
     void
     enqueue(const std::shared_ptr<Connection> &conn, std::string line)
     {
-        bump(&ServerStats::requests);
+        met.requests.add();
         Request req;
         req.conn = conn;
         req.line = std::move(line);
+        req.traceId = obs::newTraceId();
+        req.enqueueNs = obs::nowNs();
         // The token exists from enqueue time so a disconnect cancels
         // queued requests too, not just the one being executed.
         req.cancel = opts.defaultDeadlineMs > 0
@@ -410,12 +509,14 @@ struct Server::Impl {
             } else {
                 conn->registerToken(req.cancel);
                 queue.push_back(std::move(req));
+                met.queueDepth.set(
+                    static_cast<int64_t>(queue.size()));
             }
         }
         if (full) {
             // Shed outside the queue lock: the response write can
             // block on a slow client and must not stall executors.
-            bump(&ServerStats::shed);
+            met.shed.add();
             respond(conn, errorLine(
                               resourceExhausted(
                                   "request queue full (depth " +
@@ -441,12 +542,19 @@ struct Server::Impl {
                     return;
                 req = std::move(queue.front());
                 queue.pop_front();
+                met.queueDepth.set(
+                    static_cast<int64_t>(queue.size()));
             }
-            (void)MIPP_FAILPOINT("serve.exec_delay");
+            uint64_t wait = obs::nowNs() - req.enqueueNs;
+            met.queueWait.record(wait);
+            obs::recordSpan("serve.queue_wait", req.traceId,
+                            req.enqueueNs, wait);
+            obs::TraceIdScope tscope(req.traceId);
+            (void)MIPP_FAILPOINT_C("serve.exec_delay", &req.cancel);
             if (req.cancel.cancelled()) {
                 // Client left (or the default deadline lapsed) while
                 // the request sat in the queue: drop it unexecuted.
-                bump(&ServerStats::cancelled);
+                met.cancelled.add();
                 req.conn->unregisterToken(req.cancel);
                 continue;
             }
@@ -459,9 +567,14 @@ struct Server::Impl {
     void
     execute(const Request &req)
     {
+        MIPP_SPAN("serve.exec");
         json::Value doc;
-        Status pst = json::parse(
-            req.line, doc, {.maxBytes = opts.maxRequestBytes});
+        Status pst;
+        {
+            MIPP_SPAN("serve.parse");
+            pst = json::parse(req.line, doc,
+                              {.maxBytes = opts.maxRequestBytes});
+        }
         const json::Value id = doc["id"];
         std::string out;
         if (!pst.isOk()) {
@@ -489,13 +602,13 @@ struct Server::Impl {
                     id);
             }
             if (tok.cancelled())
-                bump(&ServerStats::cancelled);
+                met.cancelled.add();
             if (extraTok)
                 req.conn->unregisterToken(tok);
         }
         if (out.find("\"ok\":false") != std::string::npos)
-            bump(&ServerStats::errors);
-        bump(&ServerStats::served);
+            met.errors.add();
+        met.served.add();
         respond(req.conn, out);
     }
 
@@ -505,6 +618,14 @@ struct Server::Impl {
     {
         const std::string op = doc.stringOr("op", "");
         std::string body; // "key":value,... appended per op
+
+        size_t opIdx = opInfo.size() - 1; // "other"
+        for (size_t i = 0; i + 1 < opInfo.size(); ++i)
+            if (op == opInfo[i].op) {
+                opIdx = i;
+                break;
+            }
+        obs::ScopedSpan opSpan(opInfo[opIdx].span, opInfo[opIdx].lat);
 
         if (op == "ping") {
             // nothing to add
@@ -526,6 +647,10 @@ struct Server::Impl {
                 return errorLine(st, id);
         } else if (op == "stats") {
             opStats(body);
+        } else if (op == "metrics") {
+            Status st = opMetrics(doc, body);
+            if (!st.isOk())
+                return errorLine(st, id);
         } else if (op == "failpoint") {
             if (!opts.allowFailpoints)
                 return errorLine(
@@ -544,7 +669,7 @@ struct Server::Impl {
             return errorLine(
                 invalidArgument("unknown op '" + op +
                                 "' (ping|load-profile|evaluate|sweep|"
-                                "accuracy|stats|failpoint)"),
+                                "accuracy|stats|metrics|failpoint)"),
                 id);
         }
 
@@ -603,7 +728,7 @@ struct Server::Impl {
         while (profiles.size() > opts.maxProfiles) {
             profiles.erase(lruOrder.back());
             lruOrder.pop_back();
-            bump(&ServerStats::evictions);
+            met.evictions.add();
         }
 
         key(body, "profile");
@@ -621,8 +746,11 @@ struct Server::Impl {
     {
         std::lock_guard<std::mutex> lk(lruMu);
         auto it = profiles.find(name);
-        if (it == profiles.end())
+        if (it == profiles.end()) {
+            met.lruMisses.add();
             return nullptr;
+        }
+        met.lruHits.add();
         lruOrder.splice(lruOrder.begin(), lruOrder, it->second.first);
         return it->second.second;
     }
@@ -696,7 +824,7 @@ struct Server::Impl {
         if (!r.status.isOk())
             return r.status;
         if (r.degraded)
-            bump(&ServerStats::degraded);
+            met.degraded.add();
 
         key(body, "space");
         body += num(static_cast<double>(space.size())) + ",";
@@ -739,7 +867,7 @@ struct Server::Impl {
         aopts.cancel = tok;
         AccuracyReport rep = runAccuracy(aopts);
         if (rep.degraded)
-            bump(&ServerStats::degraded);
+            met.degraded.add();
 
         key(body, "degraded");
         body += rep.degraded ? "true," : "false,";
@@ -763,11 +891,7 @@ struct Server::Impl {
     void
     opStats(std::string &body)
     {
-        ServerStats s;
-        {
-            std::lock_guard<std::mutex> lk(statsMu);
-            s = counters;
-        }
+        ServerStats s = snapshotStats();
         std::vector<std::string> names;
         {
             std::lock_guard<std::mutex> lk(lruMu);
@@ -779,6 +903,8 @@ struct Server::Impl {
             if (comma)
                 body += ',';
         };
+        key(body, "uptime_ms");
+        body += num(s.uptimeMs) + ",";
         field("connections", s.connections, true);
         field("requests", s.requests, true);
         field("served", s.served, true);
@@ -787,6 +913,12 @@ struct Server::Impl {
         field("cancelled", s.cancelled, true);
         field("degraded", s.degraded, true);
         field("evictions", s.evictions, true);
+        field("lru_hits", s.lruHits, true);
+        field("lru_misses", s.lruMisses, true);
+        field("bytes_in", s.bytesIn, true);
+        field("bytes_out", s.bytesOut, true);
+        key(body, "queue_depth");
+        body += num(static_cast<double>(met.queueDepth.value())) + ",";
         key(body, "profiles");
         body += '[';
         for (size_t i = 0; i < names.size(); ++i) {
@@ -795,6 +927,64 @@ struct Server::Impl {
             body += json::quote(names[i]);
         }
         body += ']';
+    }
+
+    Status
+    opMetrics(const json::Value &doc, std::string &body)
+    {
+        const std::string format = doc.stringOr("format", "json");
+        if (format != "json" && format != "prometheus" &&
+            format != "both")
+            return invalidArgument("metrics: unknown format '" +
+                                   format +
+                                   "' (json|prometheus|both)");
+        key(body, "uptime_ms");
+        body += num(uptimeMsNow());
+        if (format == "json" || format == "both") {
+            body += ',';
+            key(body, "metrics");
+            body += met.reg.renderJsonArray();
+        }
+        if (format == "prometheus" || format == "both") {
+            body += ',';
+            key(body, "prometheus");
+            body += json::quote(met.reg.renderPrometheus());
+        }
+        return Status();
+    }
+
+    // ---- periodic stats log ----------------------------------------
+    void
+    statsLogLoop()
+    {
+        const auto interval = std::chrono::duration<double, std::milli>(
+            opts.statsIntervalMs);
+        std::unique_lock<std::mutex> lk(stopMu);
+        while (!stopping.load()) {
+            if (stopCv.wait_for(lk, interval,
+                                [&] { return stopping.load(); }))
+                break;
+            ServerStats s = snapshotStats();
+            obs::HistogramSnapshot q = met.queueWait.snapshot();
+            uint64_t lookups = s.lruHits + s.lruMisses;
+            std::fprintf(
+                stderr,
+                "[mipp_serve] uptime_ms=%.0f requests=%llu "
+                "served=%llu shed=%llu errors=%llu cancelled=%llu "
+                "degraded=%llu queue_depth=%lld "
+                "queue_wait_p99_ns=%.0f lru_hit_ratio=%.3f\n",
+                s.uptimeMs,
+                static_cast<unsigned long long>(s.requests),
+                static_cast<unsigned long long>(s.served),
+                static_cast<unsigned long long>(s.shed),
+                static_cast<unsigned long long>(s.errors),
+                static_cast<unsigned long long>(s.cancelled),
+                static_cast<unsigned long long>(s.degraded),
+                static_cast<long long>(met.queueDepth.value()),
+                q.quantile(0.99),
+                lookups ? static_cast<double>(s.lruHits) / lookups
+                        : 0.0);
+        }
     }
 };
 
@@ -826,14 +1016,25 @@ Server::running() const
 ServerStats
 Server::stats() const
 {
-    std::lock_guard<std::mutex> lk(impl_->statsMu);
-    return impl_->counters;
+    return impl_->snapshotStats();
 }
 
 const ServerOptions &
 Server::options() const
 {
     return impl_->opts;
+}
+
+std::string
+Server::metricsJson() const
+{
+    return impl_->met.reg.renderJson();
+}
+
+std::string
+Server::metricsPrometheus() const
+{
+    return impl_->met.reg.renderPrometheus();
 }
 
 // ---- Client ---------------------------------------------------------

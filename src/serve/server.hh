@@ -17,6 +17,7 @@
  *   {"op":"sweep","profile":"w0","space":"small","deadline_ms":50}
  *   {"op":"accuracy","grid":"ci","uops":2000}
  *   {"op":"stats"}            {"op":"failpoint","spec":"name=1:10"}
+ *   {"op":"metrics","format":"json"|"prometheus"|"both"}
  *
  * Robustness is the design driver, in layers:
  *
@@ -41,6 +42,26 @@
  *    `failpoint` op arms util/failpoint sites remotely, which is how the
  *    recovery-path tests drive corrupt-upload, mid-sweep-deadline and
  *    queue-overflow scenarios end to end.
+ *  - *Observability*: every counter the daemon keeps lives in a
+ *    per-server obs::Registry (src/obs/metrics.hh). The `stats` op is a
+ *    compact view (the PR 7 counters plus uptime_ms, queue depth, LRU
+ *    hit/miss, bytes in/out); the `metrics` op is the full registry —
+ *    per-op latency histograms with p50/p90/p99, the queue-wait
+ *    histogram — as JSON and/or Prometheus text exposition. Each
+ *    request carries an obs trace id through its whole lifecycle
+ *    (parse → queue wait → executor → op → respond), so an installed
+ *    SpanRecorder (`mipp_cli serve --trace-json`) yields a Chrome
+ *    trace attributing every microsecond of every request.
+ *
+ *    Snapshot consistency, for both ops: every value is a relaxed-
+ *    atomic read of a monotonic counter (histogram snapshots are
+ *    per-bin exact). No lock stops the request path while a snapshot
+ *    is taken, so related counters may disagree by whatever was in
+ *    flight at that instant (e.g. `requests` can transiently exceed
+ *    `served + shed + cancelled` by the queue contents). Counters
+ *    never reset while the server runs — there is deliberately no
+ *    reset op; rate and delta math belongs to the scraper, anchored
+ *    on `uptime_ms` (milliseconds since Server::start()).
  *
  * Responses to one connection's pipelined requests may complete out of
  * order (executors run them concurrently); clients that pipeline should
@@ -79,9 +100,14 @@ struct ServerOptions {
     ProfileLimits profileLimits;
     /** Allow the `failpoint` op (fault-injection; tests/bench only). */
     bool allowFailpoints = false;
+    /** Period of the stats log line written to stderr (served/shed/
+     *  queue depth/p99 latency); 0 = no periodic logging. */
+    double statsIntervalMs = 0;
 };
 
-/** Monotonic counters exposed by the `stats` op (and for tests). */
+/** Monotonic counters exposed by the `stats` op (and for tests). A
+ *  compact projection of the server's obs::Registry; see the snapshot-
+ *  consistency note above. */
 struct ServerStats {
     uint64_t connections = 0;  ///< accepted connections
     uint64_t requests = 0;     ///< request lines enqueued
@@ -91,6 +117,11 @@ struct ServerStats {
     uint64_t cancelled = 0;    ///< requests cancelled (disconnect/deadline)
     uint64_t degraded = 0;     ///< requests that returned partial results
     uint64_t evictions = 0;    ///< profile-LRU evictions
+    uint64_t lruHits = 0;      ///< profile lookups served from the LRU
+    uint64_t lruMisses = 0;    ///< profile lookups that found no entry
+    uint64_t bytesIn = 0;      ///< bytes read off client sockets
+    uint64_t bytesOut = 0;     ///< response bytes written
+    double uptimeMs = 0;       ///< monotonic ms since Server::start()
 };
 
 class Server
@@ -113,6 +144,11 @@ class Server
     bool running() const;
     ServerStats stats() const;
     const ServerOptions &options() const;
+
+    /** Full metrics registry renders (what the `metrics` op serves);
+     *  usable without a connection (tests, in-process embedding). */
+    std::string metricsJson() const;
+    std::string metricsPrometheus() const;
 
   private:
     struct Impl;

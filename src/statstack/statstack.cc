@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
+
 namespace mipp {
 
 StatStack::StatStack(const LogHistogram &combined) : combined_(combined)
 {
+    MIPP_SPAN("statstack.build");
     total_ = static_cast<double>(combined.total());
     size_t nbins = combined.numBins();
     survival_.resize(nbins + 1, 0.0);

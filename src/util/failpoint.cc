@@ -1,5 +1,6 @@
 #include "util/failpoint.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
 #include <mutex>
@@ -70,7 +71,7 @@ armedCount()
 }
 
 bool
-hit(std::string_view name)
+hit(std::string_view name, const CancelToken *cancel)
 {
     int sleepMs = 0;
     bool fired = false;
@@ -89,9 +90,27 @@ hit(std::string_view name)
         }
     }
     // Sleep outside the lock so a delaying site cannot serialize other
-    // failpoints (or block disarming) behind it.
-    if (sleepMs > 0)
-        std::this_thread::sleep_for(std::chrono::milliseconds(sleepMs));
+    // failpoints (or block disarming) behind it. With a token, poll it
+    // in 1 ms slices: the injected delay ends the moment the request is
+    // cancelled, so disconnect/deadline paths are not serialized on the
+    // full injected duration.
+    if (sleepMs > 0) {
+        using Clock = std::chrono::steady_clock;
+        const Clock::time_point until =
+            Clock::now() + std::chrono::milliseconds(sleepMs);
+        for (;;) {
+            if (cancel && cancel->cancelled())
+                break;
+            Clock::time_point now = Clock::now();
+            if (now >= until)
+                break;
+            auto remaining = until - now;
+            std::this_thread::sleep_for(
+                cancel ? std::min<Clock::duration>(
+                             remaining, std::chrono::milliseconds(1))
+                       : remaining);
+        }
+    }
     return fired;
 }
 

@@ -27,6 +27,13 @@
  * (fires = 0, sleepMs > 0) delays but never fires — that is how tests
  * stretch a sweep without changing its result. All functions are
  * thread-safe; reset() disarms everything between tests.
+ *
+ * Sites on cancellable paths use MIPP_FAILPOINT_C(name, &token): the
+ * injected delay then waits *on the token*, returning as soon as the
+ * request's CancelToken fires (disconnect, deadline) instead of
+ * blocking for the full duration — a fault-injection sleep must never
+ * outlive the request it is injected into, or disconnect/deadline
+ * tests end up serialized on the very delays they inject.
  */
 
 #ifndef MIPP_UTIL_FAILPOINT_HH
@@ -35,6 +42,8 @@
 #include <atomic>
 #include <string>
 #include <string_view>
+
+#include "util/cancel.hh"
 
 namespace mipp::failpoint {
 
@@ -58,9 +67,11 @@ void reset();
 /** Number of currently armed sites (fast-path gate; see macro). */
 int armedCount();
 
-/** Slow path: look up @p name, apply its delay, consume a fire.
+/** Slow path: look up @p name, apply its delay, consume a fire. The
+ *  delay waits on @p cancel when one is given: it ends early the moment
+ *  the token reports cancelled.
  *  @return true when the site should take its injected-fault path. */
-bool hit(std::string_view name);
+bool hit(std::string_view name, const CancelToken *cancel = nullptr);
 
 /**
  * Parse a CLI-style arming description "name[=fires[:sleepMs]]"
@@ -79,5 +90,11 @@ extern std::atomic<int> armed;
 #define MIPP_FAILPOINT(name)                                              \
     (mipp::failpoint::detail::armed.load(std::memory_order_relaxed) > 0 && \
      mipp::failpoint::hit(name))
+
+/** As MIPP_FAILPOINT, but an injected delay waits on @p cancelPtr
+ *  (a const CancelToken *) instead of sleeping unconditionally. */
+#define MIPP_FAILPOINT_C(name, cancelPtr)                                 \
+    (mipp::failpoint::detail::armed.load(std::memory_order_relaxed) > 0 && \
+     mipp::failpoint::hit(name, cancelPtr))
 
 #endif // MIPP_UTIL_FAILPOINT_HH

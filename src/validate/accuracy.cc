@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "model/eval_cache.hh"
+#include "obs/trace.hh"
 #include "power/power_model.hh"
 #include "profiler/profiler.hh"
 #include "uarch/design_space.hh"
@@ -346,6 +347,7 @@ summarizeAccuracy(const std::vector<PointAccuracy> &points)
 AccuracyReport
 runAccuracy(const AccuracyOptions &opts)
 {
+    MIPP_SPAN("accuracy.run");
     std::vector<CoreConfig> grid =
         opts.grid.empty() ? accuracyGrid("default") : opts.grid;
 
@@ -372,11 +374,13 @@ runAccuracy(const AccuracyOptions &opts)
         for (size_t wi = begin; wi < end; ++wi) {
             if (opts.cancel.cancelled())
                 return;
+            MIPP_SPAN("accuracy.workload");
             EvalContext ctx(profiles[wi]);
             for (size_t ci = 0; ci < nc; ++ci) {
                 if (opts.cancel.cancelled())
                     return;
                 const CoreConfig &cfg = grid[ci];
+                MIPP_SPAN("accuracy.point");
                 SimResult sim = simulate(traces[wi], cfg);
                 ModelResult mod = evaluateModel(ctx, cfg, opts.mopts);
 

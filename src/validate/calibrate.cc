@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "model/eval_cache.hh"
+#include "obs/trace.hh"
 #include "profiler/profiler.hh"
 #include "util/thread_pool.hh"
 #include "validate/json_util.hh"
@@ -167,6 +168,7 @@ lineSearch(FitState &st, ModelCalibration cal,
 CalibrationReport
 runCalibration(const CalibrationOptions &opts)
 {
+    MIPP_SPAN("calibrate.run");
     FitState st{opts};
     st.grid = opts.grid.empty() ? accuracyGrid("ci") : opts.grid;
     buildAccuracySuite(opts.uops, opts.includePhased, opts.workloads,
@@ -189,6 +191,7 @@ runCalibration(const CalibrationOptions &opts)
 
     // --- Stage 1: piecewise entropy fits against simulated predictors ---
     if (opts.fitBranch) {
+        MIPP_SPAN("calibrate.branch_fit");
         std::vector<EntropyObservation> obs(nw * kNumKinds);
         parallelForShared(nw * kNumKinds, opts.threads,
                           [&](size_t begin, size_t end) {
@@ -224,13 +227,17 @@ runCalibration(const CalibrationOptions &opts)
     }
 
     // --- Stage 2: simulator ground truth over the grid -------------------
-    st.sims.resize(nw * nc);
-    parallelForShared(nw, opts.threads, [&](size_t begin, size_t end) {
-        for (size_t wi = begin; wi < end; ++wi)
-            for (size_t ci = 0; ci < nc; ++ci)
-                st.sims[wi * nc + ci] =
-                    simulate(st.traces[wi], st.grid[ci]);
-    });
+    {
+        MIPP_SPAN("calibrate.sim_grid");
+        st.sims.resize(nw * nc);
+        parallelForShared(nw, opts.threads,
+                          [&](size_t begin, size_t end) {
+            for (size_t wi = begin; wi < end; ++wi)
+                for (size_t ci = 0; ci < nc; ++ci)
+                    st.sims[wi * nc + ci] =
+                        simulate(st.traces[wi], st.grid[ci]);
+        });
+    }
 
     // "Before": the incoming calibration, incoming branch fits.
     {
@@ -243,6 +250,7 @@ runCalibration(const CalibrationOptions &opts)
     // --- Stage 3: coordinate descent over the scalar coefficients --------
     ModelCalibration cal = opts.mopts.cal;
     if (opts.fitCoefficients) {
+        MIPP_SPAN("calibrate.coefficient_fit");
         for (int round = 0; round < opts.rounds; ++round) {
             ModelCalibration prev = cal;
             for (const CoefficientSpec &spec : kCoefficients)

@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <thread>
 
+#include "util/cancel.hh"
 #include "util/failpoint.hh"
 
 namespace mipp {
@@ -51,6 +53,50 @@ TEST_F(Failpoints, SleepOnlySiteDelaysButDoesNotFire)
     failpoint::arm("t.sleepy", {.fires = 0, .sleepMs = 30});
     auto t0 = std::chrono::steady_clock::now();
     EXPECT_FALSE(MIPP_FAILPOINT("t.sleepy"));
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    EXPECT_GE(ms, 25);
+}
+
+TEST_F(Failpoints, CancelledTokenSkipsDelayImmediately)
+{
+    failpoint::arm("t.slow_cancelled", {.fires = 0, .sleepMs = 5000});
+    CancelToken tok = CancelToken::manual();
+    tok.cancel();
+    auto t0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(MIPP_FAILPOINT_C("t.slow_cancelled", &tok));
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    EXPECT_LT(ms, 1000); // must not serve the full 5 s delay
+}
+
+TEST_F(Failpoints, CancelMidDelayCutsSleepShort)
+{
+    failpoint::arm("t.slow_midway", {.fires = 0, .sleepMs = 5000});
+    CancelToken tok = CancelToken::manual();
+    // t0 before the spawn: the canceller's 20 ms run from thread start,
+    // so measuring from any later instant under-counts under load.
+    auto t0 = std::chrono::steady_clock::now();
+    std::thread canceller([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        tok.cancel();
+    });
+    EXPECT_FALSE(MIPP_FAILPOINT_C("t.slow_midway", &tok));
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    canceller.join();
+    EXPECT_GE(ms, 15);   // waited until the cancel...
+    EXPECT_LT(ms, 1000); // ...not the armed 5 s
+}
+
+TEST_F(Failpoints, NullTokenStillSleepsFullDelay)
+{
+    failpoint::arm("t.slow_null", {.fires = 0, .sleepMs = 30});
+    auto t0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(MIPP_FAILPOINT_C("t.slow_null", nullptr));
     auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                   std::chrono::steady_clock::now() - t0)
                   .count();

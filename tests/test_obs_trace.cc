@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for scoped-span tracing: recorder install/uninstall, span
+ * nesting, trace-id propagation across TraceIdScope, ring-buffer wrap
+ * accounting, and the Chrome trace-event JSON export (validated with
+ * the repo's own strict JSON parser).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hh"
+#include "util/json.hh"
+
+namespace mipp {
+namespace {
+
+using obs::SpanEvent;
+using obs::SpanRecorder;
+using obs::TraceIdScope;
+
+class ObsTrace : public ::testing::Test
+{
+  protected:
+    // Every test leaves the process untraced (other suites rely on the
+    // disabled fast path).
+    void TearDown() override { SpanRecorder::uninstall(); }
+};
+
+std::vector<SpanEvent>
+named(const std::vector<SpanEvent> &evs, const char *name)
+{
+    std::vector<SpanEvent> out;
+    for (const SpanEvent &e : evs)
+        if (e.name && std::string(e.name) == name)
+            out.push_back(e);
+    return out;
+}
+
+TEST_F(ObsTrace, DisabledPathRecordsNothing)
+{
+    ASSERT_EQ(SpanRecorder::current(), nullptr);
+    {
+        MIPP_SPAN("t.disabled");
+    }
+    SpanRecorder rec;
+    rec.install();
+    EXPECT_TRUE(rec.snapshot().empty()); // nothing from before install
+}
+
+TEST_F(ObsTrace, SpansRecordNameAndDuration)
+{
+    SpanRecorder rec;
+    rec.install();
+    {
+        MIPP_SPAN("t.outer");
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    SpanRecorder::uninstall();
+
+    auto outer = named(rec.snapshot(), "t.outer");
+    ASSERT_EQ(outer.size(), 1u);
+    EXPECT_GE(outer[0].durNs, 1000000u); // slept >= 1 ms
+    EXPECT_GT(outer[0].tid, 0u);
+}
+
+TEST_F(ObsTrace, NestingContainsInnerWithinOuter)
+{
+    SpanRecorder rec;
+    rec.install();
+    {
+        MIPP_SPAN("t.outer");
+        {
+            MIPP_SPAN("t.inner");
+        }
+    }
+    auto evs = rec.snapshot();
+    auto outer = named(evs, "t.outer");
+    auto inner = named(evs, "t.inner");
+    ASSERT_EQ(outer.size(), 1u);
+    ASSERT_EQ(inner.size(), 1u);
+    // Inner closes first (recorded first) and lies within the outer
+    // interval.
+    EXPECT_GE(inner[0].startNs, outer[0].startNs);
+    EXPECT_LE(inner[0].startNs + inner[0].durNs,
+              outer[0].startNs + outer[0].durNs);
+}
+
+TEST_F(ObsTrace, TraceIdPropagatesAndRestores)
+{
+    EXPECT_EQ(obs::currentTraceId(), 0u);
+    uint64_t a = obs::newTraceId();
+    uint64_t b = obs::newTraceId();
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(a, b);
+
+    SpanRecorder rec;
+    rec.install();
+    {
+        TraceIdScope sa(a);
+        EXPECT_EQ(obs::currentTraceId(), a);
+        MIPP_SPAN("t.req_a");
+        {
+            TraceIdScope sb(b); // nested scope overrides...
+            MIPP_SPAN("t.req_b");
+        }
+        EXPECT_EQ(obs::currentTraceId(), a); // ...and restores
+    }
+    EXPECT_EQ(obs::currentTraceId(), 0u);
+
+    auto evs = rec.snapshot();
+    ASSERT_EQ(named(evs, "t.req_a").size(), 1u);
+    ASSERT_EQ(named(evs, "t.req_b").size(), 1u);
+    EXPECT_EQ(named(evs, "t.req_a")[0].traceId, a);
+    EXPECT_EQ(named(evs, "t.req_b")[0].traceId, b);
+}
+
+TEST_F(ObsTrace, TraceIdIsPerThread)
+{
+    TraceIdScope scope(obs::newTraceId());
+    uint64_t other = 1;
+    std::thread t([&] { other = obs::currentTraceId(); });
+    t.join();
+    EXPECT_EQ(other, 0u); // ids do not leak across threads
+}
+
+TEST_F(ObsTrace, RingWrapKeepsNewestAndCountsDropped)
+{
+    SpanRecorder rec(8);
+    rec.install();
+    for (int i = 0; i < 20; ++i) {
+        MIPP_SPAN("t.wrap");
+    }
+    auto evs = rec.snapshot();
+    EXPECT_EQ(evs.size(), 8u);
+    EXPECT_EQ(rec.dropped(), 12u);
+    // Oldest-first ordering within the retained window.
+    for (size_t i = 1; i < evs.size(); ++i)
+        EXPECT_GE(evs[i].startNs, evs[i - 1].startNs);
+}
+
+TEST_F(ObsTrace, RecordSpanHonorsInstallState)
+{
+    SpanRecorder rec;
+    obs::recordSpan("t.before", 1, 0, 10); // no recorder: dropped
+    rec.install();
+    obs::recordSpan("t.after", 2, 5, 10);
+    EXPECT_TRUE(named(rec.snapshot(), "t.before").empty());
+    auto after = named(rec.snapshot(), "t.after");
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_EQ(after[0].traceId, 2u);
+    EXPECT_EQ(after[0].startNs, 5u);
+    EXPECT_EQ(after[0].durNs, 10u);
+}
+
+TEST_F(ObsTrace, SpanFeedsHistogramWithoutRecorder)
+{
+    // The serve per-op latency path: histograms fill even untraced.
+    ASSERT_EQ(SpanRecorder::current(), nullptr);
+    obs::LatencyHistogram h;
+    {
+        MIPP_SPAN("t.hist", &h);
+    }
+    EXPECT_EQ(h.count(), 1u);
+}
+
+TEST_F(ObsTrace, ChromeTraceExportIsValidJson)
+{
+    SpanRecorder rec;
+    rec.install();
+    uint64_t id = obs::newTraceId();
+    {
+        TraceIdScope scope(id);
+        MIPP_SPAN("t.export_outer");
+        MIPP_SPAN("t.export_inner");
+    }
+    SpanRecorder::uninstall();
+
+    std::ostringstream os;
+    rec.writeChromeTrace(os);
+    json::Value doc;
+    Status st = json::parse(os.str(), doc);
+    ASSERT_TRUE(st.isOk()) << st.toString() << " in: " << os.str();
+    EXPECT_EQ(doc.stringOr("displayTimeUnit", ""), "ms");
+
+    auto events = doc["traceEvents"].array();
+    ASSERT_EQ(events.size(), 2u);
+    std::vector<std::string> names;
+    for (const json::Value &ev : events) {
+        names.push_back(ev.stringOr("name", ""));
+        EXPECT_EQ(ev.stringOr("ph", ""), "X");
+        EXPECT_EQ(ev.stringOr("cat", ""), "mipp");
+        EXPECT_GE(ev.numberOr("ts", -1), 0.0);
+        EXPECT_GE(ev.numberOr("dur", -1), 0.0);
+        EXPECT_DOUBLE_EQ(ev["args"].numberOr("trace_id", 0),
+                         static_cast<double>(id));
+    }
+    EXPECT_NE(std::find(names.begin(), names.end(), "t.export_outer"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "t.export_inner"),
+              names.end());
+}
+
+} // namespace
+} // namespace mipp

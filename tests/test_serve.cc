@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "profiler/profile_io.hh"
 #include "profiler/profiler.hh"
 #include "serve/server.hh"
@@ -420,6 +421,186 @@ TEST_F(ServeTest, AccuracyOpRunsTinyGridAndHonorsDeadline)
     r = call(c, R"({"op":"accuracy","grid":"nope"})");
     EXPECT_FALSE(r["ok"].boolean());
     EXPECT_EQ(r["code"].str(), "InvalidArgument");
+}
+
+/** Find a metric object by name (+labels substring) in a metrics-op
+ *  response; null Value when absent. */
+json::Value
+findMetric(const json::Value &resp, const std::string &name,
+           const std::string &labels = "")
+{
+    for (const json::Value &m : resp["metrics"].array())
+        if (m.stringOr("name", "") == name &&
+            (labels.empty() || m.stringOr("labels", "") == labels))
+            return m;
+    return json::Value();
+}
+
+TEST_F(ServeTest, MetricsOpReportsScriptedCounts)
+{
+    startServer();
+    Client c = client();
+
+    // Scripted sequence with known per-op counts: 2 pings, 1 upload,
+    // 3 evaluates, 1 stats. The metrics request itself is the 8th
+    // enqueued request; its own op-latency closes only after the
+    // render, so it is visible in requests/queue-wait but not in
+    // serve_op_latency_ns{op="metrics"}.
+    EXPECT_TRUE(call(c, R"({"op":"ping"})")["ok"].boolean());
+    EXPECT_TRUE(call(c, R"({"op":"ping"})")["ok"].boolean());
+    json::Value r =
+        call(c, std::string(R"({"op":"load-profile","name":"w0",)") +
+                    "\"data\":" + json::quote(profileText()) + "}");
+    ASSERT_TRUE(r["ok"].boolean()) << r["error"].str();
+    for (int i = 0; i < 3; ++i) {
+        r = call(c, R"({"op":"evaluate","profile":"w0",)"
+                    R"("config":{"width":4,"rob":128}})");
+        ASSERT_TRUE(r["ok"].boolean()) << r["error"].str();
+    }
+    EXPECT_TRUE(call(c, R"({"op":"stats"})")["ok"].boolean());
+
+    r = call(c, R"({"op":"metrics","format":"json"})");
+    ASSERT_TRUE(r["ok"].boolean()) << r["error"].str();
+    EXPECT_GE(r["uptime_ms"].number(), 0.0);
+
+    EXPECT_EQ(findMetric(r, "serve_requests_total").numberOr("value", -1),
+              8.0);
+    EXPECT_EQ(findMetric(r, "serve_served_total").numberOr("value", -1),
+              7.0); // the metrics response is not yet written
+    EXPECT_EQ(findMetric(r, "serve_connections_total")
+                  .numberOr("value", -1),
+              1.0);
+    EXPECT_EQ(findMetric(r, "serve_profile_lru_hits_total")
+                  .numberOr("value", -1),
+              3.0);
+    EXPECT_GT(findMetric(r, "serve_bytes_read_total")
+                  .numberOr("value", -1),
+              0.0);
+
+    // Queue-wait histogram counts every executed request so far,
+    // including this one (recorded before dispatch).
+    json::Value qw = findMetric(r, "serve_queue_wait_ns");
+    EXPECT_EQ(qw.stringOr("type", ""), "histogram");
+    EXPECT_EQ(qw.numberOr("count", -1), 8.0);
+
+    // Per-op evaluate latency: exactly the 3 evaluates.
+    json::Value ev =
+        findMetric(r, "serve_op_latency_ns", "op=\"evaluate\"");
+    EXPECT_EQ(ev.numberOr("count", -1), 3.0);
+    EXPECT_GT(ev.numberOr("p99", 0), 0.0);
+    EXPECT_EQ(findMetric(r, "serve_op_latency_ns", "op=\"ping\"")
+                  .numberOr("count", -1),
+              2.0);
+}
+
+TEST_F(ServeTest, MetricsOpPrometheusAndFormatValidation)
+{
+    startServer();
+    Client c = client();
+    EXPECT_TRUE(call(c, R"({"op":"ping"})")["ok"].boolean());
+
+    json::Value r = call(c, R"({"op":"metrics","format":"prometheus"})");
+    ASSERT_TRUE(r["ok"].boolean()) << r["error"].str();
+    const std::string text = r["prometheus"].str();
+    EXPECT_NE(text.find("# TYPE serve_requests_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE serve_queue_wait_ns histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("serve_queue_wait_ns_bucket{le=\"+Inf\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("serve_op_latency_ns_count{op=\"ping\"} 1"),
+              std::string::npos);
+
+    // "both" carries the JSON array and the text exposition.
+    r = call(c, R"({"op":"metrics","format":"both"})");
+    ASSERT_TRUE(r["ok"].boolean());
+    EXPECT_FALSE(r["metrics"].array().empty());
+    EXPECT_FALSE(r["prometheus"].str().empty());
+
+    r = call(c, R"({"op":"metrics","format":"xml"})");
+    EXPECT_FALSE(r["ok"].boolean());
+    EXPECT_EQ(r["code"].str(), "InvalidArgument");
+}
+
+TEST_F(ServeTest, StatsOpCarriesUptimeQueueDepthAndByteCounters)
+{
+    startServer();
+    Client c = client();
+
+    json::Value r1 = call(c, R"({"op":"stats"})");
+    ASSERT_TRUE(r1["ok"].boolean());
+    EXPECT_GE(r1["uptime_ms"].number(), 0.0);
+    EXPECT_EQ(r1["queue_depth"].number(), 0); // idle at snapshot time
+    EXPECT_GT(r1["bytes_in"].number(), 0);
+
+    // A miss on an unknown profile shows up in the LRU counters.
+    call(c, R"({"op":"evaluate","profile":"ghost"})");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    json::Value r2 = call(c, R"({"op":"stats"})");
+    EXPECT_GE(r2["lru_misses"].number(), 1);
+    // Uptime is monotonic, counters never reset while running.
+    EXPECT_GT(r2["uptime_ms"].number(), r1["uptime_ms"].number());
+    EXPECT_GE(r2["bytes_out"].number(), r1["bytes_out"].number());
+
+    // The ServerStats projection and the direct renders agree in kind.
+    ServerStats st = server_->stats();
+    EXPECT_GT(st.uptimeMs, 0.0);
+    EXPECT_GE(st.lruMisses, 1u);
+    EXPECT_GT(st.bytesIn, 0u);
+    json::Value doc = parsed(server_->metricsJson());
+    EXPECT_FALSE(doc["metrics"].array().empty());
+    EXPECT_NE(server_->metricsPrometheus().find("serve_requests_total"),
+              std::string::npos);
+}
+
+TEST_F(ServeTest, TraceSpansCoverServeLifecycle)
+{
+    obs::SpanRecorder rec;
+    rec.install();
+    startServer();
+    {
+        Client c = client();
+        json::Value r = call(
+            c, std::string(R"({"op":"load-profile","name":"w0",)") +
+                   "\"data\":" + json::quote(profileText()) + "}");
+        ASSERT_TRUE(r["ok"].boolean()) << r["error"].str();
+        r = call(c, R"({"op":"evaluate","profile":"w0",)"
+                    R"("config":{"width":4,"rob":128}})");
+        ASSERT_TRUE(r["ok"].boolean()) << r["error"].str();
+    }
+    server_->stop();
+    obs::SpanRecorder::uninstall();
+
+    std::vector<obs::SpanEvent> evs = rec.snapshot();
+    auto count = [&](const char *name) {
+        size_t n = 0;
+        for (const obs::SpanEvent &e : evs)
+            if (e.name && std::string(e.name) == name)
+                ++n;
+        return n;
+    };
+    // Every lifecycle stage shows up: queue wait, executor, parse,
+    // the op itself, the response write.
+    EXPECT_GE(count("serve.queue_wait"), 2u);
+    EXPECT_GE(count("serve.exec"), 2u);
+    EXPECT_GE(count("serve.parse"), 2u);
+    EXPECT_EQ(count("serve.op.load_profile"), 1u);
+    EXPECT_EQ(count("serve.op.evaluate"), 1u);
+    EXPECT_GE(count("serve.respond"), 2u);
+
+    // The same nonzero trace id ties one request's queue wait to its
+    // executor span.
+    for (const obs::SpanEvent &qw : evs) {
+        if (!qw.name || std::string(qw.name) != "serve.queue_wait")
+            continue;
+        EXPECT_NE(qw.traceId, 0u);
+        bool matched = false;
+        for (const obs::SpanEvent &ex : evs)
+            if (ex.name && std::string(ex.name) == "serve.exec" &&
+                ex.traceId == qw.traceId)
+                matched = true;
+        EXPECT_TRUE(matched) << "unmatched trace id " << qw.traceId;
+    }
 }
 
 TEST_F(ServeTest, StopIsIdempotentAndRestartable)
