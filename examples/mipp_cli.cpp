@@ -4,7 +4,10 @@
  * AIP (profiler) + PMT (modeling tool) pair:
  *
  *   mipp_cli profile <workload> <out.profile> [uops]
+ *                    [--threads N] [--segment-uops M]
  *       Generate the named suite workload and profile it once.
+ *       --threads > 1 profiles window-aligned segments in parallel
+ *       (bit-identical result); --segment-uops overrides the split.
  *
  *   mipp_cli evaluate <in.profile> [--width N] [--rob N] [--l1d KB]
  *                     [--l2 KB] [--l3 MB] [--freq GHZ] [--prefetcher]
@@ -95,7 +98,8 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: mipp_cli profile <workload> <out> [uops]\n"
+                 "usage: mipp_cli profile <workload> <out> [uops]"
+                 " [--threads N] [--segment-uops M]\n"
                  "       mipp_cli evaluate <profile> [options]\n"
                  "       mipp_cli sweep <profile>\n"
                  "       mipp_cli report accuracy [options]\n"
@@ -119,10 +123,32 @@ cmdProfile(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
-    size_t uops = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200000;
+    size_t uops = 200000;
+    ParallelProfileOptions popts;
+    unsigned threads = 1; // sequential by default: fully reproducible
+                          // timing, and small workloads gain nothing
+    for (int i = 2; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+            threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--segment-uops") &&
+                   i + 1 < argc) {
+            popts.segmentUops = std::strtoull(argv[++i], nullptr, 10);
+        } else if (argv[i][0] != '-') {
+            uops = std::strtoull(argv[i], nullptr, 10);
+        } else {
+            std::fprintf(stderr, "unknown profile option %s\n", argv[i]);
+            return usage();
+        }
+    }
+    popts.threads = threads;
     WorkloadSpec spec = suiteWorkload(argv[0]);
     Trace t = generateWorkload(spec, uops);
-    Profile p = profileTrace(t, {.name = spec.name});
+    // Bit-identical either way (the parallel parity suite pins this);
+    // --threads only changes wall-clock.
+    Profile p = threads == 1
+                    ? profileTrace(t, {.name = spec.name})
+                    : profileTraceParallel(t, {.name = spec.name}, popts);
     if (!saveProfile(p, argv[1])) {
         std::fprintf(stderr, "cannot write %s\n", argv[1]);
         return 1;

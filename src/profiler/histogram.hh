@@ -31,7 +31,10 @@ class LogHistogram
 
     // Copies and moves transfer the counts but not the derived suffix-sum
     // cache (it is rebuilt on demand); spelled out because the cache
-    // validity flag is atomic.
+    // validity flag is atomic. Moves leave the source empty AND with its
+    // suffix cache invalidated: bins_ is emptied by the vector move, so a
+    // stale total_/infinite_/suffix_ would make the moved-from histogram
+    // silently report counts it no longer holds.
     LogHistogram(const LogHistogram &o)
         : bins_(o.bins_), total_(o.total_), infinite_(o.infinite_)
     {
@@ -41,6 +44,9 @@ class LogHistogram
         : bins_(std::move(o.bins_)), total_(o.total_),
           infinite_(o.infinite_)
     {
+        o.total_ = 0;
+        o.infinite_ = 0;
+        o.invalidateSuffix();
     }
 
     LogHistogram &
@@ -56,10 +62,15 @@ class LogHistogram
     LogHistogram &
     operator=(LogHistogram &&o) noexcept
     {
+        if (this == &o)
+            return *this;
         bins_ = std::move(o.bins_);
         total_ = o.total_;
         infinite_ = o.infinite_;
         invalidateSuffix();
+        o.total_ = 0;
+        o.infinite_ = 0;
+        o.invalidateSuffix();
         return *this;
     }
 

@@ -1,821 +1,43 @@
 #include "profiler/profiler.hh"
 
 #include <algorithm>
-#include <cmath>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
 #include "obs/trace.hh"
-#include "util/flat_map.hh"
+#include "profiler/segment_profiler.hh"
+#include "trace/trace_source.hh"
 #include "util/thread_pool.hh"
 
 namespace mipp {
 
 namespace {
 
-/** Linear branch entropy of a taken-probability (thesis Eq 3.14). */
-double
-linearEntropy(double p)
+/** Requested (or derived) segment span, rounded up to whole windows. */
+size_t
+segmentSpan(uint64_t totalHint, unsigned threads, size_t winSize,
+            size_t requested)
 {
-    return 2.0 * std::min(p, 1.0 - p);
-}
-
-/** Taken/not-taken counts for one (branch, history) pair. */
-struct TakenCounts {
-    uint32_t taken = 0;
-    uint32_t total = 0;
-};
-
-/**
- * Average linear entropy over a (pc, history) count map (Eq 3.15).
- * Entries are summed in key order so the floating-point result does not
- * depend on hash iteration order.
- */
-double
-entropyOf(const FlatMap<TakenCounts> &stats, uint64_t &branchesOut)
-{
-    std::vector<std::pair<uint64_t, TakenCounts>> entries;
-    entries.reserve(stats.size());
-    stats.forEach([&](uint64_t key, const TakenCounts &c) {
-        entries.emplace_back(key, c);
-    });
-    std::sort(entries.begin(), entries.end(),
-              [](const auto &a, const auto &b) { return a.first < b.first; });
-
-    double sum = 0;
-    uint64_t branches = 0;
-    for (const auto &[key, c] : entries) {
-        double p = static_cast<double>(c.taken) / c.total;
-        sum += c.total * linearEntropy(p);
-        branches += c.total;
-    }
-    branchesOut = branches;
-    return branches ? sum / branches : 0.0;
-}
-
-/**
- * Dependence-depth walk over one window of uops (thesis Alg 3.1).
- *
- * depth[j]     = producing-chain length ending at uop j (>= 1)
- * loadDepth[j] = loads on the longest load-dependence path reaching j
- */
-struct WindowChainStats {
-    double ap = 0;
-    double abp = 0;
-    bool hasBranch = false;
-    double cp = 0;
-    /** Load-depth histogram (1-based, capped). */
-    std::array<uint32_t, LoadDepProfile::kMaxDepth> loadHisto{};
-    uint32_t loads = 0;
-    uint32_t independentLoads = 0;
-};
-
-/** Reusable per-walk buffer so stepping windows do not allocate. */
-struct WalkScratch {
-    /** Packed per-uop state: chain depth in the low 16 bits, load depth
-     *  in the high 16 — one load/store instead of two on the walk's
-     *  inner dependence lookups. */
-    std::vector<uint32_t> packedDepth;
-
-    void resize(size_t n) { packedDepth.resize(n); }
-};
-
-WindowChainStats
-walkWindow(const MicroOp *ops, size_t n, WalkScratch &scratch,
-           std::vector<std::pair<uint32_t, uint32_t>> *loadDepthPerOp)
-{
-    WindowChainStats out;
-    // Producer position per register within the window; -1 = outside.
-    int prod[kNumRegs];
-    std::fill(std::begin(prod), std::end(prod), -1);
-
-    uint32_t *packed = scratch.packedDepth.data();
-    // Integer accumulators (converted once at the end): the sums stay far
-    // below 2^53, so the doubles produced are bit-identical to per-step
-    // double accumulation.
-    uint64_t depthSum = 0, branchDepthSum = 0;
-    uint32_t branches = 0;
-    uint32_t maxDepth = 0;
-
-    for (size_t j = 0; j < n; ++j) {
-        const MicroOp &op = ops[j];
-        // Both source depths at once: max over packed halves is the pair
-        // of maxes here, because the halves cannot borrow into each other
-        // (depths stay far below 2^16 in a <= 2^16-uop window).
-        uint32_t dpair = 0;
-        auto consider = [&](int8_t reg) {
-            if (reg == kNoReg)
-                return;
-            int p = prod[reg];
-            if (p >= 0) {
-                uint32_t v = packed[p];
-                dpair = std::max(dpair & 0xffffu, v & 0xffffu) |
-                        std::max(dpair & 0xffff0000u, v & 0xffff0000u);
-            }
-        };
-        consider(op.src1);
-        consider(op.src2);
-        bool is_load = op.type == UopType::Load;
-        uint32_t d = (dpair & 0xffffu) + 1;
-        uint32_t ld = (dpair >> 16) + (is_load ? 1 : 0);
-        packed[j] = d | (ld << 16);
-        if (op.dst != kNoReg)
-            prod[op.dst] = static_cast<int>(j);
-
-        depthSum += d;
-        maxDepth = std::max(maxDepth, d);
-        if (op.type == UopType::Branch) {
-            branchDepthSum += d;
-            branches++;
-        }
-        if (is_load) {
-            out.loads++;
-            int bin = std::min<int>(static_cast<int>(ld),
-                                    LoadDepProfile::kMaxDepth);
-            out.loadHisto[bin - 1]++;
-            if (ld == 1)
-                out.independentLoads++;
-            if (loadDepthPerOp)
-                loadDepthPerOp->emplace_back(static_cast<uint32_t>(j),
-                                             ld);
-        }
-    }
-    out.ap = n ? static_cast<double>(depthSum) / n : 0;
-    out.cp = maxDepth;
-    out.hasBranch = branches > 0;
-    out.abp =
-        branches ? static_cast<double>(branchDepthSum) / branches : 0;
-    return out;
-}
-
-/** Whole-trace profiling state. */
-class Profiler
-{
-  public:
-    Profiler(const ProfilerConfig &cfg) : cfg_(cfg)
-    {
-        profile_.name = cfg.name;
-        profile_.sampling = cfg.sampling;
-        profile_.robSizes = cfg.robSizes;
-        profile_.chains = DependenceChains(cfg.robSizes);
-        profile_.loadDeps.resize(cfg.robSizes.size());
-        profile_.cold.resize(cfg.robSizes.size());
-        profile_.branch.historyBits = cfg.historyBits;
-        histMask_ = cfg.historyBits >= 64 ?
-            ~0ULL : (1ULL << cfg.historyBits) - 1;
-        winHistMask_ = cfg.windowHistoryBits >= 64 ?
-            ~0ULL : (1ULL << cfg.windowHistoryBits) - 1;
-        // Dense per-pc history tables cost 8 * 2^historyBits bytes per
-        // static branch; beyond ~12 bits that scales badly, so long
-        // histories keep the sparse hashed-(pc, history) representation.
-        denseBranchTables_ = cfg.historyBits <= 12;
-    }
-
-    Profile run(const Trace &trace);
-
-  private:
-    template <bool InMt>
-    void observeRange(const Trace &trace, size_t begin, size_t end);
-    void observeMemory(const MicroOp &op, size_t uopIndex, bool inMt);
-    void observeBranch(const MicroOp &op, bool inMt);
-    uint32_t newBranchTable();
-    void finishMicroTrace();
-    void walkRobSize(const MicroOp *mt, size_t mtLen, size_t i,
-                     size_t median, WindowProfile &wp);
-    uint32_t memOpIndex(uint64_t pc, bool isStore);
-    bool findMemOp(uint64_t pc, uint32_t &idx) const;
-    uint32_t createMemOp(uint64_t pc, bool isStore);
-
-    const ProfilerConfig &cfg_;
-    Profile profile_;
-
-    // --- continuous (whole-trace) state ----------------------------------
-    FlatMap<uint64_t> lastAccess_; // line -> mem idx
-    uint64_t memIndex_ = 0;
-    FlatMap<uint64_t> lastILine_;  // iline -> idx
-    uint64_t iLineIndex_ = 0;
-    uint64_t prevILine_ = ~0ULL;
-    /**
-     * Global branch statistics as pc -> dense history table: one
-     * direct-indexed (or, off-window, hashed) pc lookup plus one
-     * direct-indexed store per branch, instead of hashing the whole
-     * (pc, history) pair into one large map. Direct slots hold
-     * table+1 (0 = empty), same windowing scheme as memOpDirect_.
-     */
-    std::vector<uint32_t> branchDirect_;
-    uint64_t branchPcBase_ = ~0ULL;
-    FlatMap<uint32_t> branchPc_; // fallback: pc -> table index
-    std::vector<TakenCounts> branchTables_; // tables * (histMask_ + 1)
-    uint32_t numBranchTables_ = 0;
-    /** Long histories (> 12 bits) skip the dense tables and hash the
-     *  whole (pc, history) pair, like the per-micro-trace stats. */
-    bool denseBranchTables_ = true;
-    FlatMap<TakenCounts> sparseBranchStats_;
-    uint64_t ghist_ = 0;
-    /** Hoisted (1 << historyBits) - 1 masks for the branch-key hot path. */
-    uint64_t histMask_ = 0;
-    uint64_t winHistMask_ = 0;
-    /**
-     * pc -> memOps index. Program counters cluster in a small static
-     * code footprint, so a direct-indexed table over a 64 KiB pc window
-     * (anchored at the first memory pc seen) resolves essentially every
-     * lookup with one load; pcs outside the window fall back to the
-     * hash map. Slot value is idx+1 (0 = empty).
-     */
-    static constexpr size_t kPcWindow = 1u << 16;
-    std::vector<uint32_t> memOpDirect_;
-    uint64_t memPcBase_ = ~0ULL;
-    FlatMap<uint32_t> memOpIndex_; // fallback for out-of-window pcs
-    /**
-     * Per-static-op running state, kept separate from StaticMemProfile
-     * so each memory access touches one compact struct (hot fields in
-     * the leading cache line) instead of the profile's large output
-     * record. Materialized into profile_.memOps when the run ends.
-     */
-    struct OpRunning {
-        static constexpr size_t kInlineStrides = 4;
-        static constexpr size_t kMaxStrides = 64;
-
-        // -- first cache line: touched on every access ------------------
-        uint64_t lastAddr = 0;
-        uint64_t lastUopIdx = 0;
-        uint64_t count = 0;
-        uint64_t gapSum = 0;
-        uint64_t gapCount = 0;
-        uint64_t selfDependent = 0;
-        bool seen = false;
-        bool isStore = false; // nominal type (first occurrence)
-        uint8_t nInline = 0;
-
-        // -- stride counts: inline entries cover the common stride
-        //    classes (thesis Fig 4.7: most static loads have <= 4
-        //    dominant strides); the flat map takes the overflow up to
-        //    the 64-distinct cap.
-        std::array<uint64_t, kInlineStrides> strideKey{};
-        std::array<uint64_t, kInlineStrides> strideCount{};
-        FlatMap<uint64_t> strideOverflow;
-
-        /** Reuse distances of this op's accesses (combined stream). */
-        LogHistogram reuse;
-
-        void
-        addStride(uint64_t stride)
-        {
-            for (size_t k = 0; k < nInline; ++k) {
-                if (strideKey[k] == stride) {
-                    strideCount[k]++;
-                    return;
-                }
-            }
-            if (nInline < kInlineStrides) {
-                strideKey[nInline] = stride;
-                strideCount[nInline] = 1;
-                nInline++;
-                return;
-            }
-            if (kInlineStrides + strideOverflow.size() < kMaxStrides) {
-                if (strideOverflow.empty())
-                    strideOverflow.reserve(kMaxStrides);
-                strideOverflow[stride]++;
-            } else if (uint64_t *c = strideOverflow.find(stride)) {
-                (*c)++;
-            }
-        }
-    };
-    std::vector<OpRunning> opRunning_;
-    std::vector<uint64_t> coldLoadUopIdx_;
-    /** Exact corrections for accesses whose type differs from their
-     *  static op's nominal type ([0] loads, [1] stores). */
-    struct TypeAdjust {
-        LogHistogram add;
-        LogHistogram sub;
-    };
-    std::array<TypeAdjust, 2> typeAdjust_;
-
-    // --- per-micro-trace state --------------------------------------------
-    // Micro-traces are contiguous runs of the trace, so instead of copying
-    // uops into a buffer we keep a zero-copy [mtStart_, mtStart_ + mtLen_)
-    // span into the trace being profiled.
-    const Trace *trace_ = nullptr;
-    size_t mtStart_ = 0;
-    size_t mtLen_ = 0;
-    FlatMap<TakenCounts> mtBranchStats_;
-    /** Per-micro-trace occurrence counts / first positions, indexed
-     *  directly by memOps index (dense small ints — no hashing). The
-     *  touched list makes the end-of-micro-trace sweep and reset
-     *  proportional to the ops actually seen. */
-    std::vector<uint32_t> mtMemCount_;
-    std::vector<uint32_t> mtFirstPos_;
-    std::vector<uint32_t> mtTouched_;
-    uint32_t mtColdMisses_ = 0;
-};
-
-uint32_t
-Profiler::memOpIndex(uint64_t pc, bool isStore)
-{
-    if (memPcBase_ == ~0ULL) {
-        memPcBase_ = pc & ~(static_cast<uint64_t>(kPcWindow) - 1);
-        memOpDirect_.assign(kPcWindow, 0);
-    }
-    uint64_t off = pc - memPcBase_;
-    if (off < kPcWindow) {
-        uint32_t slot = memOpDirect_[off];
-        if (slot)
-            return slot - 1;
-        uint32_t idx = createMemOp(pc, isStore);
-        memOpDirect_[off] = idx + 1;
-        return idx;
-    }
-    auto [slot, inserted] = memOpIndex_.tryEmplace(pc);
-    if (!inserted)
-        return slot;
-    uint32_t idx = createMemOp(pc, isStore);
-    slot = idx;
-    return idx;
-}
-
-/** memOpIndex without creating. @return whether @p pc has an op. */
-bool
-Profiler::findMemOp(uint64_t pc, uint32_t &idx) const
-{
-    if (memPcBase_ != ~0ULL && pc - memPcBase_ < kPcWindow) {
-        uint32_t slot = memOpDirect_[pc - memPcBase_];
-        if (!slot)
-            return false;
-        idx = slot - 1;
-        return true;
-    }
-    const uint32_t *v = memOpIndex_.find(pc);
-    if (!v)
-        return false;
-    idx = *v;
-    return true;
-}
-
-uint32_t
-Profiler::createMemOp(uint64_t pc, bool isStore)
-{
-    uint32_t idx = static_cast<uint32_t>(profile_.memOps.size());
-    StaticMemProfile p;
-    p.pc = pc;
-    p.isStore = isStore;
-    profile_.memOps.push_back(std::move(p));
-    opRunning_.emplace_back();
-    opRunning_.back().isStore = isStore;
-    return idx;
-}
-
-void
-Profiler::observeMemory(const MicroOp &op, size_t uopIndex, bool inMt)
-{
-    uint64_t line = op.lineAddr();
-    bool is_store = op.type == UopType::Store;
-
-    // Combined-stream reuse distance (thesis Fig 4.1).
-    auto [last, cold] = lastAccess_.tryEmplace(line, memIndex_);
-    uint64_t rd = 0;
-    if (!cold) {
-        rd = memIndex_ - last - 1;
-        last = memIndex_;
-    }
-    memIndex_++;
-
-    // The same distance lands in three histograms (combined, per-type,
-    // per-op). Only the per-op one is touched here: reuseLoads /
-    // reuseStores are assembled at the end of the run from the per-op
-    // histograms (each static op is load or store), with the rare
-    // mixed-type pc corrected exactly via typeAdjust_, and reuseAll is
-    // their merge.
-    size_t reuseBin = cold ? 0 : LogHistogram::binIndex(rd);
-
-    if (cold && !is_store) {
-        profile_.cold.coldLoadMisses++;
-        coldLoadUopIdx_.push_back(uopIndex);
-        if (inMt)
-            mtColdMisses_++;
-    }
-
-    // Per-static-op statistics (strides tracked continuously; spacing
-    // within micro-traces), accumulated on the compact running struct.
-    uint32_t idx = memOpIndex(op.pc, is_store);
-    OpRunning &run = opRunning_[idx];
-    run.count++;
-    if (cold)
-        run.reuse.addInfinite();
-    else
-        run.reuse.addAtBin(reuseBin);
-    if (is_store != run.isStore) [[unlikely]] {
-        // Access type differs from the op's nominal type: log the exact
-        // correction moving this count between the derived per-type
-        // histograms (add to the access's type, remove from the op's).
-        LogHistogram &add = typeAdjust_[is_store ? 1 : 0].add;
-        LogHistogram &sub = typeAdjust_[run.isStore ? 1 : 0].sub;
-        if (cold) {
-            add.addInfinite();
-            sub.addInfinite();
-        } else {
-            add.addAtBin(reuseBin);
-            sub.addAtBin(reuseBin);
-        }
-    }
-    if (run.seen) {
-        run.addStride(static_cast<uint64_t>(op.addr - run.lastAddr));
-        run.gapSum += uopIndex - run.lastUopIdx;
-        run.gapCount++;
-        if (!is_store && op.src1 == op.dst && op.dst != kNoReg)
-            run.selfDependent++;
-    }
-    run.lastAddr = op.addr;
-    run.lastUopIdx = uopIndex;
-    run.seen = true;
-
-    if (inMt) {
-        if (idx >= mtMemCount_.size()) {
-            mtMemCount_.resize(opRunning_.size(), 0);
-            mtFirstPos_.resize(opRunning_.size(), 0);
-        }
-        if (mtMemCount_[idx]++ == 0) {
-            // Position within the micro-trace (the span is contiguous).
-            mtFirstPos_[idx] = static_cast<uint32_t>(uopIndex - mtStart_);
-            mtTouched_.push_back(idx);
-        }
-    }
-}
-
-uint32_t
-Profiler::newBranchTable()
-{
-    const size_t tableSize = static_cast<size_t>(histMask_) + 1;
-    branchTables_.resize(branchTables_.size() + tableSize);
-    return numBranchTables_++;
-}
-
-void
-Profiler::observeBranch(const MicroOp &op, bool inMt)
-{
-    if (!denseBranchTables_) {
-        uint64_t key = (op.pc << cfg_.historyBits) | (ghist_ & histMask_);
-        auto &c = sparseBranchStats_[key];
-        c.taken += op.taken ? 1 : 0;
-        c.total++;
+    uint64_t span;
+    if (requested) {
+        span = requested;
+    } else if (totalHint != TraceSource::kUnknownSize) {
+        span = (totalHint + threads - 1) / threads;
     } else {
-        const size_t tableSize = static_cast<size_t>(histMask_) + 1;
-        uint32_t table;
-        if (branchPcBase_ == ~0ULL) {
-            branchPcBase_ =
-                op.pc & ~(static_cast<uint64_t>(kPcWindow) - 1);
-            branchDirect_.assign(kPcWindow, 0);
-        }
-        uint64_t off = op.pc - branchPcBase_;
-        if (off < kPcWindow) {
-            uint32_t slot = branchDirect_[off];
-            if (slot) {
-                table = slot - 1;
-            } else {
-                table = newBranchTable();
-                branchDirect_[off] = table + 1;
-            }
-        } else {
-            auto [slot, fresh] = branchPc_.tryEmplace(op.pc, 0);
-            if (fresh)
-                slot = newBranchTable();
-            table = slot;
-        }
-        TakenCounts &c =
-            branchTables_[static_cast<size_t>(table) * tableSize +
-                          (ghist_ & histMask_)];
-        c.taken += op.taken ? 1 : 0;
-        c.total++;
+        // Unknown stream length: big enough to amortize per-segment
+        // boundary resolution, small enough to keep the copy pipeline's
+        // footprint modest (threads * span uops in flight).
+        span = 64 * static_cast<uint64_t>(winSize);
     }
-
-    if (inMt) {
-        uint64_t wkey =
-            (op.pc << cfg_.windowHistoryBits) | (ghist_ & winHistMask_);
-        auto &wc = mtBranchStats_[wkey];
-        wc.taken += op.taken ? 1 : 0;
-        wc.total++;
-    }
-    ghist_ = (ghist_ << 1) | (op.taken ? 1 : 0);
+    span = (span + winSize - 1) / winSize * winSize;
+    return static_cast<size_t>(std::max<uint64_t>(span, winSize));
 }
 
-/**
- * Stepping-window chain walk for ROB-size index @p i over the current
- * micro-trace span. Writes only state owned by index i (chains row i,
- * loadDeps row i, wp.*[i]) plus, for the median size only, the per-op
- * load-depth attribution — safe to run concurrently across i.
- */
-void
-Profiler::walkRobSize(const MicroOp *mt, size_t mtLen, size_t i,
-                      size_t median, WindowProfile &wp)
+unsigned
+effectiveThreads(unsigned requested)
 {
-    size_t b = cfg_.robSizes[i];
-    if (b > mtLen)
-        b = mtLen;
-    size_t nwin = mtLen / b;
-    double apSum = 0, abpSum = 0, cpSum = 0;
-    double abpWindows = 0;
-    WalkScratch scratch;
-    scratch.resize(b);
-    std::vector<std::pair<uint32_t, uint32_t>> perLoad;
-    for (size_t w = 0; w < nwin; ++w) {
-        auto stats = walkWindow(mt + w * b, b, scratch,
-                                i == median ? &perLoad : nullptr);
-        apSum += stats.ap;
-        cpSum += stats.cp;
-        if (stats.hasBranch) {
-            abpSum += stats.abp;
-            abpWindows += 1;
-        }
-        auto &ld = profile_.loadDeps;
-        for (int l = 0; l < LoadDepProfile::kMaxDepth; ++l)
-            ld.histo[i][l] += stats.loadHisto[l];
-        ld.loads[i] += stats.loads;
-        ld.windows[i] += 1;
-        ld.independentLoads[i] += stats.independentLoads;
-
-        if (i == median) {
-            // Attribute load depths to their static op for the
-            // stride-MLP model's dependence imposition.
-            for (auto &[posInWin, depthv] : perLoad) {
-                size_t pos = w * b + posInWin;
-                const MicroOp &op = mt[pos];
-                uint32_t sidx = 0;
-                if (findMemOp(op.pc, sidx)) {
-                    auto &sp = profile_.memOps[sidx];
-                    sp.loadDepthSum += depthv;
-                    sp.loadDepthCount++;
-                }
-            }
-            perLoad.clear();
-        }
-        profile_.chains.addSample(i, stats.ap, stats.abp,
-                                  stats.hasBranch, stats.cp);
-    }
-    if (nwin > 0) {
-        wp.ap[i] = static_cast<float>(apSum / nwin);
-        wp.cp[i] = static_cast<float>(cpSum / nwin);
-        wp.abp[i] = abpWindows ?
-            static_cast<float>(abpSum / abpWindows) : 0.0f;
-    }
-}
-
-void
-Profiler::finishMicroTrace()
-{
-    if (mtLen_ == 0)
-        return;
-    const MicroOp *mt = trace_->data() + mtStart_;
-    const size_t mtLen = mtLen_;
-
-    WindowProfile wp;
-    wp.ap.resize(cfg_.robSizes.size());
-    wp.abp.resize(cfg_.robSizes.size());
-    wp.cp.resize(cfg_.robSizes.size());
-
-    for (size_t k = 0; k < mtLen; ++k) {
-        const MicroOp &op = mt[k];
-        wp.uopCounts[static_cast<int>(op.type)]++;
-        wp.insts += op.instBoundary ? 1 : 0;
-        if (op.type == UopType::Branch)
-            wp.branches++;
-        profile_.srcOperands +=
-            (op.src1 != kNoReg) + (op.src2 != kNoReg);
-        profile_.dstOperands += op.dst != kNoReg;
-    }
-    profile_.profiledUops += mtLen;
-    profile_.profiledInsts += wp.insts;
-    for (int t = 0; t < kNumUopTypes; ++t)
-        profile_.uopCounts[t] += wp.uopCounts[t];
-
-    // Dependence chains + load-dependence distributions, one pass of
-    // stepping windows per profiled ROB size (thesis Alg 3.1, sampled).
-    // The per-size walks are independent; fan them out when the span is
-    // big enough to amortize the dispatch.
-    const size_t nSizes = cfg_.robSizes.size();
-    const size_t median = nSizes / 2;
-    ThreadPool &pool = ThreadPool::shared();
-    if (cfg_.parallelWindows && pool.concurrency() > 1 &&
-        mtLen * nSizes >= (1u << 14)) {
-        pool.parallelFor(nSizes, 1, [&](size_t begin, size_t end) {
-            for (size_t i = begin; i < end; ++i)
-                walkRobSize(mt, mtLen, i, median, wp);
-        });
-    } else {
-        for (size_t i = 0; i < nSizes; ++i)
-            walkRobSize(mt, mtLen, i, median, wp);
-    }
-
-    // Per-window branch entropy.
-    uint64_t nb = 0;
-    wp.branchEntropy = static_cast<float>(entropyOf(mtBranchStats_, nb));
-
-    // Per-window memory-op occurrence counts + spacing updates.
-    wp.memCounts.reserve(mtTouched_.size());
-    for (uint32_t idx : mtTouched_) {
-        wp.memCounts.emplace_back(idx, mtMemCount_[idx]);
-        profile_.memOps[idx].firstPosSum += mtFirstPos_[idx];
-        profile_.memOps[idx].microTraces++;
-        mtMemCount_[idx] = 0;
-    }
-    std::sort(wp.memCounts.begin(), wp.memCounts.end());
-    mtTouched_.clear();
-    wp.coldMisses = mtColdMisses_;
-
-    profile_.windows.push_back(std::move(wp));
-    mtLen_ = 0;
-    mtBranchStats_.clear();
-    mtColdMisses_ = 0;
-}
-
-template <bool InMt>
-void
-Profiler::observeRange(const Trace &trace, size_t begin, size_t end)
-{
-    const size_t n = trace.size();
-    // The line-reuse probe is the loop's dominant memory stall; its slot
-    // for a memory access 64 uops ahead is prefetched here, far enough
-    // out to cover the round-trip.
-    constexpr size_t kLookahead = 64;
-    // I-line locality state lives in a register across the loop instead
-    // of a member load/store per uop.
-    uint64_t prevILine = prevILine_;
-    for (size_t i = begin; i < end; ++i) {
-        const MicroOp &op = trace[i];
-        if (i + kLookahead < n) {
-            const MicroOp &ahead = trace[i + kLookahead];
-            if (isMemory(ahead.type))
-                lastAccess_.prefetch(ahead.lineAddr());
-        }
-        // Instruction-stream reuse (observeIfetch, inlined on the iline
-        // transition only).
-        uint64_t iline = op.pc / kLineSize;
-        if (iline != prevILine) {
-            prevILine = iline;
-            auto [last, cold] = lastILine_.tryEmplace(iline, iLineIndex_);
-            if (cold) {
-                profile_.reuseInsts.addInfinite();
-            } else {
-                profile_.reuseInsts.add(iLineIndex_ - last - 1);
-                last = iLineIndex_;
-            }
-            iLineIndex_++;
-        }
-        if (isMemory(op.type))
-            observeMemory(op, i, InMt);
-        if (op.type == UopType::Branch)
-            observeBranch(op, InMt);
-    }
-    prevILine_ = prevILine;
-}
-
-Profile
-Profiler::run(const Trace &trace)
-{
-    profile_.totalUops = trace.size();
-    trace_ = &trace;
-
-    // Pre-size the hot maps so the innermost loop does not stall on
-    // rehashes (the line-reuse map moves its whole payload on growth).
-    lastAccess_.reserve(std::min<size_t>(trace.size() / 8 + 64, 1u << 22));
-    lastILine_.reserve(1024);
-    branchTables_.reserve(64 * (static_cast<size_t>(histMask_) + 1));
-    // The per-micro-trace map keeps its capacity across clear(); size it
-    // once instead of growing through rehashes on the first micro-trace.
-    mtBranchStats_.reserve(512);
-
-    // Walk whole in-/out-of-micro-trace segments instead of testing
-    // inMicroTrace(i) per uop: the sampling flag becomes a compile-time
-    // constant inside observeRange, so the 95 % fast-forward path
-    // carries no micro-trace bookkeeping at all.
-    const size_t winSize = std::max<size_t>(1, cfg_.sampling.windowSize);
-    const size_t mtSize = cfg_.sampling.microTraceSize;
-    const size_t n = trace.size();
-    if (mtSize >= winSize) {
-        // No sampling: the whole trace is one micro-trace.
-        mtStart_ = 0;
-        observeRange<true>(trace, 0, n);
-        mtLen_ = n;
-        finishMicroTrace();
-    } else {
-        for (size_t winStart = 0; winStart < n; winStart += winSize) {
-            size_t mtEnd = std::min(winStart + mtSize, n);
-            mtStart_ = winStart;
-            observeRange<true>(trace, winStart, mtEnd);
-            mtLen_ = mtEnd - winStart;
-            finishMicroTrace();
-            observeRange<false>(trace, mtEnd,
-                                std::min(winStart + winSize, n));
-        }
-    }
-
-    // Finalize branch entropy, iterating in (pc, history) order so the
-    // floating-point sum is identical to a sorted-key reference.
-    if (denseBranchTables_) {
-        std::vector<std::pair<uint64_t, uint32_t>> pcs;
-        pcs.reserve(numBranchTables_);
-        if (branchPcBase_ != ~0ULL)
-            for (size_t off = 0; off < kPcWindow; ++off)
-                if (uint32_t slot = branchDirect_[off])
-                    pcs.emplace_back(branchPcBase_ + off, slot - 1);
-        branchPc_.forEach([&](uint64_t pc, const uint32_t &table) {
-            pcs.emplace_back(pc, table);
-        });
-        std::sort(pcs.begin(), pcs.end());
-        const size_t tableSize = static_cast<size_t>(histMask_) + 1;
-        double sum = 0;
-        uint64_t branches = 0;
-        for (const auto &[pc, table] : pcs) {
-            const TakenCounts *tc =
-                branchTables_.data() + static_cast<size_t>(table) * tableSize;
-            for (size_t h = 0; h < tableSize; ++h) {
-                const TakenCounts &c = tc[h];
-                if (!c.total)
-                    continue;
-                double p = static_cast<double>(c.taken) / c.total;
-                sum += c.total * linearEntropy(p);
-                branches += c.total;
-            }
-        }
-        profile_.branch.staticBranches = pcs.size();
-        profile_.branch.branches = branches;
-        profile_.branch.entropySum = sum;
-    } else {
-        uint64_t nb = 0;
-        double e = entropyOf(sparseBranchStats_, nb);
-        profile_.branch.branches = nb;
-        profile_.branch.entropySum = e * nb;
-        std::vector<uint64_t> pcs;
-        pcs.reserve(sparseBranchStats_.size());
-        sparseBranchStats_.forEach([&](uint64_t key, const TakenCounts &) {
-            pcs.push_back(key >> cfg_.historyBits);
-        });
-        std::sort(pcs.begin(), pcs.end());
-        profile_.branch.staticBranches = static_cast<uint64_t>(
-            std::unique(pcs.begin(), pcs.end()) - pcs.begin());
-    }
-
-    // Materialize the per-op running state into the profile's output
-    // records (sorted stride maps are the serialized representation),
-    // assembling the per-type reuse distributions along the way.
-    for (size_t idx = 0; idx < opRunning_.size(); ++idx) {
-        OpRunning &run = opRunning_[idx];
-        StaticMemProfile &sp = profile_.memOps[idx];
-        sp.count = run.count;
-        sp.gapSum = run.gapSum;
-        sp.gapCount = run.gapCount;
-        sp.selfDependent = run.selfDependent;
-        sp.reuse = std::move(run.reuse);
-        (sp.isStore ? profile_.reuseStores : profile_.reuseLoads)
-            .merge(sp.reuse);
-        sp.strides.reserve(run.nInline + run.strideOverflow.size());
-        for (size_t k = 0; k < run.nInline; ++k)
-            sp.strides.emplace_back(
-                static_cast<int64_t>(run.strideKey[k]),
-                run.strideCount[k]);
-        run.strideOverflow.forEach(
-            [&](uint64_t stride, const uint64_t &count) {
-                sp.strides.emplace_back(static_cast<int64_t>(stride),
-                                        count);
-            });
-        std::sort(sp.strides.begin(), sp.strides.end());
-    }
-
-    // Apply the mixed-type corrections, then derive the combined
-    // distribution (every access is exactly one of load/store).
-    profile_.reuseLoads.merge(typeAdjust_[0].add);
-    profile_.reuseLoads.subtract(typeAdjust_[0].sub);
-    profile_.reuseStores.merge(typeAdjust_[1].add);
-    profile_.reuseStores.subtract(typeAdjust_[1].sub);
-    profile_.reuseAll.merge(profile_.reuseLoads);
-    profile_.reuseAll.merge(profile_.reuseStores);
-
-    // Cold-miss burstiness per ROB size (thesis §4.4): step ROB-sized
-    // windows over the uop stream and count cold loads per window.
-    for (size_t i = 0; i < cfg_.robSizes.size(); ++i) {
-        uint64_t b = cfg_.robSizes[i];
-        uint64_t curWindow = ~0ULL;
-        uint64_t inWindow = 0;
-        auto &cold = profile_.cold;
-        cold.totalWindows[i] = trace.size() / b;
-        for (uint64_t idx : coldLoadUopIdx_) {
-            uint64_t w = idx / b;
-            if (w != curWindow) {
-                if (curWindow != ~0ULL) {
-                    cold.windowsWithCold[i]++;
-                    cold.coldInWindows[i] += inWindow;
-                }
-                curWindow = w;
-                inWindow = 0;
-            }
-            inWindow++;
-        }
-        if (curWindow != ~0ULL) {
-            cold.windowsWithCold[i]++;
-            cold.coldInWindows[i] += inWindow;
-        }
-    }
-
-    return std::move(profile_);
+    return requested ? requested : ThreadPool::shared().concurrency();
 }
 
 } // namespace
@@ -824,8 +46,145 @@ Profile
 profileTrace(const Trace &trace, const ProfilerConfig &cfg)
 {
     MIPP_SPAN("profiler.pass");
-    Profiler p(cfg);
-    return p.run(trace);
+    SegmentProfiler head(cfg);
+    head.feed(trace.data(), trace.size());
+    return std::move(head).finalize();
+}
+
+Profile
+profileTraceParallel(const Trace &trace, const ProfilerConfig &cfg,
+                     const ParallelProfileOptions &opts)
+{
+    const size_t winSize = std::max<size_t>(1, cfg.sampling.windowSize);
+    const unsigned threads = effectiveThreads(opts.threads);
+    // Unsampled profiling forms one whole-stream micro-trace — nothing
+    // to segment; tiny traces are not worth the dispatch.
+    if (!cfg.sampling.sampled() || threads <= 1)
+        return profileTrace(trace, cfg);
+    const size_t span =
+        segmentSpan(trace.size(), threads, winSize, opts.segmentUops);
+    const size_t nSegs = (trace.size() + span - 1) / span;
+    if (nSegs <= 1)
+        return profileTrace(trace, cfg);
+
+    MIPP_SPAN("profiler.pass");
+    // Every segment profiles in Carry role against unknown prefix state;
+    // an empty Head then resolves each segment's boundary records in
+    // stream order. The head path never profiles a uop itself, so the
+    // result is identical for any window-aligned segmentation — the
+    // parity tests pin this against profileTrace bit-for-bit.
+    std::vector<std::unique_ptr<SegmentProfiler>> segs(nSegs);
+    parallelForShared(nSegs, threads, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+            uint64_t base = static_cast<uint64_t>(i) * span;
+            auto seg = std::make_unique<SegmentProfiler>(
+                cfg, SegmentProfiler::Role::Carry, base);
+            seg->feed(trace.data() + base,
+                      std::min<size_t>(span, trace.size() - base));
+            seg->seal();
+            segs[i] = std::move(seg);
+        }
+    });
+    SegmentProfiler head(cfg);
+    for (auto &seg : segs)
+        head.absorb(std::move(*seg));
+    return std::move(head).finalize();
+}
+
+Profile
+profileSource(TraceSource &source, const ProfilerConfig &cfg)
+{
+    MIPP_SPAN("profiler.pass");
+    const size_t winSize = std::max<size_t>(1, cfg.sampling.windowSize);
+    SegmentProfiler head(cfg);
+    if (!cfg.sampling.sampled()) {
+        // The whole stream is one micro-trace whose span must be
+        // contiguous: accumulate it, then feed once.
+        std::vector<MicroOp> all;
+        uint64_t hint = source.sizeHint();
+        if (hint != TraceSource::kUnknownSize)
+            all.reserve(hint);
+        for (;;) {
+            TraceSegment seg = source.next(winSize);
+            if (seg.empty())
+                break;
+            all.insert(all.end(), seg.data, seg.data + seg.size);
+        }
+        head.feed(all.data(), all.size());
+        return std::move(head).finalize();
+    }
+    // Streaming: O(chunk) resident uops regardless of stream length.
+    // 16 windows per chunk keeps feed() overhead negligible next to the
+    // per-uop profiling work.
+    const size_t chunk = 16 * winSize;
+    for (;;) {
+        TraceSegment seg = source.next(chunk);
+        if (seg.empty())
+            break;
+        head.feed(seg.data, seg.size);
+    }
+    return std::move(head).finalize();
+}
+
+Profile
+profileSourceParallel(TraceSource &source, const ProfilerConfig &cfg,
+                      const ParallelProfileOptions &opts)
+{
+    const unsigned threads = effectiveThreads(opts.threads);
+    if (!cfg.sampling.sampled() || threads <= 1)
+        return profileSource(source, cfg);
+    const size_t winSize = std::max<size_t>(1, cfg.sampling.windowSize);
+    const size_t span =
+        segmentSpan(source.sizeHint(), threads, winSize, opts.segmentUops);
+
+    MIPP_SPAN("profiler.pass");
+    // Batch pipeline: copy up to `threads` segments out of the source
+    // (its spans die on the next next() call), profile the batch in
+    // parallel as Carry segments, absorb in stream order, repeat.
+    SegmentProfiler head(cfg);
+    std::vector<std::vector<MicroOp>> bufs(threads);
+    std::vector<std::unique_ptr<SegmentProfiler>> segs(threads);
+    bool done = false;
+    while (!done) {
+        size_t nb = 0;
+        while (nb < threads && !done) {
+            std::vector<MicroOp> &buf = bufs[nb];
+            buf.clear();
+            // A source may yield short spans mid-stream; accumulate to
+            // the full window-aligned span so feed()'s alignment
+            // contract holds no matter how the source chunks.
+            while (buf.size() < span) {
+                TraceSegment s = source.next(span - buf.size());
+                if (s.empty()) {
+                    done = true;
+                    break;
+                }
+                buf.insert(buf.end(), s.data, s.data + s.size);
+            }
+            if (!buf.empty())
+                nb++;
+        }
+        if (nb == 0)
+            break;
+        std::vector<uint64_t> bases(nb);
+        uint64_t base = head.position();
+        for (size_t i = 0; i < nb; ++i) {
+            bases[i] = base;
+            base += bufs[i].size();
+        }
+        parallelForShared(nb, threads, [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+                auto seg = std::make_unique<SegmentProfiler>(
+                    cfg, SegmentProfiler::Role::Carry, bases[i]);
+                seg->feed(bufs[i].data(), bufs[i].size());
+                seg->seal();
+                segs[i] = std::move(seg);
+            }
+        });
+        for (size_t i = 0; i < nb; ++i)
+            head.absorb(std::move(*segs[i]));
+    }
+    return std::move(head).finalize();
 }
 
 std::vector<Profile>
@@ -845,8 +204,9 @@ profileTraces(const std::vector<Trace> &traces,
                                  : (cfgs.size() == 1 ? cfgs[0]
                                                      : cfgs.at(i));
                 MIPP_SPAN("profiler.pass");
-                Profiler p(cfg);
-                out[i] = p.run(traces[i]);
+                SegmentProfiler p(cfg);
+                p.feed(traces[i].data(), traces[i].size());
+                out[i] = std::move(p).finalize();
             }
         });
     return out;

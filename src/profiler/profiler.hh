@@ -42,6 +42,52 @@ struct ProfilerConfig {
 /** Profile @p trace. Deterministic; no micro-architecture inputs. */
 Profile profileTrace(const Trace &trace, const ProfilerConfig &cfg = {});
 
+/** Knobs for the segment-parallel profiling drivers. */
+struct ParallelProfileOptions {
+    /** Worker count; 0 = the shared pool's full concurrency. */
+    unsigned threads = 0;
+    /**
+     * Segment length in uops (rounded up to whole sampling windows);
+     * 0 derives it — an even split across threads when the stream
+     * length is known, 64 windows per segment otherwise.
+     */
+    size_t segmentUops = 0;
+};
+
+/**
+ * Profile @p trace split into window-aligned segments profiled
+ * concurrently on the shared thread pool and merged in stream order.
+ * The result is bit-identical to profileTrace for every trace, thread
+ * count and segment size: all cross-segment state (reuse last-touch
+ * maps, branch global history, per-op stride runs, order-sensitive
+ * float accumulations) is carried explicitly across the boundaries.
+ * Unsampled configs and single-thread requests fall back to the
+ * sequential pass.
+ */
+Profile profileTraceParallel(const Trace &trace,
+                             const ProfilerConfig &cfg = {},
+                             const ParallelProfileOptions &opts = {});
+
+class TraceSource;
+
+/**
+ * Profile a uop stream without materializing it: O(chunk) resident
+ * uops. Identical to materializing the stream and calling profileTrace
+ * (unsampled configs buffer the whole stream, which forms one
+ * micro-trace).
+ */
+Profile profileSource(TraceSource &source, const ProfilerConfig &cfg = {});
+
+/**
+ * Segment-parallel profileSource: batches of segments are copied out of
+ * the source, profiled concurrently and merged in stream order. Peak
+ * memory is O(threads * segment) uops. Bit-identical to profileTrace
+ * on the materialized stream.
+ */
+Profile profileSourceParallel(TraceSource &source,
+                              const ProfilerConfig &cfg = {},
+                              const ParallelProfileOptions &opts = {});
+
 /**
  * Profile a batch of workloads, parallel across traces on the shared
  * thread pool. @p cfgs must hold either one config (broadcast to every

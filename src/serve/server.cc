@@ -16,6 +16,7 @@
 #include <map>
 #include <mutex>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -25,11 +26,13 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "power/power_model.hh"
+#include "profiler/profiler.hh"
 #include "uarch/design_space.hh"
 #include "util/cancel.hh"
 #include "util/failpoint.hh"
 #include "util/json.hh"
 #include "validate/accuracy.hh"
+#include "workloads/workload.hh"
 
 namespace mipp::serve {
 
@@ -260,7 +263,7 @@ struct Server::Impl {
         const char *span = nullptr;
         obs::LatencyHistogram *lat = nullptr;
     };
-    std::array<OpInfo, 9> opInfo;
+    std::array<OpInfo, 10> opInfo;
 
     std::atomic<uint64_t> startNs{0}; // obs::nowNs() at start()
 
@@ -271,15 +274,16 @@ struct Server::Impl {
     explicit Impl(ServerOptions o) : opts(std::move(o))
     {
         static constexpr const char *kOps[] = {
-            "ping",     "load-profile", "evaluate",
-            "sweep",    "accuracy",     "stats",
-            "metrics",  "failpoint",    "other"};
+            "ping",     "load-profile", "profile",
+            "evaluate", "sweep",        "accuracy",
+            "stats",    "metrics",      "failpoint",
+            "other"};
         static constexpr const char *kSpans[] = {
             "serve.op.ping",     "serve.op.load_profile",
-            "serve.op.evaluate", "serve.op.sweep",
-            "serve.op.accuracy", "serve.op.stats",
-            "serve.op.metrics",  "serve.op.failpoint",
-            "serve.op.other"};
+            "serve.op.profile",  "serve.op.evaluate",
+            "serve.op.sweep",    "serve.op.accuracy",
+            "serve.op.stats",    "serve.op.metrics",
+            "serve.op.failpoint", "serve.op.other"};
         for (size_t i = 0; i < opInfo.size(); ++i)
             opInfo[i] = {kOps[i], kSpans[i],
                          &met.reg.histogram(
@@ -633,6 +637,10 @@ struct Server::Impl {
             Status st = opLoadProfile(doc, body);
             if (!st.isOk())
                 return errorLine(st, id);
+        } else if (op == "profile") {
+            Status st = opProfileWorkload(doc, body);
+            if (!st.isOk())
+                return errorLine(st, id);
         } else if (op == "evaluate") {
             Status st = opEvaluate(doc, body);
             if (!st.isOk())
@@ -668,8 +676,8 @@ struct Server::Impl {
         } else {
             return errorLine(
                 invalidArgument("unknown op '" + op +
-                                "' (ping|load-profile|evaluate|sweep|"
-                                "accuracy|stats|metrics|failpoint)"),
+                                "' (ping|load-profile|profile|evaluate|"
+                                "sweep|accuracy|stats|metrics|failpoint)"),
                 id);
         }
 
@@ -715,7 +723,22 @@ struct Server::Impl {
         auto entry = std::make_shared<ProfileEntry>();
         entry->profile.push_back(std::move(p));
         entry->pool.reserve(1);
+        storeProfile(name, entry);
 
+        key(body, "profile");
+        body += json::quote(name) + ",";
+        key(body, "uops");
+        body += num(static_cast<double>(
+            entry->profile[0].totalUops));
+        return Status();
+    }
+
+    /** Insert (or replace) @p entry under @p name in the LRU store,
+     *  evicting the coldest entries past the capacity limit. */
+    void
+    storeProfile(const std::string &name,
+                 const std::shared_ptr<ProfileEntry> &entry)
+    {
         std::lock_guard<std::mutex> lk(lruMu);
         auto it = profiles.find(name);
         if (it != profiles.end()) {
@@ -730,6 +753,55 @@ struct Server::Impl {
             lruOrder.pop_back();
             met.evictions.add();
         }
+    }
+
+    /**
+     * Profile a suite workload server-side: generate the trace, run the
+     * segment-parallel profiler, and park the result in the LRU store so
+     * follow-up evaluate/sweep requests can use it without the client
+     * ever serializing a profile.
+     */
+    Status
+    opProfileWorkload(const json::Value &doc, std::string &body)
+    {
+        const std::string workload = doc.stringOr("workload", "");
+        if (workload.empty())
+            return invalidArgument("profile: missing 'workload'");
+        WorkloadSpec spec;
+        try {
+            spec = suiteWorkload(workload);
+        } catch (const std::out_of_range &) {
+            return invalidArgument("profile: unknown workload '" +
+                                   workload + "'");
+        }
+
+        double uops = doc.numberOr("uops", 200000);
+        if (!(uops >= 1000 && uops <= 5e7))
+            return invalidArgument(
+                "profile: 'uops' out of range [1e3, 5e7]");
+        double threads = doc.numberOr("threads", 1);
+        if (!(threads >= 0 && threads <= 64))
+            return invalidArgument(
+                "profile: 'threads' out of range [0, 64]");
+        double segUops = doc.numberOr("segment_uops", 0);
+        if (!(segUops >= 0 && segUops <= 5e7))
+            return invalidArgument(
+                "profile: 'segment_uops' out of range [0, 5e7]");
+        const std::string name = doc.stringOr("name", workload);
+
+        Trace t = generateWorkload(spec, static_cast<size_t>(uops));
+        ProfilerConfig cfg;
+        cfg.name = name;
+        ParallelProfileOptions popts;
+        popts.threads = static_cast<unsigned>(threads);
+        popts.segmentUops = static_cast<size_t>(segUops);
+        Profile p = threads == 1 ? profileTrace(t, cfg)
+                                 : profileTraceParallel(t, cfg, popts);
+
+        auto entry = std::make_shared<ProfileEntry>();
+        entry->profile.push_back(std::move(p));
+        entry->pool.reserve(1);
+        storeProfile(name, entry);
 
         key(body, "profile");
         body += json::quote(name) + ",";

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Segment-cursor abstraction over uop streams.
+ *
+ * A TraceSource yields bounded, position-annotated segments of a uop
+ * stream through the profiler's zero-copy span path. A fully
+ * materialized Trace is one implementation; a streaming frontend (e.g.
+ * a binary trace file reader) is another — the profiler consumes either
+ * through the same interface at O(segment) memory.
+ *
+ * Segment contract (matches SegmentProfiler::feed): every segment
+ * except the last must span a whole number of sampling windows so
+ * micro-traces never straddle a segment boundary. Drivers guarantee
+ * this by always requesting window-aligned segment sizes; a source
+ * simply yields exactly @p maxUops uops until the stream's tail.
+ */
+
+#ifndef MIPP_TRACE_TRACE_SOURCE_HH
+#define MIPP_TRACE_TRACE_SOURCE_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "trace/trace.hh"
+
+namespace mipp {
+
+/** One contiguous span of a uop stream. */
+struct TraceSegment {
+    const MicroOp *data = nullptr;
+    size_t size = 0;
+    /** Global index of data[0] in the stream. */
+    uint64_t baseUop = 0;
+
+    bool empty() const { return size == 0; }
+};
+
+/**
+ * Sequential cursor over a uop stream. next() yields the following
+ * segment of exactly @p maxUops uops (fewer only at the stream's tail;
+ * empty at end-of-stream). The returned span stays valid until the next
+ * call to next() or reset() — callers needing longer lifetimes copy.
+ */
+class TraceSource
+{
+  public:
+    /** sizeHint() value when the stream length is unknown up front. */
+    static constexpr uint64_t kUnknownSize = ~0ULL;
+
+    virtual ~TraceSource() = default;
+
+    /** Total uops in the stream, or kUnknownSize for a pure stream. */
+    virtual uint64_t sizeHint() const { return kUnknownSize; }
+
+    virtual TraceSegment next(size_t maxUops) = 0;
+
+    /** Rewind to the start of the stream. */
+    virtual void reset() = 0;
+};
+
+/** Zero-copy TraceSource over a materialized Trace. */
+class MaterializedTraceSource final : public TraceSource
+{
+  public:
+    explicit MaterializedTraceSource(const Trace &trace) : trace_(&trace) {}
+
+    uint64_t sizeHint() const override { return trace_->size(); }
+
+    TraceSegment
+    next(size_t maxUops) override
+    {
+        size_t n = std::min(maxUops, trace_->size() - pos_);
+        TraceSegment seg{trace_->data() + pos_, n, pos_};
+        pos_ += n;
+        return seg;
+    }
+
+    void reset() override { pos_ = 0; }
+
+  private:
+    const Trace *trace_;
+    size_t pos_ = 0;
+};
+
+} // namespace mipp
+
+#endif // MIPP_TRACE_TRACE_SOURCE_HH

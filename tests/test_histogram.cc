@@ -171,5 +171,52 @@ TEST(LogHistogram, WeightedAdd)
     EXPECT_EQ(h.binCount(4), 10u);
 }
 
+TEST(LogHistogram, SuffixCacheInvalidatedByMergeAndSubtract)
+{
+    // Regression guard: countAtLeast builds a cached suffix-sum table;
+    // merge/subtract must invalidate it or later queries report stale
+    // counts. Query *between* every mutation to force the cache.
+    LogHistogram a, b;
+    a.add(10, 4);
+    EXPECT_DOUBLE_EQ(a.countAtLeast(10), 4.0);
+    b.add(10, 6);
+    b.addInfinite(2);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.countAtLeast(10), 12.0);
+    EXPECT_DOUBLE_EQ(a.countAtLeast(11), 2.0);
+    a.subtract(b);
+    EXPECT_DOUBLE_EQ(a.countAtLeast(10), 4.0);
+    EXPECT_DOUBLE_EQ(a.countAtLeast(0), 4.0);
+}
+
+TEST(LogHistogram, MoveLeavesSourceEmpty)
+{
+    // Regression guard: the move operations clear the source's counts
+    // and cache; a stale total_/suffix_ made a moved-from histogram
+    // report counts its bins no longer held.
+    LogHistogram src;
+    src.add(10, 3);
+    src.addInfinite(2);
+    EXPECT_DOUBLE_EQ(src.countAtLeast(0), 5.0); // cache built pre-move
+
+    LogHistogram dst(std::move(src));
+    EXPECT_EQ(dst.total(), 5u);
+    EXPECT_EQ(src.total(), 0u);
+    EXPECT_EQ(src.infiniteCount(), 0u);
+    EXPECT_DOUBLE_EQ(src.countAtLeast(0), 0.0);
+
+    LogHistogram assigned;
+    assigned.add(1);
+    assigned = std::move(dst);
+    EXPECT_EQ(assigned.total(), 5u);
+    EXPECT_EQ(dst.total(), 0u);
+    EXPECT_DOUBLE_EQ(dst.countAtLeast(0), 0.0);
+
+    // Self-move keeps the histogram intact.
+    LogHistogram &ref = assigned;
+    assigned = std::move(ref);
+    EXPECT_EQ(assigned.total(), 5u);
+}
+
 } // namespace
 } // namespace mipp

@@ -17,6 +17,7 @@
 #include <map>
 #include <vector>
 
+#include "profile_compare.hh"
 #include "profiler/profiler.hh"
 #include "workloads/workload.hh"
 
@@ -446,96 +447,8 @@ referenceProfile(const Trace &trace, const ProfilerConfig &cfg)
     return p.run(trace);
 }
 
-// --------------------------------------------------------------------------
-// Exact comparison helpers
-// --------------------------------------------------------------------------
-
-void
-expectHistogramsEqual(const LogHistogram &a, const LogHistogram &b,
-                      const char *what)
-{
-    EXPECT_EQ(a.numBins(), b.numBins()) << what;
-    EXPECT_EQ(a.total(), b.total()) << what;
-    EXPECT_EQ(a.finiteTotal(), b.finiteTotal()) << what;
-    EXPECT_EQ(a.infiniteCount(), b.infiniteCount()) << what;
-    size_t n = std::max(a.numBins(), b.numBins());
-    for (size_t i = 0; i < n; ++i)
-        ASSERT_EQ(a.binCount(i), b.binCount(i)) << what << " bin " << i;
-}
-
-void
-expectProfilesIdentical(const Profile &opt, const Profile &ref)
-{
-    EXPECT_EQ(opt.totalUops, ref.totalUops);
-    EXPECT_EQ(opt.profiledUops, ref.profiledUops);
-    EXPECT_EQ(opt.profiledInsts, ref.profiledInsts);
-    EXPECT_EQ(opt.uopCounts, ref.uopCounts);
-    EXPECT_EQ(opt.srcOperands, ref.srcOperands);
-    EXPECT_EQ(opt.dstOperands, ref.dstOperands);
-    EXPECT_EQ(opt.robSizes, ref.robSizes);
-
-    for (size_t i = 0; i < opt.robSizes.size(); ++i) {
-        auto a = opt.chains.exportRow(i);
-        auto b = ref.chains.exportRow(i);
-        EXPECT_EQ(a.apSum, b.apSum) << "chains row " << i;
-        EXPECT_EQ(a.abpSum, b.abpSum) << "chains row " << i;
-        EXPECT_EQ(a.cpSum, b.cpSum) << "chains row " << i;
-        EXPECT_EQ(a.weight, b.weight) << "chains row " << i;
-        EXPECT_EQ(a.abpWeight, b.abpWeight) << "chains row " << i;
-    }
-
-    EXPECT_EQ(opt.loadDeps.histo, ref.loadDeps.histo);
-    EXPECT_EQ(opt.loadDeps.loads, ref.loadDeps.loads);
-    EXPECT_EQ(opt.loadDeps.windows, ref.loadDeps.windows);
-    EXPECT_EQ(opt.loadDeps.independentLoads, ref.loadDeps.independentLoads);
-
-    EXPECT_EQ(opt.branch.branches, ref.branch.branches);
-    EXPECT_EQ(opt.branch.entropySum, ref.branch.entropySum);
-    EXPECT_EQ(opt.branch.staticBranches, ref.branch.staticBranches);
-
-    EXPECT_EQ(opt.cold.coldLoadMisses, ref.cold.coldLoadMisses);
-    EXPECT_EQ(opt.cold.windowsWithCold, ref.cold.windowsWithCold);
-    EXPECT_EQ(opt.cold.coldInWindows, ref.cold.coldInWindows);
-    EXPECT_EQ(opt.cold.totalWindows, ref.cold.totalWindows);
-
-    expectHistogramsEqual(opt.reuseLoads, ref.reuseLoads, "reuseLoads");
-    expectHistogramsEqual(opt.reuseStores, ref.reuseStores, "reuseStores");
-    expectHistogramsEqual(opt.reuseAll, ref.reuseAll, "reuseAll");
-    expectHistogramsEqual(opt.reuseInsts, ref.reuseInsts, "reuseInsts");
-
-    ASSERT_EQ(opt.memOps.size(), ref.memOps.size());
-    for (size_t i = 0; i < opt.memOps.size(); ++i) {
-        const auto &a = opt.memOps[i];
-        const auto &b = ref.memOps[i];
-        EXPECT_EQ(a.pc, b.pc) << "op " << i;
-        EXPECT_EQ(a.isStore, b.isStore) << "op " << i;
-        EXPECT_EQ(a.count, b.count) << "op " << i;
-        expectHistogramsEqual(a.reuse, b.reuse, "op reuse");
-        EXPECT_EQ(a.strides, b.strides) << "op " << i;
-        EXPECT_EQ(a.firstPosSum, b.firstPosSum) << "op " << i;
-        EXPECT_EQ(a.gapSum, b.gapSum) << "op " << i;
-        EXPECT_EQ(a.gapCount, b.gapCount) << "op " << i;
-        EXPECT_EQ(a.microTraces, b.microTraces) << "op " << i;
-        EXPECT_EQ(a.loadDepthSum, b.loadDepthSum) << "op " << i;
-        EXPECT_EQ(a.loadDepthCount, b.loadDepthCount) << "op " << i;
-        EXPECT_EQ(a.selfDependent, b.selfDependent) << "op " << i;
-    }
-
-    ASSERT_EQ(opt.windows.size(), ref.windows.size());
-    for (size_t w = 0; w < opt.windows.size(); ++w) {
-        const auto &a = opt.windows[w];
-        const auto &b = ref.windows[w];
-        EXPECT_EQ(a.uopCounts, b.uopCounts) << "window " << w;
-        EXPECT_EQ(a.insts, b.insts) << "window " << w;
-        EXPECT_EQ(a.ap, b.ap) << "window " << w;
-        EXPECT_EQ(a.abp, b.abp) << "window " << w;
-        EXPECT_EQ(a.cp, b.cp) << "window " << w;
-        EXPECT_EQ(a.branchEntropy, b.branchEntropy) << "window " << w;
-        EXPECT_EQ(a.branches, b.branches) << "window " << w;
-        EXPECT_EQ(a.memCounts, b.memCounts) << "window " << w;
-        EXPECT_EQ(a.coldMisses, b.coldMisses) << "window " << w;
-    }
-}
+// Exact comparison helpers live in profile_compare.hh (shared with the
+// parallel parity suite).
 
 // --------------------------------------------------------------------------
 // Tests

@@ -193,6 +193,37 @@ TEST_F(ServeTest, LoadEvaluateSweepHappyPath)
                   r["front"].array()[i]["cpi"].number());
 }
 
+TEST_F(ServeTest, ProfileOpGeneratesServerSideAndValidates)
+{
+    startServer();
+    Client c = client();
+
+    // Server-side profiling parks the result in the LRU under 'name';
+    // a follow-up evaluate works without any client-side upload.
+    json::Value r = call(c, R"({"op":"profile","workload":"balanced_mix",)"
+                            R"("uops":20000,"threads":2,"name":"bm"})");
+    ASSERT_TRUE(r["ok"].boolean()) << r["error"].str();
+    EXPECT_EQ(r["profile"].str(), "bm");
+    EXPECT_EQ(r["uops"].number(), 20000);
+
+    r = call(c, R"({"op":"evaluate","profile":"bm",)"
+                R"("config":{"width":4,"rob":128}})");
+    ASSERT_TRUE(r["ok"].boolean()) << r["error"].str();
+    EXPECT_GT(r["cpi"].number(), 0);
+
+    r = call(c, R"({"op":"profile","workload":"no_such_workload"})");
+    EXPECT_FALSE(r["ok"].boolean());
+    EXPECT_EQ(r["code"].str(), "InvalidArgument");
+
+    r = call(c, R"({"op":"profile","workload":"balanced_mix","uops":1})");
+    EXPECT_FALSE(r["ok"].boolean());
+    EXPECT_EQ(r["code"].str(), "InvalidArgument");
+
+    r = call(c, R"({"op":"profile"})");
+    EXPECT_FALSE(r["ok"].boolean());
+    EXPECT_EQ(r["code"].str(), "InvalidArgument");
+}
+
 TEST_F(ServeTest, EvaluateValidatesConfigAndProfileName)
 {
     startServer();
