@@ -67,12 +67,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <thread>
 
 #include <vector>
 
+#include "cli/cli_help.hh"
 #include "dse/explorer.hh"
 #include "dse/pareto.hh"
 #include "model/interval_model.hh"
@@ -82,6 +84,8 @@
 #include "profiler/profiler.hh"
 #include "serve/server.hh"
 #include "sweep_flags.hh"
+#include "trace/mtf.hh"
+#include "trace/mtf_text.hh"
 #include "util/failpoint.hh"
 #include "util/json.hh"
 #include "util/status.hh"
@@ -97,17 +101,41 @@ using namespace mipp;
 int
 usage()
 {
-    std::fprintf(stderr,
-                 "usage: mipp_cli profile <workload> <out> [uops]"
-                 " [--threads N] [--segment-uops M]\n"
-                 "       mipp_cli evaluate <profile> [options]\n"
-                 "       mipp_cli sweep <profile>\n"
-                 "       mipp_cli report accuracy [options]\n"
-                 "       mipp_cli report metrics --socket PATH [options]\n"
-                 "       mipp_cli serve --socket PATH [options]\n"
-                 "       mipp_cli list\n"
-                 "any command also accepts --trace-json FILE\n");
+    // Rendered from the one help table (src/cli/cli_help.{hh,cc}) so
+    // the CLI, `help`, `--help` and docs/ cannot diverge.
+    std::fputs(cli::overviewHelp().c_str(), stderr);
     return 2;
+}
+
+int
+cmdHelp(int argc, char **argv)
+{
+    if (argc < 1) {
+        std::fputs(cli::overviewHelp().c_str(), stdout);
+        return 0;
+    }
+    std::string topic = argv[0];
+    if (argc >= 2)
+        topic += std::string(" ") + argv[1]; // "report accuracy" etc.
+    std::string text = cli::detailedHelp(topic);
+    if (text.empty() && argc >= 2)
+        text = cli::detailedHelp(argv[0]); // fall back to the group
+    if (text.empty()) {
+        std::fprintf(stderr, "no help for '%s'\n\n", topic.c_str());
+        return usage();
+    }
+    std::fputs(text.c_str(), stdout);
+    return 0;
+}
+
+/** True when any argument asks for help (--help/-h). */
+bool
+wantsHelp(int argc, char **argv)
+{
+    for (int i = 0; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h"))
+            return true;
+    return false;
 }
 
 int
@@ -118,44 +146,153 @@ cmdList()
     return 0;
 }
 
+/** "path/to/stream_add.mtf" → "stream_add" (default profile name). */
+std::string
+traceBaseName(const std::string &path)
+{
+    size_t slash = path.find_last_of('/');
+    std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    size_t dot = base.find_last_of('.');
+    if (dot != std::string::npos && dot > 0)
+        base.resize(dot);
+    return base.empty() ? "trace" : base;
+}
+
 int
 cmdProfile(int argc, char **argv)
 {
-    if (argc < 2)
-        return usage();
     size_t uops = 200000;
     ParallelProfileOptions popts;
     unsigned threads = 1; // sequential by default: fully reproducible
                           // timing, and small workloads gain nothing
-    for (int i = 2; i < argc; ++i) {
+    std::string tracePath, name, outPath;
+    std::vector<std::string> positional;
+    for (int i = 0; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
             threads = static_cast<unsigned>(
                 std::strtoul(argv[++i], nullptr, 10));
         } else if (!std::strcmp(argv[i], "--segment-uops") &&
                    i + 1 < argc) {
             popts.segmentUops = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
+            tracePath = argv[++i];
+        } else if (!std::strcmp(argv[i], "--name") && i + 1 < argc) {
+            name = argv[++i];
         } else if (argv[i][0] != '-') {
-            uops = std::strtoull(argv[i], nullptr, 10);
+            positional.push_back(argv[i]);
         } else {
             std::fprintf(stderr, "unknown profile option %s\n", argv[i]);
             return usage();
         }
     }
     popts.threads = threads;
-    WorkloadSpec spec = suiteWorkload(argv[0]);
-    Trace t = generateWorkload(spec, uops);
-    // Bit-identical either way (the parallel parity suite pins this);
-    // --threads only changes wall-clock.
-    Profile p = threads == 1
-                    ? profileTrace(t, {.name = spec.name})
-                    : profileTraceParallel(t, {.name = spec.name}, popts);
-    if (!saveProfile(p, argv[1])) {
-        std::fprintf(stderr, "cannot write %s\n", argv[1]);
+
+    // With --trace the positionals are <out> [uops-ignored]; otherwise
+    // <workload> <out> [uops].
+    size_t need = tracePath.empty() ? 2 : 1;
+    if (positional.size() < need)
+        return usage();
+
+    Profile p;
+    size_t gotUops = 0;
+    if (!tracePath.empty()) {
+        outPath = positional[0];
+        if (name.empty())
+            name = traceBaseName(tracePath);
+        std::unique_ptr<MtfTraceSource> source;
+        throwIfError(MtfTraceSource::open(tracePath, source));
+        ProfilerConfig cfg;
+        cfg.name = name;
+        // Streaming ingestion: O(segment) resident uops; bit-identical
+        // across thread counts (the parallel parity suite pins this).
+        p = threads == 1 ? profileSource(*source, cfg)
+                         : profileSourceParallel(*source, cfg, popts);
+        gotUops = static_cast<size_t>(source->info().uopCount);
+    } else {
+        outPath = positional[1];
+        if (positional.size() >= 3)
+            uops = std::strtoull(positional[2].c_str(), nullptr, 10);
+        WorkloadSpec spec = suiteWorkload(positional[0]);
+        if (name.empty())
+            name = spec.name;
+        Trace t = generateWorkload(spec, uops);
+        // Bit-identical either way; --threads only changes wall-clock.
+        p = threads == 1
+                ? profileTrace(t, {.name = name})
+                : profileTraceParallel(t, {.name = name}, popts);
+        gotUops = t.size();
+    }
+    if (!saveProfile(p, outPath)) {
+        std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
         return 1;
     }
-    std::printf("profiled %s (%zu uops) -> %s\n", spec.name.c_str(),
-                t.size(), argv[1]);
+    std::printf("profiled %s (%zu uops) -> %s\n", name.c_str(), gotUops,
+                outPath.c_str());
     return 0;
+}
+
+int
+cmdTrace(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    std::string sub = argv[0];
+    if (sub == "record") {
+        if (argc < 3)
+            return usage();
+        size_t uops = argc >= 4
+                          ? std::strtoull(argv[3], nullptr, 10)
+                          : 200000;
+        WorkloadSpec spec = suiteWorkload(argv[1]);
+        Trace t = generateWorkload(spec, uops);
+        throwIfError(saveMtf(t, argv[2]));
+        std::printf("recorded %s (%zu uops) -> %s\n", spec.name.c_str(),
+                    t.size(), argv[2]);
+        return 0;
+    }
+    if (sub == "convert") {
+        if (argc < 3)
+            return usage();
+        uint64_t uops = 0;
+        throwIfError(convertTextFileToMtf(argv[1], argv[2], uops));
+        std::printf("converted %s (%llu uops) -> %s\n", argv[1],
+                    static_cast<unsigned long long>(uops), argv[2]);
+        return 0;
+    }
+    if (sub == "dump") {
+        if (argc < 2)
+            return usage();
+        if (argc >= 3) {
+            std::ofstream os(argv[2], std::ios::binary);
+            if (!os) {
+                std::fprintf(stderr, "cannot write %s\n", argv[2]);
+                return 1;
+            }
+            throwIfError(dumpMtfToText(argv[1], os));
+        } else {
+            throwIfError(dumpMtfToText(argv[1], std::cout));
+        }
+        return 0;
+    }
+    if (sub == "info") {
+        if (argc < 2)
+            return usage();
+        MtfReader reader;
+        throwIfError(MtfReader::open(argv[1], reader));
+        const MtfInfo &info = reader.info();
+        std::printf("mtf      %s\n", argv[1]);
+        std::printf("version  %u\n", info.version);
+        std::printf("uops     %llu\n",
+                    static_cast<unsigned long long>(info.uopCount));
+        std::printf("bytes    %llu (%.2f B/uop encoded)\n",
+                    static_cast<unsigned long long>(info.fileBytes),
+                    info.bytesPerUop());
+        std::printf("checksum ok\n");
+        return 0;
+    }
+    std::fprintf(stderr, "unknown trace subcommand '%s'\n", sub.c_str());
+    return usage();
 }
 
 CoreConfig
@@ -314,6 +451,10 @@ cmdCalibrate(int argc, char **argv)
             if (!(v = next()))
                 return 2;
             copts.workloads.push_back(v);
+        } else if (!std::strcmp(argv[i], "--trace")) {
+            if (!(v = next()))
+                return 2;
+            copts.traceFiles.push_back(v);
         } else if (!std::strcmp(argv[i], "--check-grid")) {
             if (!(v = next()))
                 return 2;
@@ -533,6 +674,10 @@ cmdReport(int argc, char **argv)
             if (!(v = next()))
                 return 2;
             aopts.workloads.push_back(v);
+        } else if (!std::strcmp(argv[i], "--trace")) {
+            if (!(v = next()))
+                return 2;
+            aopts.traceFiles.push_back(v);
         } else {
             rest.push_back(argv[i]);
         }
@@ -711,6 +856,12 @@ runCommand(int argc, char **argv)
     if (argc < 2)
         return usage();
     std::string cmd = argv[1];
+    if (cmd == "help" || cmd == "--help" || cmd == "-h")
+        return cmdHelp(argc - 2, argv + 2);
+    if (wantsHelp(argc - 2, argv + 2)) {
+        // `mipp_cli <cmd> [sub] --help` → the same text as `help <cmd>`.
+        return cmdHelp(argc - 1, argv + 1);
+    }
     try {
         if (cmd == "list")
             return cmdList();
@@ -720,6 +871,8 @@ runCommand(int argc, char **argv)
             return cmdEvaluate(argc - 2, argv + 2);
         if (cmd == "sweep")
             return cmdSweep(argc - 2, argv + 2);
+        if (cmd == "trace")
+            return cmdTrace(argc - 2, argv + 2);
         if (cmd == "report")
             return cmdReport(argc - 2, argv + 2);
         if (cmd == "serve")

@@ -27,6 +27,7 @@
 #include "obs/trace.hh"
 #include "power/power_model.hh"
 #include "profiler/profiler.hh"
+#include "trace/mtf.hh"
 #include "uarch/design_space.hh"
 #include "util/cancel.hh"
 #include "util/failpoint.hh"
@@ -756,23 +757,32 @@ struct Server::Impl {
     }
 
     /**
-     * Profile a suite workload server-side: generate the trace, run the
-     * segment-parallel profiler, and park the result in the LRU store so
-     * follow-up evaluate/sweep requests can use it without the client
-     * ever serializing a profile.
+     * Profile a suite workload (or a server-side `.mtf` trace file)
+     * server-side: produce the micro-op stream, run the segment-parallel
+     * profiler, and park the result in the LRU store so follow-up
+     * evaluate/sweep requests can use it without the client ever
+     * serializing a profile.
      */
     Status
     opProfileWorkload(const json::Value &doc, std::string &body)
     {
         const std::string workload = doc.stringOr("workload", "");
-        if (workload.empty())
-            return invalidArgument("profile: missing 'workload'");
+        const std::string tracePath = doc.stringOr("trace", "");
+        if (workload.empty() && tracePath.empty())
+            return invalidArgument(
+                "profile: need 'workload' or 'trace' (server-side .mtf "
+                "path)");
+        if (!workload.empty() && !tracePath.empty())
+            return invalidArgument(
+                "profile: 'workload' and 'trace' are exclusive");
         WorkloadSpec spec;
-        try {
-            spec = suiteWorkload(workload);
-        } catch (const std::out_of_range &) {
-            return invalidArgument("profile: unknown workload '" +
-                                   workload + "'");
+        if (!workload.empty()) {
+            try {
+                spec = suiteWorkload(workload);
+            } catch (const std::out_of_range &) {
+                return invalidArgument("profile: unknown workload '" +
+                                       workload + "'");
+            }
         }
 
         double uops = doc.numberOr("uops", 200000);
@@ -787,16 +797,31 @@ struct Server::Impl {
         if (!(segUops >= 0 && segUops <= 5e7))
             return invalidArgument(
                 "profile: 'segment_uops' out of range [0, 5e7]");
-        const std::string name = doc.stringOr("name", workload);
+        const std::string name = doc.stringOr(
+            "name", workload.empty() ? tracePath : workload);
 
-        Trace t = generateWorkload(spec, static_cast<size_t>(uops));
         ProfilerConfig cfg;
         cfg.name = name;
         ParallelProfileOptions popts;
         popts.threads = static_cast<unsigned>(threads);
         popts.segmentUops = static_cast<size_t>(segUops);
-        Profile p = threads == 1 ? profileTrace(t, cfg)
-                                 : profileTraceParallel(t, cfg, popts);
+        Profile p;
+        if (!tracePath.empty()) {
+            // Streamed at bounded memory; the open fully validates the
+            // file, so malformed bytes come back as a structured error
+            // rather than touching the profiler.
+            std::unique_ptr<MtfTraceSource> source;
+            Status st = MtfTraceSource::open(tracePath, source);
+            if (!st.isOk())
+                return st;
+            p = threads == 1 ? profileSource(*source, cfg)
+                             : profileSourceParallel(*source, cfg, popts);
+        } else {
+            Trace t =
+                generateWorkload(spec, static_cast<size_t>(uops));
+            p = threads == 1 ? profileTrace(t, cfg)
+                             : profileTraceParallel(t, cfg, popts);
+        }
 
         auto entry = std::make_shared<ProfileEntry>();
         entry->profile.push_back(std::move(p));

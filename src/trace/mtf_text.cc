@@ -1,0 +1,224 @@
+#include "trace/mtf_text.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace mipp {
+
+namespace {
+
+constexpr const char *kMtxtMagic = "mipp-mtxt";
+constexpr int kMtxtVersion = 1;
+
+struct TypeName {
+    const char *name;
+    UopType type;
+};
+
+/** One table, both directions; order matches UopType for the dump. */
+constexpr TypeName kTypeNames[] = {
+    {"ialu", UopType::IntAlu},   {"imul", UopType::IntMul},
+    {"idiv", UopType::IntDiv},   {"fpalu", UopType::FpAlu},
+    {"fpmul", UopType::FpMul},   {"fpdiv", UopType::FpDiv},
+    {"load", UopType::Load},     {"store", UopType::Store},
+    {"br", UopType::Branch},     {"mov", UopType::Move},
+};
+
+bool
+typeFromName(const std::string &name, UopType &t)
+{
+    for (const TypeName &tn : kTypeNames) {
+        if (name == tn.name) {
+            t = tn.type;
+            return true;
+        }
+    }
+    return false;
+}
+
+Status
+lineError(uint64_t line, const std::string &msg)
+{
+    return invalidArgument("mtxt line " + std::to_string(line) + ": " +
+                           msg);
+}
+
+/** C-syntax u64 ("0x…" or decimal); false on anything else. */
+bool
+parseNumber(const std::string &tok, uint64_t &v)
+{
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    v = std::strtoull(tok.c_str(), &end, 0);
+    return end == tok.c_str() + tok.size();
+}
+
+/** Register field value: 0..kNumRegs-1. */
+bool
+parseReg(const std::string &tok, int8_t &r)
+{
+    uint64_t v = 0;
+    if (!parseNumber(tok, v) || v >= static_cast<uint64_t>(kNumRegs))
+        return false;
+    r = static_cast<int8_t>(v);
+    return true;
+}
+
+} // namespace
+
+std::string_view
+mtxtTypeName(UopType t)
+{
+    size_t i = static_cast<size_t>(t);
+    return i < std::size(kTypeNames) ? kTypeNames[i].name : "?";
+}
+
+Status
+convertTextToMtf(std::istream &in, std::ostream &out, uint64_t &uopsOut)
+{
+    uopsOut = 0;
+    std::string line;
+    uint64_t lineNo = 0;
+
+    // Header line: "mipp-mtxt 1".
+    if (!std::getline(in, line))
+        return invalidArgument("mtxt: empty input (no header line)");
+    ++lineNo;
+    {
+        std::istringstream hs(line);
+        std::string magic;
+        int version = 0;
+        if (!(hs >> magic) || magic != kMtxtMagic)
+            return invalidArgument(
+                "mtxt: not a micro-op text dump (expected '" +
+                std::string(kMtxtMagic) + " 1' header)");
+        if (!(hs >> version) || version != kMtxtVersion)
+            return invalidArgument(
+                "mtxt: unsupported version (expected " +
+                std::to_string(kMtxtVersion) + ")");
+    }
+
+    MtfWriter w(out);
+    while (std::getline(in, line)) {
+        ++lineNo;
+        std::istringstream ls(line);
+        std::string tok;
+        if (!(ls >> tok) || tok[0] == '#')
+            continue; // blank or comment
+
+        MicroOp op;
+        op.instBoundary = false;
+        if (!parseNumber(tok, op.pc))
+            return lineError(lineNo, "bad pc '" + tok + "'");
+        if (!(ls >> tok))
+            return lineError(lineNo, "missing uop type");
+        if (!typeFromName(tok, op.type))
+            return lineError(lineNo, "unknown uop type '" + tok + "'");
+
+        bool haveAddr = false;
+        while (ls >> tok) {
+            if (tok == "i") {
+                op.instBoundary = true;
+            } else if (tok == "t") {
+                if (op.type != UopType::Branch)
+                    return lineError(lineNo,
+                                     "'t' flag on a non-branch uop");
+                op.taken = true;
+            } else if (tok[0] == '@') {
+                if (!parseNumber(tok.substr(1), op.addr))
+                    return lineError(lineNo,
+                                     "bad address '" + tok + "'");
+                haveAddr = true;
+            } else if (tok.rfind("s1=", 0) == 0) {
+                if (!parseReg(tok.substr(3), op.src1))
+                    return lineError(lineNo,
+                                     "bad register '" + tok + "'");
+            } else if (tok.rfind("s2=", 0) == 0) {
+                if (!parseReg(tok.substr(3), op.src2))
+                    return lineError(lineNo,
+                                     "bad register '" + tok + "'");
+            } else if (tok.rfind("d=", 0) == 0) {
+                if (!parseReg(tok.substr(2), op.dst))
+                    return lineError(lineNo,
+                                     "bad register '" + tok + "'");
+            } else {
+                return lineError(lineNo, "unknown field '" + tok + "'");
+            }
+        }
+        if (isMemory(op.type) && !haveAddr)
+            return lineError(lineNo,
+                             "load/store uop is missing its '@addr'");
+        if (!isMemory(op.type) && haveAddr)
+            return lineError(lineNo, "'@addr' on a non-memory uop");
+        w.append(op);
+    }
+    uopsOut = w.uopsWritten();
+    return w.finish();
+}
+
+Status
+convertTextFileToMtf(const std::string &textPath,
+                     const std::string &mtfPath, uint64_t &uopsOut)
+{
+    std::ifstream in(textPath, std::ios::binary);
+    if (!in)
+        return invalidArgument("cannot open mtxt file: " + textPath);
+    std::ofstream out(mtfPath, std::ios::binary);
+    if (!out)
+        return invalidArgument("cannot write mtf file: " + mtfPath);
+    return convertTextToMtf(in, out, uopsOut);
+}
+
+Status
+dumpMtfToText(const std::string &mtfPath, std::ostream &out,
+              const MtfLimits &limits)
+{
+    MtfReader reader;
+    Status st = MtfReader::open(mtfPath, reader, limits);
+    if (!st.isOk())
+        return st;
+
+    out << kMtxtMagic << ' ' << kMtxtVersion << '\n';
+    char buf[128];
+    std::vector<MicroOp> chunk(4096);
+    for (;;) {
+        size_t n = reader.decode(chunk.data(), chunk.size());
+        if (n == 0)
+            break;
+        for (size_t i = 0; i < n; ++i) {
+            const MicroOp &op = chunk[i];
+            int len = std::snprintf(
+                buf, sizeof buf, "0x%llx %s",
+                static_cast<unsigned long long>(op.pc),
+                std::string(mtxtTypeName(op.type)).c_str());
+            out.write(buf, len);
+            if (isMemory(op.type)) {
+                len = std::snprintf(
+                    buf, sizeof buf, " @0x%llx",
+                    static_cast<unsigned long long>(op.addr));
+                out.write(buf, len);
+            }
+            if (op.src1 != kNoReg)
+                out << " s1=" << static_cast<int>(op.src1);
+            if (op.src2 != kNoReg)
+                out << " s2=" << static_cast<int>(op.src2);
+            if (op.dst != kNoReg)
+                out << " d=" << static_cast<int>(op.dst);
+            if (op.instBoundary)
+                out << " i";
+            if (op.taken)
+                out << " t";
+            out << '\n';
+        }
+    }
+    if (!out)
+        return internalError("mtxt dump: output stream failed");
+    return Status::ok();
+}
+
+} // namespace mipp

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The `.mtxt` micro-op text dump format and its `.mtf` converter.
+ *
+ * Real trace capture tools (DynamoRIO clients, Intel-PT decoders, Pin
+ * tools) most naturally emit one text line per instruction or micro-op.
+ * `.mtxt` is this repo's documented interchange shape for such dumps —
+ * trivially producible from any capture script — and
+ * convertTextToMtf() turns it into the compact binary `.mtf` the
+ * profiler ingests. The line grammar is specified normatively in
+ * docs/trace-format.md §text dump; the short version:
+ *
+ *     mipp-mtxt 1
+ *     # comment lines and blank lines are ignored
+ *     <pc> <type> [@<addr>] [s1=<reg>] [s2=<reg>] [d=<reg>] [i] [t]
+ *
+ * with `<type>` one of ialu imul idiv fpalu fpmul fpdiv load store br
+ * mov, numbers in C syntax (0x… hex or decimal), `@<addr>` required for
+ * load/store and forbidden otherwise, `i` marking the first uop of its
+ * macro-instruction and `t` a taken branch.
+ *
+ * Conversion streams line-by-line through an MtfWriter (bounded
+ * memory); malformed lines yield a structured InvalidArgument naming
+ * the line number. dumpMtfToText() is the exact inverse, so
+ * dump → convert round-trips to a byte-identical `.mtf`.
+ */
+
+#ifndef MIPP_TRACE_MTF_TEXT_HH
+#define MIPP_TRACE_MTF_TEXT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/mtf.hh"
+#include "util/status.hh"
+
+namespace mipp {
+
+/** Short lowercase `.mtxt` name of a uop type ("ialu", "load", ...). */
+std::string_view mtxtTypeName(UopType t);
+
+/**
+ * Convert a `.mtxt` text dump to `.mtf`. On success @p uopsOut holds
+ * the number of uops written. Streams both sides; memory is O(line).
+ */
+Status convertTextToMtf(std::istream &in, std::ostream &out,
+                        uint64_t &uopsOut);
+
+/** convertTextToMtf over file paths. */
+Status convertTextFileToMtf(const std::string &textPath,
+                            const std::string &mtfPath,
+                            uint64_t &uopsOut);
+
+/** Write an opened `.mtf` back out as a `.mtxt` dump (exact inverse of
+ *  convertTextToMtf, for inspection and converter round-trip tests). */
+Status dumpMtfToText(const std::string &mtfPath, std::ostream &out,
+                     const MtfLimits &limits = {});
+
+} // namespace mipp
+
+#endif // MIPP_TRACE_MTF_TEXT_HH

@@ -12,6 +12,7 @@
 #include "obs/trace.hh"
 #include "power/power_model.hh"
 #include "profiler/profiler.hh"
+#include "trace/mtf.hh"
 #include "uarch/design_space.hh"
 #include "util/status.hh"
 #include "util/thread_pool.hh"
@@ -231,7 +232,8 @@ void
 buildAccuracySuite(size_t uops, bool includePhased,
                    const std::vector<std::string> &filter,
                    std::vector<std::string> &names,
-                   std::vector<Trace> &traces)
+                   std::vector<Trace> &traces,
+                   const std::vector<std::string> &traceFiles)
 {
     auto wants = [&](const std::string &n) {
         return filter.empty() ||
@@ -267,6 +269,22 @@ buildAccuracySuite(size_t uops, bool includePhased,
             throw StatusError(invalidArgument(
                 "accuracy filter matched no workload named '" + w +
                 "'"));
+    }
+    // Recorded .mtf traces ride along as extra validation workloads,
+    // materialized whole (the simulator side needs the full stream).
+    for (const auto &path : traceFiles) {
+        Trace t;
+        Status st = loadMtfTrace(path, t);
+        if (!st.isOk())
+            throw StatusError(st);
+        size_t slash = path.find_last_of('/');
+        std::string base =
+            slash == std::string::npos ? path : path.substr(slash + 1);
+        size_t dot = base.find_last_of('.');
+        if (dot != std::string::npos && dot > 0)
+            base.resize(dot);
+        names.push_back(base.empty() ? path : base);
+        traces.push_back(std::move(t));
     }
 }
 
@@ -354,7 +372,7 @@ runAccuracy(const AccuracyOptions &opts)
     std::vector<std::string> names;
     std::vector<Trace> traces;
     buildAccuracySuite(opts.uops, opts.includePhased, opts.workloads,
-                       names, traces);
+                       names, traces, opts.traceFiles);
 
     std::vector<ProfilerConfig> pcfgs(names.size());
     for (size_t i = 0; i < names.size(); ++i)

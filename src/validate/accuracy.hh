@@ -91,6 +91,10 @@ struct AccuracyOptions {
     bool includePhased = true;
     /** Restrict to these suite/phased names; empty = everything. */
     std::vector<std::string> workloads;
+    /** Recorded `.mtf` trace files to validate as extra workloads
+     *  (materialized whole: the simulator side needs the instruction
+     *  stream). Named by file basename; not subject to the filter. */
+    std::vector<std::string> traceFiles;
     ModelOptions mopts;
     /** Sweep concurrency: 0 = shared pool, 1 = serial in the caller. */
     unsigned threads = 0;
@@ -171,15 +175,19 @@ AccuracyReport runAccuracy(const AccuracyOptions &opts = {});
  * harness in validate/calibrate.hh):
  *
  * buildAccuracySuite generates the suite (+ phased) traces at @p uops,
- * honoring a name filter; throws StatusError(InvalidArgument) for
- * filter entries matching nothing. scoreAccuracyPoint fills one PointAccuracy
+ * honoring a name filter, then appends each @p traceFiles `.mtf` as an
+ * extra workload named by its basename; throws
+ * StatusError(InvalidArgument) for filter entries matching nothing and
+ * rethrows the structured Status of an unreadable/corrupt trace file.
+ * scoreAccuracyPoint fills one PointAccuracy
  * (errors included) from a finished sim/model pair. summarizeAccuracy
  * aggregates the per-point error columns into per-metric summaries.
  */
 void buildAccuracySuite(size_t uops, bool includePhased,
                         const std::vector<std::string> &filter,
                         std::vector<std::string> &names,
-                        std::vector<Trace> &traces);
+                        std::vector<Trace> &traces,
+                        const std::vector<std::string> &traceFiles = {});
 PointAccuracy scoreAccuracyPoint(const SimResult &sim,
                                  const ModelResult &mod,
                                  const CoreConfig &cfg,

@@ -172,7 +172,7 @@ runCalibration(const CalibrationOptions &opts)
     FitState st{opts};
     st.grid = opts.grid.empty() ? accuracyGrid("ci") : opts.grid;
     buildAccuracySuite(opts.uops, opts.includePhased, opts.workloads,
-                       st.names, st.traces);
+                       st.names, st.traces, opts.traceFiles);
 
     std::vector<ProfilerConfig> pcfgs(st.names.size());
     for (size_t i = 0; i < st.names.size(); ++i)

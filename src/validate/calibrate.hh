@@ -52,6 +52,9 @@ struct CalibrationOptions {
     size_t uops = 60000;
     bool includePhased = true;
     std::vector<std::string> workloads;
+    /** Recorded `.mtf` traces added to the fitting set (basename-named,
+     *  materialized whole — same semantics as AccuracyOptions). */
+    std::vector<std::string> traceFiles;
     /** Starting model options; its calibration is the "before" column. */
     ModelOptions mopts;
     unsigned threads = 0;

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Golden tests for the single-source-of-truth CLI help table
+ * (src/cli/cli_help.hh). The table drives `mipp_cli help`, every
+ * subcommand's `--help` and the bad-invocation usage text, so these
+ * tests are what keeps the documented flag surface tied to the
+ * dispatch set in examples/mipp_cli.cpp: add a command without a table
+ * entry (or vice versa) and the coverage test fails.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cli/cli_help.hh"
+
+namespace mipp::cli {
+namespace {
+
+/** The dispatch set of examples/mipp_cli.cpp::runCommand, including
+ *  subcommand groups. Extend in lockstep with the dispatcher. */
+const std::set<std::string> kDispatch = {
+    "profile",        "evaluate",         "sweep",
+    "trace record",   "trace convert",    "trace dump",
+    "trace info",     "report accuracy",  "report calibrate",
+    "report metrics", "serve",            "list",
+    "help",
+};
+
+TEST(CliHelp, TableCoversTheDispatchSetExactly)
+{
+    std::set<std::string> table;
+    for (const CommandHelp &c : commandTable())
+        table.insert(std::string(c.name));
+    EXPECT_EQ(table, kDispatch);
+}
+
+TEST(CliHelp, EveryEntryIsFullyPopulated)
+{
+    for (const CommandHelp &c : commandTable()) {
+        EXPECT_FALSE(c.name.empty());
+        EXPECT_FALSE(c.synopsis.empty()) << c.name;
+        EXPECT_FALSE(c.summary.empty()) << c.name;
+        EXPECT_FALSE(c.details.empty()) << c.name;
+        // The synopsis leads with the command itself.
+        EXPECT_EQ(c.synopsis.substr(0, c.name.size()), c.name);
+        // Summaries are single-line (they render in the overview list).
+        EXPECT_EQ(c.summary.find('\n'), std::string_view::npos)
+            << c.name;
+    }
+}
+
+TEST(CliHelp, OverviewListsEverySummaryOnce)
+{
+    std::string o = overviewHelp();
+    EXPECT_EQ(o.rfind("usage: mipp_cli <command> [args]", 0), 0u);
+    for (const CommandHelp &c : commandTable()) {
+        EXPECT_NE(o.find("  " + std::string(c.name)), std::string::npos)
+            << c.name;
+        EXPECT_NE(o.find(std::string(c.summary)), std::string::npos)
+            << c.name;
+    }
+}
+
+TEST(CliHelp, DetailedHelpResolvesEveryEntryAndGroups)
+{
+    for (const CommandHelp &c : commandTable()) {
+        std::string text = detailedHelp(c.name);
+        EXPECT_NE(text.find("usage: mipp_cli " + std::string(c.name)),
+                  std::string::npos)
+            << c.name;
+        EXPECT_NE(text.find(std::string(c.details)), std::string::npos)
+            << c.name;
+    }
+    // Group prefixes render every member.
+    std::string trace = detailedHelp("trace");
+    for (const char *sub : {"trace record", "trace convert",
+                            "trace dump", "trace info"})
+        EXPECT_NE(trace.find(std::string("usage: mipp_cli ") + sub),
+                  std::string::npos)
+            << sub;
+    std::string report = detailedHelp("report");
+    EXPECT_NE(report.find("report accuracy"), std::string::npos);
+    EXPECT_NE(report.find("report calibrate"), std::string::npos);
+    EXPECT_NE(report.find("report metrics"), std::string::npos);
+
+    EXPECT_TRUE(detailedHelp("no-such-command").empty());
+    // "tra" is not a group prefix (prefixes split at word boundaries).
+    EXPECT_TRUE(detailedHelp("tra").empty());
+}
+
+TEST(CliHelp, GoldenRenderingIsStable)
+{
+    // Pin the exact rendered form of a small entry: leading usage line,
+    // blank separator, details, trailing newline. Formatting changes
+    // must be deliberate (this text is what users and docs/ see).
+    EXPECT_EQ(detailedHelp("list"),
+              "usage: mipp_cli list\n"
+              "\n"
+              "Print the workloadSuite() names accepted by profile, "
+              "trace\nrecord and the serve profile op.\n");
+    // Continuation lines of a multi-line synopsis are indented to align
+    // under the command name.
+    std::string p = detailedHelp("profile");
+    EXPECT_NE(p.find("\n       ["), std::string::npos);
+}
+
+TEST(CliHelp, MentionsTraceFlagsWhereTheyExist)
+{
+    // The flags added with .mtf ingestion are documented where wired.
+    EXPECT_NE(detailedHelp("profile").find("--trace"),
+              std::string::npos);
+    EXPECT_NE(detailedHelp("report accuracy").find("--trace"),
+              std::string::npos);
+    EXPECT_NE(detailedHelp("report calibrate").find("--trace"),
+              std::string::npos);
+    EXPECT_NE(detailedHelp("serve").find("\"trace\""),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace mipp::cli

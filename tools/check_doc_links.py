@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links (and their #anchors) in the given files.
+
+Usage: tools/check_doc_links.py README.md docs/*.md
+
+A link is checked when it is relative (http/https/mailto links are
+skipped): the target file must exist, and a #fragment must match a
+GitHub-style heading slug in the target. Exits non-zero listing every
+broken link. Stdlib only.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def slugify(heading: str) -> str:
+    # GitHub's anchor algorithm: strip markdown code spans, lowercase,
+    # drop everything but word chars / spaces / hyphens, spaces->hyphens.
+    heading = heading.replace("`", "")
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    return {slugify(h) for h in HEADING_RE.findall(path.read_text())}
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    checked = 0
+    for name in argv[1:]:
+        src = Path(name)
+        for target in LINK_RE.findall(src.read_text()):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+                continue
+            frag = None
+            if "#" in target:
+                target, frag = target.split("#", 1)
+            dest = src if not target else (src.parent / target)
+            checked += 1
+            if not dest.exists():
+                errors.append(f"{src}: missing target '{target}'")
+                continue
+            if frag is not None:
+                if dest.suffix != ".md":
+                    continue
+                if frag not in anchors_of(dest):
+                    errors.append(f"{src}: no anchor '#{frag}' in {dest}")
+    for e in errors:
+        print(f"BROKEN  {e}", file=sys.stderr)
+    print(f"{checked} links checked, {len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
